@@ -1,0 +1,33 @@
+//! Prior-work software-transparent crash-consistency schemes (§VI-A).
+//!
+//! The paper compares PiCL against four representative designs plus an
+//! unprotected baseline; all five are implemented here behind the same
+//! [`ConsistencyScheme`](picl_cache::ConsistencyScheme) interface:
+//!
+//! * [`ideal::IdealNvm`] — no checkpointing, no crash consistency; the
+//!   normalization baseline of every figure.
+//! * [`frm::Frm`] — classic undo logging as used by high-frequency
+//!   checkpointing designs: a read-log-modify NVM access sequence per dirty
+//!   eviction and a synchronous stop-the-world cache flush at every commit.
+//! * [`journaling::Journaling`] — redo logging with a fixed-size
+//!   translation table; table-set overflow forces early commits, and commit
+//!   both flushes the cache into the redo buffer and applies it.
+//! * [`shadow::ShadowPaging`] — redo logging at 4 KB page granularity with
+//!   in-module copy-on-write and the paper's two optimizations (local CoW,
+//!   entry retention across epochs).
+//! * [`thynvm::ThyNvm`] — dual block/page-granularity redo with
+//!   single-checkpoint execution overlap: commit stalls only for the cache
+//!   flush, while the previous checkpoint's apply proceeds in the
+//!   background (at the cost of doubled table pressure).
+
+pub mod frm;
+pub mod ideal;
+pub mod journaling;
+pub mod shadow;
+pub mod thynvm;
+
+pub use frm::Frm;
+pub use ideal::IdealNvm;
+pub use journaling::Journaling;
+pub use shadow::ShadowPaging;
+pub use thynvm::ThyNvm;

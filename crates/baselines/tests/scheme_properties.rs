@@ -1,0 +1,140 @@
+//! Property tests for the baseline schemes: each redo-based scheme's
+//! forwarded reads must always reflect the newest absorbed value, and its
+//! commit must install exactly the absorbed values into canonical memory.
+
+use proptest::prelude::*;
+
+use picl_baselines::{Journaling, ShadowPaging, ThyNvm};
+use picl_cache::{ConsistencyScheme, EvictionEvent, Hierarchy};
+use picl_nvm::Nvm;
+use picl_types::time::ClockDomain;
+use picl_types::{config::NvmConfig, config::TableConfig, Cycle, LineAddr, SystemConfig};
+
+fn mem() -> Nvm {
+    Nvm::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000))
+}
+
+fn hier() -> Hierarchy {
+    Hierarchy::new(&SystemConfig::paper_single_core())
+}
+
+fn evict(s: &mut dyn ConsistencyScheme, m: &mut Nvm, line: u64, value: u64) {
+    s.on_dirty_eviction(
+        &EvictionEvent {
+            addr: LineAddr::new(line),
+            value,
+            eid: None,
+        },
+        m,
+        Cycle(0),
+    );
+}
+
+/// Reference semantics shared by all redo schemes: after a sequence of
+/// absorbed evictions, a read of any line must see the newest absorbed
+/// value (from the scheme) or the canonical value (from memory).
+fn check_read_coherence(
+    scheme: &mut dyn ConsistencyScheme,
+    m: &mut Nvm,
+    expected: &std::collections::HashMap<u64, u64>,
+) -> Result<(), TestCaseError> {
+    for (&line, &value) in expected {
+        let got = match scheme.forward_read(LineAddr::new(line), m, Cycle(0)) {
+            Some((v, _)) => v,
+            None => m.state().read_line(LineAddr::new(line)),
+        };
+        prop_assert_eq!(got, value, "line {} stale", line);
+    }
+    Ok(())
+}
+
+fn eviction_seq() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec(((0u64..2000), (1u64..u64::MAX)), 1..120)
+}
+
+proptest! {
+    /// Journaling: reads coherent mid-epoch; commit installs every value.
+    #[test]
+    fn journaling_read_and_commit_coherence(seq in eviction_seq()) {
+        let mut s = Journaling::new(&TableConfig::paper_default());
+        let mut m = mem();
+        let mut h = hier();
+        let mut expected = std::collections::HashMap::new();
+        for &(line, value) in &seq {
+            evict(&mut s, &mut m, line, value);
+            expected.insert(line, value);
+        }
+        check_read_coherence(&mut s, &mut m, &expected)?;
+        s.on_epoch_boundary(&mut h, &mut m, Cycle(0));
+        for (&line, &value) in &expected {
+            prop_assert_eq!(m.state().read_line(LineAddr::new(line)), value);
+        }
+        prop_assert_eq!(s.table_occupancy(), 0);
+    }
+
+    /// Shadow Paging: same contract, page-granularity implementation.
+    #[test]
+    fn shadow_read_and_commit_coherence(seq in eviction_seq()) {
+        let mut s = ShadowPaging::new(&TableConfig::paper_default());
+        let mut m = mem();
+        let mut h = hier();
+        let mut expected = std::collections::HashMap::new();
+        for &(line, value) in &seq {
+            evict(&mut s, &mut m, line, value);
+            expected.insert(line, value);
+        }
+        check_read_coherence(&mut s, &mut m, &expected)?;
+        s.on_epoch_boundary(&mut h, &mut m, Cycle(0));
+        for (&line, &value) in &expected {
+            prop_assert_eq!(m.state().read_line(LineAddr::new(line)), value);
+        }
+    }
+
+    /// ThyNVM: same contract across the dual tables and the one-epoch
+    /// apply lag (values land in canonical by the *second* boundary).
+    #[test]
+    fn thynvm_read_and_commit_coherence(seq in eviction_seq()) {
+        let mut s = ThyNvm::new(&TableConfig::paper_default());
+        let mut m = mem();
+        let mut h = hier();
+        let mut expected = std::collections::HashMap::new();
+        for &(line, value) in &seq {
+            evict(&mut s, &mut m, line, value);
+            expected.insert(line, value);
+        }
+        check_read_coherence(&mut s, &mut m, &expected)?;
+        s.on_epoch_boundary(&mut h, &mut m, Cycle(0));
+        s.on_epoch_boundary(&mut h, &mut m, Cycle(1000));
+        for (&line, &value) in &expected {
+            prop_assert_eq!(m.state().read_line(LineAddr::new(line)), value);
+        }
+        prop_assert_eq!(s.block_occupancy() + s.page_occupancy(), 0);
+    }
+
+    /// All redo schemes: a crash before any commit leaves canonical memory
+    /// untouched by the absorbed values.
+    #[test]
+    fn uncommitted_evictions_never_reach_canonical(seq in eviction_seq()) {
+        let table = TableConfig::paper_default();
+        let schemes: Vec<Box<dyn ConsistencyScheme>> = vec![
+            Box::new(Journaling::new(&table)),
+            Box::new(ShadowPaging::new(&table)),
+            Box::new(ThyNvm::new(&table)),
+        ];
+        for mut s in schemes {
+            let mut m = mem();
+            for &(line, value) in &seq {
+                evict(s.as_mut(), &mut m, line, value);
+            }
+            s.crash_recover(&mut m, Cycle(0));
+            for &(line, _) in &seq {
+                prop_assert_eq!(
+                    m.state().read_line(LineAddr::new(line)),
+                    0,
+                    "{}: uncommitted eviction leaked to canonical line {}",
+                    s.name(), line
+                );
+            }
+        }
+    }
+}

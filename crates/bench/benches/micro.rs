@@ -1,0 +1,226 @@
+//! Criterion micro-benchmarks for PiCL's hardware-path building blocks.
+//!
+//! These measure the *simulator's* data structures (not the modeled
+//! hardware latencies): undo-buffer coalescing, bloom-filter probes, cache
+//! array accesses, ACS scans, log recovery replay, and trace generation —
+//! the per-event costs that dominate full-figure regeneration time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use picl::bloom::BloomFilter;
+use picl::buffer::UndoBuffer;
+use picl::log::UndoLog;
+use picl::undo::UndoEntry;
+use picl_cache::hierarchy::AccessType;
+use picl_cache::{Hierarchy, SetAssocCache};
+use picl_nvm::{AccessClass, Nvm};
+use picl_sim::{Machine, SchemeKind};
+use picl_trace::spec::SpecBenchmark;
+use picl_trace::TraceSource;
+use picl_types::time::ClockDomain;
+use picl_types::{config::NvmConfig, CoreId, Cycle, EpochId, LineAddr, SystemConfig};
+
+fn nvm() -> Nvm {
+    Nvm::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000))
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert", |b| {
+        let mut filter = BloomFilter::paper_default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B9);
+            filter.insert(LineAddr::new(i));
+        });
+    });
+    group.bench_function("probe_miss", |b| {
+        let mut filter = BloomFilter::paper_default();
+        for i in 0..32u64 {
+            filter.insert(LineAddr::new(i * 977));
+        }
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            i += 1;
+            black_box(filter.maybe_contains(LineAddr::new(i)));
+        });
+    });
+    group.finish();
+}
+
+fn bench_undo_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("undo_buffer");
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("fill_and_flush_32", |b| {
+        let mut mem = nvm();
+        let mut log = UndoLog::new();
+        let mut epoch = 1u64;
+        b.iter(|| {
+            let mut buf = UndoBuffer::paper_default();
+            for i in 0..32u64 {
+                let full = buf.push(UndoEntry::new(
+                    LineAddr::new(epoch * 64 + i),
+                    i,
+                    EpochId(epoch),
+                    EpochId(epoch + 1),
+                ));
+                if full {
+                    log.append_flush(buf.drain(), &mut mem, Cycle(0));
+                }
+            }
+            epoch += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_cache_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_assoc");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hit", |b| {
+        let mut cache = SetAssocCache::new(4096, 8);
+        for i in 0..4096u64 {
+            cache.insert(LineAddr::new(i), i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(cache.get(LineAddr::new(i)));
+        });
+    });
+    group.bench_function("insert_evict", |b| {
+        let mut cache = SetAssocCache::new(4096, 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.insert(LineAddr::new(i), i));
+        });
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_hit_store", |b| {
+        let cfg = SystemConfig::paper_single_core();
+        let mut hier = Hierarchy::new(&cfg);
+        let mut scheme = SchemeKind::Picl.build(&cfg);
+        let mut mem = nvm();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            hier.access(
+                CoreId(0),
+                LineAddr::new(7),
+                AccessType::Store { new_value: v },
+                scheme.as_mut(),
+                &mut mem,
+                Cycle(v),
+            );
+        });
+    });
+    group.bench_function("miss_path", |b| {
+        let cfg = SystemConfig::paper_single_core();
+        let mut hier = Hierarchy::new(&cfg);
+        let mut scheme = SchemeKind::Picl.build(&cfg);
+        let mut mem = nvm();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            hier.access(
+                CoreId(0),
+                LineAddr::new(v * 67),
+                AccessType::Store { new_value: v },
+                scheme.as_mut(),
+                &mut mem,
+                Cycle(v),
+            );
+        });
+    });
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    // Replay a 10k-entry multi-undo log.
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("replay_10k_entries", |b| {
+        let mut mem = nvm();
+        let mut log = UndoLog::new();
+        for block in 0..(10_000 / 32) {
+            let entries: Vec<UndoEntry> = (0..32)
+                .map(|i| {
+                    UndoEntry::new(
+                        LineAddr::new(block * 32 + i),
+                        i,
+                        EpochId(1),
+                        EpochId(2 + block / 100),
+                    )
+                })
+                .collect();
+            log.append_flush(entries, &mut mem, Cycle(0));
+        }
+        b.iter_batched(
+            || mem.clone(),
+            |mut m| {
+                black_box(log.recover(&mut m, EpochId(1), Cycle(0)));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(1));
+    for bench in [SpecBenchmark::Mcf, SpecBenchmark::Libquantum, SpecBenchmark::Gamess] {
+        group.bench_function(bench.name(), |b| {
+            let mut gen = bench.trace(1);
+            b.iter(|| black_box(gen.next_event()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    // Whole-machine throughput: instructions simulated per second.
+    for kind in [SchemeKind::Ideal, SchemeKind::Picl, SchemeKind::Frm] {
+        group.throughput(Throughput::Elements(200_000));
+        group.bench_function(format!("bzip2_200k_{}", kind.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SystemConfig::paper_single_core();
+                    cfg.epoch.epoch_len_instructions = 100_000;
+                    let scheme = kind.build(&cfg);
+                    let trace: Box<dyn TraceSource + Send> =
+                        Box::new(SpecBenchmark::Bzip2.trace(7));
+                    Machine::new(cfg, scheme, vec![trace], "bzip2", false)
+                },
+                |mut machine| {
+                    machine.run(200_000);
+                    black_box(machine.instructions());
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bloom,
+    bench_undo_buffer,
+    bench_cache_array,
+    bench_hierarchy,
+    bench_recovery,
+    bench_trace_generation,
+    bench_end_to_end
+);
+criterion_main!(benches);

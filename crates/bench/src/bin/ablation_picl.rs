@@ -1,0 +1,90 @@
+//! Ablations of PiCL's design choices (DESIGN.md §7):
+//!
+//! 1. **ACS-gap** — how far persistence may trail commit. Gap 0 degrades
+//!    into a per-epoch (asynchronous) full write-back; larger gaps absorb
+//!    re-dirtied lines and save bandwidth (§III-C: "ACS can be delayed by
+//!    a few epochs to save even more bandwidth").
+//! 2. **Undo-buffer capacity** — smaller buffers flush more often and
+//!    amortize the row activation over less data; 32 entries (2 KB, one
+//!    row) is the paper's sweet spot.
+//! 3. **Bloom-filter size** — too small a filter false-positives on
+//!    evictions and forces premature buffer flushes.
+
+use picl_bench::{banner, scaled, seed};
+use picl_sim::{SchemeKind, Simulation};
+use picl_trace::spec::SpecBenchmark;
+use picl_types::SystemConfig;
+
+fn run(cfg: SystemConfig, budget: u64) -> picl_sim::RunReport {
+    Simulation::builder(cfg)
+        .scheme(SchemeKind::Picl)
+        .workload(&[SpecBenchmark::Gcc])
+        .instructions_per_core(budget)
+        .seed(seed())
+        .run()
+        .expect("valid configuration")
+}
+
+fn baseline_cycles(cfg: &SystemConfig, budget: u64) -> u64 {
+    Simulation::builder(cfg.clone())
+        .scheme(SchemeKind::Ideal)
+        .workload(&[SpecBenchmark::Gcc])
+        .instructions_per_core(budget)
+        .seed(seed())
+        .run()
+        .expect("valid configuration")
+        .total_cycles
+        .raw()
+}
+
+fn main() {
+    banner("PiCL ablations (gcc)");
+    let budget = scaled(12_000_000);
+    let mut base_cfg = SystemConfig::paper_single_core();
+    base_cfg.epoch.epoch_len_instructions = scaled(3_000_000);
+    let ideal = baseline_cycles(&base_cfg, budget);
+
+    println!("\nACS-gap sweep (buffer 32, bloom 4096):");
+    println!("{:<8}{:>10}{:>14}{:>14}", "gap", "norm.", "ACS writes", "log live");
+    for gap in [0u64, 1, 2, 3, 5, 7, 10] {
+        let mut cfg = base_cfg.clone();
+        cfg.epoch.acs_gap = gap;
+        let r = run(cfg, budget);
+        println!(
+            "{:<8}{:>10.3}{:>14}{:>14}",
+            gap,
+            r.total_cycles.raw() as f64 / ideal as f64,
+            r.nvm.ops(picl_nvm::AccessClass::AcsWrite),
+            picl_types::stats::format_bytes(r.scheme_stats.log_bytes_live)
+        );
+    }
+
+    println!("\nUndo-buffer capacity sweep (gap 3, bloom 4096):");
+    println!("{:<8}{:>10}{:>12}{:>14}", "entries", "norm.", "flushes", "forced");
+    for entries in [4usize, 8, 16, 32, 64, 128] {
+        let mut cfg = base_cfg.clone();
+        cfg.epoch.undo_buffer_entries = entries;
+        let r = run(cfg, budget);
+        println!(
+            "{:<8}{:>10.3}{:>12}{:>14}",
+            entries,
+            r.total_cycles.raw() as f64 / ideal as f64,
+            r.scheme_stats.buffer_flushes,
+            r.scheme_stats.buffer_flushes_forced
+        );
+    }
+
+    println!("\nBloom-filter size sweep (gap 3, buffer 32):");
+    println!("{:<8}{:>10}{:>16}", "bits", "norm.", "forced flushes");
+    for bits in [64usize, 256, 1024, 4096, 16384] {
+        let mut cfg = base_cfg.clone();
+        cfg.epoch.bloom_bits = bits;
+        let r = run(cfg, budget);
+        println!(
+            "{:<8}{:>10.3}{:>16}",
+            bits,
+            r.total_cycles.raw() as f64 / ideal as f64,
+            r.scheme_stats.buffer_flushes_forced
+        );
+    }
+}

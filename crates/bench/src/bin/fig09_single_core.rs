@@ -1,0 +1,39 @@
+//! Figure 9: single-core total execution time across the 29 SPEC2k6-like
+//! benchmarks, normalized to Ideal NVM (lower is better).
+//!
+//! Paper shape to reproduce: Journaling/Shadow/FRM/ThyNVM slow memory-bound
+//! workloads by 1.5–5×; PiCL stays within a few percent of Ideal
+//! everywhere, with only rare cases (sphinx3-like) losing 10–20%.
+
+use picl_bench::{banner, grid, normalize_rows, print_normalized_table, scaled, threads};
+use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_trace::spec::SpecBenchmark;
+use picl_types::SystemConfig;
+
+fn main() {
+    banner("Figure 9: single-core normalized execution time");
+    let mut cfg = SystemConfig::paper_single_core();
+    // Two full 30 M-instruction epochs per run at scale 1.0; the epoch
+    // length scales with the budget so the epochs-per-run ratio (and the
+    // flush-to-execution ratio) is preserved at reduced scales.
+    cfg.epoch.epoch_len_instructions = scaled(30_000_000);
+    let budget = scaled(60_000_000);
+    let workloads: Vec<WorkloadSpec> = SpecBenchmark::ALL
+        .iter()
+        .map(|&b| WorkloadSpec::single(b))
+        .collect();
+    let experiments = grid(&cfg, &workloads, &SchemeKind::ALL, budget);
+    eprintln!(
+        "running {} experiments ({} instructions each) on {} threads…",
+        experiments.len(),
+        budget,
+        threads()
+    );
+    let reports = run_experiments(&experiments, threads());
+    let rows = normalize_rows(&reports, SchemeKind::ALL.len());
+    print_normalized_table(
+        "Norm. execution time (x), single core, 2 MB LLC, 30 M-instr epochs",
+        &SchemeKind::ALL,
+        &rows,
+    );
+}

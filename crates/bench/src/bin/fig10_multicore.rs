@@ -1,0 +1,40 @@
+//! Figure 10 (and Table V): eight-core multiprogram execution time on the
+//! workload mixes W0–W7, normalized to Ideal NVM (lower is better).
+//!
+//! Paper shape to reproduce: prior work costs 1.6–2.6× on eight cores with
+//! a 16 MB LLC (cache flushes scale with cache size; logging traffic from
+//! eight programs collides at the NVM); PiCL stays near 1.0×.
+
+use picl_bench::{banner, grid, normalize_rows, print_normalized_table, scaled, threads};
+use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_trace::mixes::table_v_mixes;
+use picl_types::SystemConfig;
+
+fn main() {
+    banner("Figure 10: eight-core multiprogram normalized execution time");
+    println!("\nTable V: multiprogram workloads");
+    let mixes = table_v_mixes();
+    for m in &mixes {
+        println!("  {m}");
+    }
+
+    let mut cfg = SystemConfig::paper_multicore(8);
+    cfg.epoch.epoch_len_instructions = scaled(30_000_000);
+    // The paper profiles 25 M instructions per program.
+    let budget = scaled(25_000_000);
+    let workloads: Vec<WorkloadSpec> = mixes.iter().map(WorkloadSpec::mix).collect();
+    let experiments = grid(&cfg, &workloads, &SchemeKind::ALL, budget);
+    eprintln!(
+        "running {} experiments ({} instructions/core × 8) on {} threads…",
+        experiments.len(),
+        budget,
+        threads()
+    );
+    let reports = run_experiments(&experiments, threads());
+    let rows = normalize_rows(&reports, SchemeKind::ALL.len());
+    print_normalized_table(
+        "Norm. execution time (x), 8 cores, 16 MB LLC, 30 M-instr epochs",
+        &SchemeKind::ALL,
+        &rows,
+    );
+}

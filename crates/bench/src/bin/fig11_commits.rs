@@ -1,0 +1,61 @@
+//! Figure 11: average number of commits per 30 M instructions,
+//! single-threaded (lower is better).
+//!
+//! By default there is exactly one commit per 30 M instructions; hardware
+//! translation-table overflow forces the redo-based schemes (Journaling,
+//! Shadow Paging) to commit early. Paper shape to reproduce: Journaling
+//! commits up to 60–64× more often on large/scattered write sets; the
+//! undo-based schemes (PiCL shown; FRM identical) never commit early.
+
+use picl_bench::{banner, grid, scaled, seed, threads};
+use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_trace::spec::SpecBenchmark;
+use picl_types::SystemConfig;
+
+fn main() {
+    banner("Figure 11: commits per 30 M instructions");
+    let mut cfg = SystemConfig::paper_single_core();
+    cfg.epoch.epoch_len_instructions = scaled(30_000_000);
+    // 10% margin past two epochs so the second timer boundary always
+    // fires inside the run.
+    let budget = scaled(66_000_000);
+    let schemes = [SchemeKind::Journaling, SchemeKind::Shadow, SchemeKind::Picl];
+    let workloads: Vec<WorkloadSpec> = SpecBenchmark::ALL
+        .iter()
+        .map(|&b| WorkloadSpec::single(b))
+        .collect();
+    let experiments = grid(&cfg, &workloads, &schemes, budget);
+    eprintln!(
+        "running {} experiments on {} threads (seed {})…",
+        experiments.len(),
+        threads(),
+        seed()
+    );
+    let reports = run_experiments(&experiments, threads());
+
+    println!("\n# of commits per epoch interval of {}M instructions (1.0 = timer only)", cfg.epoch.epoch_len_instructions / 1_000_000);
+    print!("{:<12}", "workload");
+    for s in &schemes {
+        print!("{:>12}", s.name());
+    }
+    println!();
+    let mut cols = vec![Vec::new(); schemes.len()];
+    for chunk in reports.chunks(schemes.len()) {
+        print!("{:<12}", chunk[0].workload);
+        for (i, r) in chunk.iter().enumerate() {
+            let epochs_completed = (r.instructions / cfg.epoch.epoch_len_instructions).max(1);
+            let c = r.commits as f64 / epochs_completed as f64;
+            print!("{c:>12.1}");
+            cols[i].push(c);
+        }
+        println!();
+    }
+    print!("{:<12}", "GMean");
+    for col in &cols {
+        print!(
+            "{:>12.1}",
+            picl_types::stats::geometric_mean(col).unwrap_or(f64::NAN)
+        );
+    }
+    println!();
+}

@@ -1,0 +1,68 @@
+//! Figure 12: read/write operations at the NVM device, split into
+//! sequential logging / random logging / write-backs, normalized to Ideal
+//! NVM's write-back traffic.
+//!
+//! Paper shape to reproduce: prior-work schemes add 2–6× extra operations;
+//! FRM has the highest random-logging count (read-log-modify per
+//! eviction); Shadow-Paging's traffic is mostly sequential (CoW + page
+//! write-backs); PiCL adds almost nothing — a few bulk undo flushes and
+//! minimal ACS in-place writes.
+
+use picl_bench::{banner, grid, scaled, threads};
+use picl_nvm::TrafficCategory;
+use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_trace::spec::SpecBenchmark;
+use picl_types::SystemConfig;
+
+fn main() {
+    banner("Figure 12: normalized NVM operations by class");
+    let mut cfg = SystemConfig::paper_single_core();
+    cfg.epoch.epoch_len_instructions = scaled(30_000_000);
+    let budget = scaled(60_000_000);
+    let schemes = [
+        SchemeKind::Ideal,
+        SchemeKind::Journaling,
+        SchemeKind::Shadow,
+        SchemeKind::Frm,
+        SchemeKind::Picl,
+    ];
+    let workloads: Vec<WorkloadSpec> = SpecBenchmark::FIG12_SUBSET
+        .iter()
+        .map(|&b| WorkloadSpec::single(b))
+        .collect();
+    let experiments = grid(&cfg, &workloads, &schemes, budget);
+    eprintln!(
+        "running {} experiments on {} threads…",
+        experiments.len(),
+        threads()
+    );
+    let reports = run_experiments(&experiments, threads());
+
+    println!("\nNVM ops normalized to Ideal write-back traffic ([I]deal, [J]ournal, [S]hadow, [F]RM, [P]iCL)");
+    println!(
+        "{:<12} {:>3} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "", "seq-log", "rnd-log", "wr-backs", "total"
+    );
+    for chunk in reports.chunks(schemes.len()) {
+        let ideal_wb = chunk[0]
+            .nvm
+            .ops_in_category(TrafficCategory::WriteBack)
+            .max(1) as f64;
+        for (i, r) in chunk.iter().enumerate() {
+            let seq = r.nvm.ops_in_category(TrafficCategory::SequentialLogging) as f64 / ideal_wb;
+            let rnd = r.nvm.ops_in_category(TrafficCategory::RandomLogging) as f64 / ideal_wb;
+            let wb = r.nvm.ops_in_category(TrafficCategory::WriteBack) as f64 / ideal_wb;
+            let label = ["I", "J", "S", "F", "P"][i];
+            let name = if i == 0 { r.workload.as_str() } else { "" };
+            println!(
+                "{:<12} {:>3} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                name,
+                label,
+                seq,
+                rnd,
+                wb,
+                seq + rnd + wb
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 13: PiCL undo-log size for eight epochs (240 M instructions).
+//!
+//! Multi-undo logging keeps several epochs' undo entries live at once, so
+//! more storage is allocated than single-undo schemes need. Paper shape to
+//! reproduce: the majority of workloads consume under ~50 MB per eight
+//! epochs; the heaviest loggers stay within a few hundred MB — well within
+//! NVM capacities.
+
+use picl_bench::{bar, banner, grid, scaled, threads};
+use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_trace::spec::SpecBenchmark;
+use picl_types::stats::format_bytes;
+use picl_types::SystemConfig;
+
+fn main() {
+    banner("Figure 13: PiCL undo log size for eight epochs");
+    let mut cfg = SystemConfig::paper_single_core();
+    cfg.epoch.epoch_len_instructions = scaled(30_000_000);
+    // Eight 30 M-instruction epochs.
+    let budget = scaled(240_000_000);
+    let workloads: Vec<WorkloadSpec> = SpecBenchmark::ALL
+        .iter()
+        .map(|&b| WorkloadSpec::single(b))
+        .collect();
+    let experiments = grid(&cfg, &workloads, &[SchemeKind::Picl], budget);
+    eprintln!(
+        "running {} experiments ({budget} instructions each) on {} threads…",
+        experiments.len(),
+        threads()
+    );
+    let reports = run_experiments(&experiments, threads());
+
+    println!("\nUndo log bytes written over eight epochs (PiCL)");
+    let mut sizes = Vec::new();
+    let full = reports
+        .iter()
+        .map(|r| r.scheme_stats.log_bytes_written)
+        .max()
+        .unwrap_or(1) as f64;
+    for r in &reports {
+        let bytes = r.scheme_stats.log_bytes_written;
+        sizes.push(bytes as f64);
+        println!(
+            "{:<12} {:>12} {}",
+            r.workload,
+            format_bytes(bytes),
+            bar(bytes as f64, full)
+        );
+    }
+    let mean = picl_types::stats::arithmetic_mean(&sizes).unwrap_or(0.0);
+    println!("{:<12} {:>12}", "AMean", format_bytes(mean as u64));
+}

@@ -1,0 +1,55 @@
+//! Figure 15: sensitivity to LLC size (normalized execution time as the
+//! LLC grows).
+//!
+//! The bigger the cache, the longer a synchronous flush takes — so
+//! prior-work overhead *grows* with cache size while PiCL's asynchronous
+//! scan keeps it flat. Paper shape to reproduce: PiCL ≈ 1.0 at every size;
+//! ThyNVM's overhead grows fastest (its redo tables carry two epochs of
+//! pressure).
+
+use picl_bench::{banner, grid, scaled, threads};
+use picl_sim::{run_experiments, RunReport, SchemeKind, WorkloadSpec};
+use picl_trace::spec::SpecBenchmark;
+use picl_types::SystemConfig;
+
+fn main() {
+    banner("Figure 15: LLC size sensitivity");
+    let budget = scaled(60_000_000);
+    // A mildly memory-bound mix of behaviours; the paper sweeps its whole
+    // suite, we sweep four representative classes and average.
+    let workloads: Vec<WorkloadSpec> = [
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Bzip2,
+        SpecBenchmark::Lbm,
+        SpecBenchmark::Xalancbmk,
+    ]
+    .iter()
+    .map(|&b| WorkloadSpec::single(b))
+    .collect();
+
+    println!("\nGMean normalized execution vs. LLC size (single core)");
+    print!("{:<10}", "LLC");
+    for s in &SchemeKind::ALL {
+        print!("{:>11}", s.name());
+    }
+    println!();
+
+    for llc_mib in [1u64, 2, 4, 8, 16, 32, 64] {
+        let mut cfg = SystemConfig::paper_single_core();
+        cfg.epoch.epoch_len_instructions = scaled(30_000_000);
+        cfg.llc_per_core.size_bytes = llc_mib * 1024 * 1024;
+        let experiments = grid(&cfg, &workloads, &SchemeKind::ALL, budget);
+        let reports = run_experiments(&experiments, threads());
+        let rows: Vec<&[RunReport]> = reports.chunks(SchemeKind::ALL.len()).collect();
+        print!("{:<10}", format!("{llc_mib} MiB"));
+        for (i, _s) in SchemeKind::ALL.iter().enumerate() {
+            let normalized: Vec<f64> = rows
+                .iter()
+                .map(|chunk| chunk[i].normalized_to(&chunk[0]))
+                .collect();
+            let g = picl_types::stats::geometric_mean(&normalized).unwrap_or(f64::NAN);
+            print!("{g:>11.3}");
+        }
+        println!();
+    }
+}

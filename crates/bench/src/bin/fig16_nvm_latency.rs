@@ -1,0 +1,52 @@
+//! Figure 16: sensitivity to NVM row-write latency (§VI-E).
+//!
+//! Slower NVM writes make every extra logging operation costlier. Paper
+//! shape to reproduce: prior-work overhead grows with write latency (their
+//! random logging pays the miss latency per operation); PiCL's bulk
+//! sequential logging keeps its overhead flat and small.
+
+use picl_bench::{banner, grid, scaled, threads};
+use picl_sim::{run_experiments, RunReport, SchemeKind, WorkloadSpec};
+use picl_trace::spec::SpecBenchmark;
+use picl_types::time::Picoseconds;
+use picl_types::SystemConfig;
+
+fn main() {
+    banner("Figure 16: NVM row-write latency sensitivity");
+    let budget = scaled(60_000_000);
+    let workloads: Vec<WorkloadSpec> = [
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Bzip2,
+        SpecBenchmark::Lbm,
+        SpecBenchmark::Xalancbmk,
+    ]
+    .iter()
+    .map(|&b| WorkloadSpec::single(b))
+    .collect();
+
+    println!("\nGMean normalized execution vs. NVM row-write miss latency");
+    print!("{:<10}", "t_write");
+    for s in &SchemeKind::ALL {
+        print!("{:>11}", s.name());
+    }
+    println!();
+
+    for write_ns in [200u64, 368, 500, 700, 1000] {
+        let mut cfg = SystemConfig::paper_single_core();
+        cfg.epoch.epoch_len_instructions = scaled(30_000_000);
+        cfg.nvm.row_write_miss = Picoseconds::from_ns(write_ns);
+        let experiments = grid(&cfg, &workloads, &SchemeKind::ALL, budget);
+        let reports = run_experiments(&experiments, threads());
+        let rows: Vec<&[RunReport]> = reports.chunks(SchemeKind::ALL.len()).collect();
+        print!("{:<10}", format!("{write_ns} ns"));
+        for (i, _s) in SchemeKind::ALL.iter().enumerate() {
+            let normalized: Vec<f64> = rows
+                .iter()
+                .map(|chunk| chunk[i].normalized_to(&chunk[0]))
+                .collect();
+            let g = picl_types::stats::geometric_mean(&normalized).unwrap_or(f64::NAN);
+            print!("{g:>11.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,31 @@
+//! Table III: PiCL hardware overheads on the OpenPiton FPGA prototype,
+//! regenerated from the analytical model in `picl::hw_cost` (we cannot
+//! synthesize Verilog here; see DESIGN.md §2 for the substitution).
+//!
+//! Paper shape to reproduce: the L1 is untouched; LLC modifications
+//! dominate the cache-side logic; total logic overhead is under a few
+//! percent and the EID arrays land at a few percent of BRAM.
+
+use picl::hw_cost::{estimate, FpgaDevice, PrototypeParams};
+use picl_types::config::EpochConfig;
+
+fn main() {
+    println!("Table III: PiCL hardware overheads (analytical model)");
+    let epoch = EpochConfig::paper_default();
+    let params = PrototypeParams::openpiton(&epoch);
+    let report = estimate(&params, FpgaDevice::genesys2());
+    println!("{report}");
+
+    println!("sensitivity to EID tag width:");
+    for bits in [2u32, 4, 8] {
+        let mut e = epoch;
+        e.eid_bits = bits;
+        let r = estimate(&PrototypeParams::openpiton(&e), FpgaDevice::genesys2());
+        println!(
+            "  {bits}-bit tags: {} added SRAM bits, {:.2}% LUTs, {:.1}% BRAM",
+            r.rows.iter().map(|row| row.added_bits).sum::<u64>(),
+            r.lut_overhead_pct(),
+            r.bram_overhead_pct()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Table IV: the evaluated system configuration, printed from the same
+//! `SystemConfig` every experiment binary uses — so the table can never
+//! drift from what actually ran.
+
+use picl_types::stats::format_bytes;
+use picl_types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::paper_multicore(8);
+    cfg.validate().expect("paper configuration is valid");
+    println!("Table IV: system configuration");
+    println!(
+        "  Core        {:.1} GHz, in-order, CPI 1 non-memory instructions",
+        cfg.clock_mhz as f64 / 1000.0
+    );
+    println!(
+        "  L1          {} per-core, private, {}-cycle, {}-way set associative",
+        format_bytes(cfg.l1.size_bytes),
+        cfg.l1.latency.raw(),
+        cfg.l1.ways
+    );
+    println!(
+        "  L2          {} per-core, private, {}-way set associative, {}-cycle",
+        format_bytes(cfg.l2.size_bytes),
+        cfg.l2.ways,
+        cfg.l2.latency.raw()
+    );
+    println!(
+        "  LLC         {} per-core ({} total), {}-way set associative, {}-cycle",
+        format_bytes(cfg.llc_per_core.size_bytes),
+        format_bytes(cfg.llc_total().size_bytes),
+        cfg.llc_per_core.ways,
+        cfg.llc_per_core.latency.raw()
+    );
+    println!(
+        "  Memory link 64-bit ({:.1} GB/s)",
+        cfg.nvm.link_millibytes_per_cycle as f64 / 1000.0 * cfg.clock_mhz as f64 / 1000.0
+    );
+    println!(
+        "  NVM timing  FCFS controller, {:?}-page, {} banks; {} ns row read, {} ns row write, {} row buffer",
+        cfg.nvm.row_policy,
+        cfg.nvm.banks,
+        cfg.nvm.row_read_miss.raw() / 1000,
+        cfg.nvm.row_write_miss.raw() / 1000,
+        format_bytes(cfg.nvm.row_buffer_bytes)
+    );
+    println!(
+        "  Epochs      {} M instructions, ACS-gap {}, {}-entry undo buffer, {}-bit bloom, {}-bit EIDs",
+        cfg.epoch.epoch_len_instructions / 1_000_000,
+        cfg.epoch.acs_gap,
+        cfg.epoch.undo_buffer_entries,
+        cfg.epoch.bloom_bits,
+        cfg.epoch.eid_bits
+    );
+    println!(
+        "  Tables      {} entries {}-way (Journaling/Shadow); ThyNVM {} block + {} page",
+        cfg.table.entries, cfg.table.ways, cfg.table.thynvm_block_entries, cfg.table.thynvm_page_entries
+    );
+}

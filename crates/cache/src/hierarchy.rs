@@ -1,0 +1,674 @@
+//! The multicore L1/L2/LLC cache hierarchy.
+//!
+//! Geometry and latencies come from Table IV. Private L1 and L2 are
+//! *exclusive* of each other (a line lives in exactly one of them), which
+//! keeps a single authoritative copy of every line's metadata; the shared
+//! LLC is *inclusive* of all private caches via directory slots:
+//!
+//! * [`LlcSlot::Present`] — data and metadata live in the LLC;
+//! * [`LlcSlot::Owned`] — the line is held by one core's private caches
+//!   (single-owner coherence; a second core's access recalls it, and an LLC
+//!   eviction back-invalidates it).
+//!
+//! Consistency-scheme hooks fire exactly where the paper's Figs. 7 and 8
+//! put them: on every store (with pre-store metadata, wherever the line is
+//! held) and on every dirty line leaving the LLC toward memory.
+
+use picl_nvm::{AccessClass, Nvm};
+use picl_types::{config::SystemConfig, stats::Counter, CoreId, Cycle, EpochId, LineAddr};
+
+use crate::line::{CacheLineMeta, FlushLine};
+use crate::scheme::{ConsistencyScheme, EvictRoute, EvictionEvent, StoreEvent};
+use crate::set_assoc::SetAssocCache;
+
+/// An LLC slot: either the data itself or a pointer to the owning core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcSlot {
+    /// Data and metadata are resident in the LLC.
+    Present(CacheLineMeta),
+    /// The line is held in this core's private caches.
+    Owned(CoreId),
+}
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Private L1 hit.
+    L1,
+    /// Private L2 hit.
+    L2,
+    /// Shared LLC hit (including a recall from another core).
+    Llc,
+    /// LLC miss serviced by main memory.
+    Memory,
+}
+
+/// Result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle at which the requested data is available to the core.
+    pub data_ready: Cycle,
+    /// Level that serviced the access.
+    pub level: HitLevel,
+}
+
+/// Load or store, as presented to the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessType {
+    /// A load of the line's current value.
+    Load,
+    /// A store installing a new value token.
+    Store {
+        /// The token the store writes.
+        new_value: u64,
+    },
+}
+
+/// Hit/miss/traffic counters for the hierarchy.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchyStats {
+    /// L1 hits.
+    pub l1_hits: Counter,
+    /// L2 hits.
+    pub l2_hits: Counter,
+    /// LLC hits (including recalls).
+    pub llc_hits: Counter,
+    /// Accesses serviced by memory.
+    pub memory_accesses: Counter,
+    /// Dirty lines evicted from the LLC.
+    pub dirty_evictions: Counter,
+    /// Clean lines evicted from the LLC.
+    pub clean_evictions: Counter,
+    /// Lines recalled from another core's private caches.
+    pub recalls: Counter,
+    /// Private copies invalidated because their LLC slot was evicted.
+    pub back_invalidations: Counter,
+    /// Stores observed.
+    pub stores: Counter,
+    /// Loads observed.
+    pub loads: Counter,
+}
+
+/// The three-level hierarchy shared by all cores.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1: Vec<SetAssocCache<CacheLineMeta>>,
+    l2: Vec<SetAssocCache<CacheLineMeta>>,
+    llc: SetAssocCache<LlcSlot>,
+    l1_lat: Cycle,
+    l2_lat: Cycle,
+    llc_lat: Cycle,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for a system configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; validate it first with
+    /// [`SystemConfig::validate`].
+    pub fn new(cfg: &SystemConfig) -> Self {
+        cfg.validate().expect("valid system configuration");
+        let llc_cfg = cfg.llc_total();
+        Hierarchy {
+            l1: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(cfg.l1.sets(), cfg.l1.ways))
+                .collect(),
+            l2: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(cfg.l2.sets(), cfg.l2.ways))
+                .collect(),
+            llc: SetAssocCache::new(llc_cfg.sets(), llc_cfg.ways),
+            l1_lat: cfg.l1.latency,
+            l2_lat: cfg.l2.latency,
+            llc_lat: cfg.llc_per_core.latency,
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Performs one access for `core`; the scheme observes stores and
+    /// evictions and may absorb or augment memory traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        addr: LineAddr,
+        access: AccessType,
+        scheme: &mut dyn ConsistencyScheme,
+        mem: &mut Nvm,
+        now: Cycle,
+    ) -> AccessResult {
+        let c = core.index();
+        assert!(c < self.l1.len(), "core {core} out of range");
+        match access {
+            AccessType::Load => self.stats.loads.incr(),
+            AccessType::Store { .. } => self.stats.stores.incr(),
+        }
+
+        // L1 hit: the fast path.
+        if self.l1[c].contains(addr) {
+            self.stats.l1_hits.incr();
+            if let AccessType::Store { new_value } = access {
+                let meta = self.l1[c].get(addr).expect("checked contains");
+                let mut m = *meta;
+                Self::do_store(&mut m, addr, new_value, scheme, mem, now);
+                *self.l1[c].get(addr).expect("still resident") = m;
+            } else {
+                self.l1[c].get(addr);
+            }
+            return AccessResult {
+                data_ready: now + self.l1_lat,
+                level: HitLevel::L1,
+            };
+        }
+
+        // L2 hit: move the line up (exclusive L1/L2).
+        let (mut meta, level, data_ready) = if let Some(meta) = self.l2[c].remove(addr) {
+            self.stats.l2_hits.incr();
+            (meta, HitLevel::L2, now + self.l2_lat)
+        } else {
+            match self.llc.get(addr).copied() {
+                Some(LlcSlot::Present(meta)) => {
+                    self.stats.llc_hits.incr();
+                    *self.llc.peek_mut(addr).expect("slot present") = LlcSlot::Owned(core);
+                    (meta, HitLevel::Llc, now + self.llc_lat)
+                }
+                Some(LlcSlot::Owned(owner)) if owner != core => {
+                    // Another core holds it: recall through the LLC.
+                    self.stats.llc_hits.incr();
+                    self.stats.recalls.incr();
+                    let meta = self.recall_private(owner, addr);
+                    *self.llc.peek_mut(addr).expect("slot present") = LlcSlot::Owned(core);
+                    (meta, HitLevel::Llc, now + self.llc_lat)
+                }
+                Some(LlcSlot::Owned(_)) => {
+                    unreachable!("line owned by {core} but missing from its private caches")
+                }
+                None => {
+                    // Miss: fetch from the scheme (redo forwarding) or NVM.
+                    self.stats.memory_accesses.incr();
+                    let (value, ready) = match scheme.forward_read(addr, mem, now) {
+                        Some(hit) => hit,
+                        None => mem.read(now, addr, AccessClass::DemandRead),
+                    };
+                    let victim = self.llc.insert(addr, LlcSlot::Owned(core)).into_victim();
+                    if let Some((vaddr, vslot)) = victim {
+                        self.dispose_llc_victim(vaddr, vslot, scheme, mem, now);
+                    }
+                    (CacheLineMeta::clean(value), HitLevel::Memory, ready)
+                }
+            }
+        };
+
+        if let AccessType::Store { new_value } = access {
+            Self::do_store(&mut meta, addr, new_value, scheme, mem, now);
+        }
+        self.fill_l1(core, addr, meta, scheme, mem, now);
+
+        AccessResult { data_ready, level }
+    }
+
+    /// Applies a store to a line's metadata, firing the scheme hook with
+    /// the pre-store state (Figs. 7/8 transitions).
+    fn do_store(
+        meta: &mut CacheLineMeta,
+        addr: LineAddr,
+        new_value: u64,
+        scheme: &mut dyn ConsistencyScheme,
+        mem: &mut Nvm,
+        now: Cycle,
+    ) {
+        let ev = StoreEvent {
+            addr,
+            old_value: meta.value,
+            old_eid: meta.eid,
+            was_dirty: meta.dirty,
+        };
+        let directive = scheme.on_store(&ev, mem, now);
+        meta.value = new_value;
+        meta.dirty = true;
+        if let Some(eid) = directive.new_eid {
+            meta.eid = Some(eid);
+        }
+    }
+
+    /// Installs a line into `core`'s L1, rippling victims down: L1 victim →
+    /// L2; L2 victim → its (guaranteed-present) LLC slot.
+    fn fill_l1(
+        &mut self,
+        core: CoreId,
+        addr: LineAddr,
+        meta: CacheLineMeta,
+        scheme: &mut dyn ConsistencyScheme,
+        mem: &mut Nvm,
+        now: Cycle,
+    ) {
+        let c = core.index();
+        if let Some((v1_addr, v1_meta)) = self.l1[c].insert(addr, meta).into_victim() {
+            if let Some((v2_addr, v2_meta)) = self.l2[c].insert(v1_addr, v1_meta).into_victim() {
+                // The L2 victim leaves the private caches: deposit its data
+                // into its LLC directory slot.
+                match self.llc.peek_mut(v2_addr) {
+                    Some(slot @ LlcSlot::Owned(_)) => *slot = LlcSlot::Present(v2_meta),
+                    Some(LlcSlot::Present(_)) => {
+                        unreachable!("private line {v2_addr} already present in LLC")
+                    }
+                    None => {
+                        // Its slot was evicted concurrently — cannot happen
+                        // because LLC evictions back-invalidate first.
+                        unreachable!("private line {v2_addr} lost its LLC slot");
+                    }
+                }
+                let _ = (scheme, mem, now);
+            }
+        }
+    }
+
+    /// Removes a line from `owner`'s private caches, returning its
+    /// authoritative metadata.
+    fn recall_private(&mut self, owner: CoreId, addr: LineAddr) -> CacheLineMeta {
+        let o = owner.index();
+        self.l1[o]
+            .remove(addr)
+            .or_else(|| self.l2[o].remove(addr))
+            .unwrap_or_else(|| panic!("directory says {owner} holds {addr}, but it does not"))
+    }
+
+    /// Disposes of an evicted LLC slot: back-invalidate if owned, then let
+    /// the scheme route the write-back if dirty.
+    fn dispose_llc_victim(
+        &mut self,
+        addr: LineAddr,
+        slot: LlcSlot,
+        scheme: &mut dyn ConsistencyScheme,
+        mem: &mut Nvm,
+        now: Cycle,
+    ) {
+        let meta = match slot {
+            LlcSlot::Present(meta) => meta,
+            LlcSlot::Owned(owner) => {
+                self.stats.back_invalidations.incr();
+                self.recall_private(owner, addr)
+            }
+        };
+        if meta.dirty {
+            self.stats.dirty_evictions.incr();
+            let ev = EvictionEvent {
+                addr,
+                value: meta.value,
+                eid: meta.eid,
+            };
+            if scheme.on_dirty_eviction(&ev, mem, now) == EvictRoute::InPlace {
+                mem.write(now, addr, meta.value, AccessClass::WriteBack);
+            }
+        } else {
+            self.stats.clean_evictions.incr();
+        }
+    }
+
+    /// Extracts every dirty line in the hierarchy (private caches and LLC),
+    /// marking them clean and untagged in place. This is the synchronous
+    /// cache flush of prior-work schemes; the caller writes the returned
+    /// lines wherever its scheme requires.
+    pub fn take_dirty_lines(&mut self) -> Vec<FlushLine> {
+        self.take_matching(|m| m.dirty)
+    }
+
+    /// Extracts dirty lines tagged with exactly `eid`, marking them clean —
+    /// the asynchronous cache scan (§III-C). Dirty private copies are
+    /// snooped exactly as the paper describes.
+    pub fn take_lines_with_eid(&mut self, eid: EpochId) -> Vec<FlushLine> {
+        self.take_matching(|m| m.dirty && m.eid == Some(eid))
+    }
+
+    fn take_matching(&mut self, pred: impl Fn(&CacheLineMeta) -> bool) -> Vec<FlushLine> {
+        let mut out = Vec::new();
+        let mut grab = |addr: LineAddr, meta: &mut CacheLineMeta| {
+            if pred(meta) {
+                out.push(FlushLine {
+                    addr,
+                    value: meta.value,
+                    eid: meta.eid,
+                });
+                meta.dirty = false;
+                meta.eid = None;
+            }
+        };
+        for cache in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            for (addr, meta) in cache.iter_mut() {
+                grab(addr, meta);
+            }
+        }
+        for (addr, slot) in self.llc.iter_mut() {
+            if let LlcSlot::Present(meta) = slot {
+                grab(addr, meta);
+            }
+        }
+        out
+    }
+
+    /// Number of dirty lines currently in the hierarchy.
+    pub fn dirty_line_count(&self) -> usize {
+        let private: usize = self
+            .l1
+            .iter()
+            .chain(self.l2.iter())
+            .map(|c| c.iter().filter(|(_, m)| m.dirty).count())
+            .sum();
+        let llc = self
+            .llc
+            .iter()
+            .filter(|(_, s)| matches!(s, LlcSlot::Present(m) if m.dirty))
+            .count();
+        private + llc
+    }
+
+    /// The current cached value of `addr`, if resident anywhere.
+    pub fn cached_value(&self, addr: LineAddr) -> Option<u64> {
+        for cache in self.l1.iter().chain(self.l2.iter()) {
+            if let Some(meta) = cache.peek(addr) {
+                return Some(meta.value);
+            }
+        }
+        match self.llc.peek(addr) {
+            Some(LlcSlot::Present(meta)) => Some(meta.value),
+            _ => None,
+        }
+    }
+
+    /// Simulates power loss: every volatile line disappears.
+    pub fn invalidate_all(&mut self) {
+        for cache in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            cache.clear();
+        }
+        self.llc.clear();
+    }
+
+    /// Total lines resident in the LLC (data or directory slots).
+    pub fn llc_len(&self) -> usize {
+        self.llc.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{BoundaryOutcome, RecoveryOutcome, SchemeStats, StoreDirective};
+    use picl_types::config::NvmConfig;
+    use picl_types::time::ClockDomain;
+
+    /// Minimal pass-through scheme recording hook invocations.
+    #[derive(Debug, Default)]
+    struct Probe {
+        stores: Vec<StoreEvent>,
+        evictions: Vec<EvictionEvent>,
+        tag_with: Option<EpochId>,
+    }
+
+    impl ConsistencyScheme for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn system_eid(&self) -> EpochId {
+            EpochId(1)
+        }
+        fn persisted_eid(&self) -> EpochId {
+            EpochId::ZERO
+        }
+        fn on_store(&mut self, ev: &StoreEvent, _: &mut Nvm, _: Cycle) -> StoreDirective {
+            self.stores.push(*ev);
+            StoreDirective {
+                new_eid: self.tag_with,
+            }
+        }
+        fn on_dirty_eviction(&mut self, ev: &EvictionEvent, _: &mut Nvm, _: Cycle) -> EvictRoute {
+            self.evictions.push(*ev);
+            EvictRoute::InPlace
+        }
+        fn on_epoch_boundary(
+            &mut self,
+            _: &mut Hierarchy,
+            _: &mut Nvm,
+            _: Cycle,
+        ) -> BoundaryOutcome {
+            BoundaryOutcome {
+                committed: EpochId(1),
+                stall_until: None,
+            }
+        }
+        fn crash_recover(&mut self, _: &mut Nvm, now: Cycle) -> RecoveryOutcome {
+            RecoveryOutcome {
+                recovered_to: EpochId::ZERO,
+                entries_applied: 0,
+                completed_at: now,
+            }
+        }
+        fn stats(&self) -> SchemeStats {
+            SchemeStats::default()
+        }
+    }
+
+    fn tiny_config(cores: usize) -> SystemConfig {
+        let mut cfg = SystemConfig::paper_multicore(cores);
+        cfg.l1 = picl_types::config::CacheConfig::new(1024, 2, Cycle(1)); // 8 sets
+        cfg.l2 = picl_types::config::CacheConfig::new(4096, 4, Cycle(4)); // 16 sets
+        cfg.llc_per_core = picl_types::config::CacheConfig::new(16384, 4, Cycle(30));
+        cfg
+    }
+
+    fn rig(cores: usize) -> (Hierarchy, Probe, Nvm) {
+        let cfg = tiny_config(cores);
+        (
+            Hierarchy::new(&cfg),
+            Probe::default(),
+            Nvm::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000)),
+        )
+    }
+
+    fn load(
+        h: &mut Hierarchy,
+        s: &mut Probe,
+        m: &mut Nvm,
+        core: usize,
+        line: u64,
+        now: u64,
+    ) -> AccessResult {
+        h.access(
+            CoreId(core),
+            LineAddr::new(line),
+            AccessType::Load,
+            s,
+            m,
+            Cycle(now),
+        )
+    }
+
+    fn store(
+        h: &mut Hierarchy,
+        s: &mut Probe,
+        m: &mut Nvm,
+        core: usize,
+        line: u64,
+        value: u64,
+        now: u64,
+    ) -> AccessResult {
+        h.access(
+            CoreId(core),
+            LineAddr::new(line),
+            AccessType::Store { new_value: value },
+            s,
+            m,
+            Cycle(now),
+        )
+    }
+
+    #[test]
+    fn miss_then_hit_levels() {
+        let (mut h, mut s, mut m) = rig(1);
+        let r1 = load(&mut h, &mut s, &mut m, 0, 5, 0);
+        assert_eq!(r1.level, HitLevel::Memory);
+        let r2 = load(&mut h, &mut s, &mut m, 0, 5, 1000);
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(r2.data_ready, Cycle(1001));
+        assert_eq!(h.stats().l1_hits.get(), 1);
+        assert_eq!(h.stats().memory_accesses.get(), 1);
+    }
+
+    #[test]
+    fn store_fires_hook_with_pre_store_metadata() {
+        let (mut h, mut s, mut m) = rig(1);
+        m.state_mut().write_line(LineAddr::new(9), 77);
+        store(&mut h, &mut s, &mut m, 0, 9, 100, 0);
+        assert_eq!(s.stores.len(), 1);
+        let ev = s.stores[0];
+        assert_eq!(ev.old_value, 77);
+        assert_eq!(ev.old_eid, None);
+        assert!(!ev.was_dirty);
+        assert_eq!(h.cached_value(LineAddr::new(9)), Some(100));
+    }
+
+    #[test]
+    fn second_store_sees_dirty_and_tag() {
+        let (mut h, mut s, mut m) = rig(1);
+        s.tag_with = Some(EpochId(4));
+        store(&mut h, &mut s, &mut m, 0, 9, 1, 0);
+        store(&mut h, &mut s, &mut m, 0, 9, 2, 10);
+        let ev = s.stores[1];
+        assert!(ev.was_dirty);
+        assert_eq!(ev.old_eid, Some(EpochId(4)));
+        assert_eq!(ev.old_value, 1);
+    }
+
+    #[test]
+    fn dirty_lines_eventually_evict_in_place() {
+        let (mut h, mut s, mut m) = rig(1);
+        // Store to many distinct lines to overflow the small hierarchy.
+        for i in 0..2000 {
+            store(&mut h, &mut s, &mut m, 0, i, i + 1, i * 10);
+        }
+        assert!(!s.evictions.is_empty(), "no evictions observed");
+        assert!(h.stats().dirty_evictions.get() > 0);
+        // In-place routing updated canonical NVM state for evicted lines.
+        let ev = s.evictions[0];
+        assert_eq!(m.state().read_line(ev.addr), ev.value);
+    }
+
+    #[test]
+    fn exclusive_l1_l2_no_duplicate_dirty() {
+        let (mut h, mut s, mut m) = rig(1);
+        for i in 0..64 {
+            store(&mut h, &mut s, &mut m, 0, i, i + 1, i);
+        }
+        let flushed = h.take_dirty_lines();
+        let mut addrs: Vec<_> = flushed.iter().map(|f| f.addr).collect();
+        let before = addrs.len();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(before, addrs.len(), "duplicate dirty lines extracted");
+        assert_eq!(h.dirty_line_count(), 0);
+    }
+
+    #[test]
+    fn take_dirty_preserves_values() {
+        let (mut h, mut s, mut m) = rig(1);
+        store(&mut h, &mut s, &mut m, 0, 1, 11, 0);
+        store(&mut h, &mut s, &mut m, 0, 2, 22, 1);
+        let mut flushed = h.take_dirty_lines();
+        flushed.sort_by_key(|f| f.addr);
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed[0].value, 11);
+        assert_eq!(flushed[1].value, 22);
+        // Lines stay resident, now clean.
+        assert_eq!(h.cached_value(LineAddr::new(1)), Some(11));
+        assert!(h.take_dirty_lines().is_empty());
+    }
+
+    #[test]
+    fn take_lines_with_eid_filters() {
+        let (mut h, mut s, mut m) = rig(1);
+        s.tag_with = Some(EpochId(1));
+        store(&mut h, &mut s, &mut m, 0, 1, 10, 0);
+        s.tag_with = Some(EpochId(2));
+        store(&mut h, &mut s, &mut m, 0, 2, 20, 1);
+        let got = h.take_lines_with_eid(EpochId(1));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].addr, LineAddr::new(1));
+        assert_eq!(h.dirty_line_count(), 1);
+        let rest = h.take_lines_with_eid(EpochId(2));
+        assert_eq!(rest.len(), 1);
+        assert_eq!(h.dirty_line_count(), 0);
+    }
+
+    #[test]
+    fn cross_core_recall_moves_ownership() {
+        let (mut h, mut s, mut m) = rig(2);
+        store(&mut h, &mut s, &mut m, 0, 7, 42, 0);
+        // Core 1 reads the same line: recall, not memory access.
+        let r = load(&mut h, &mut s, &mut m, 1, 7, 100);
+        assert_eq!(r.level, HitLevel::Llc);
+        assert_eq!(h.stats().recalls.get(), 1);
+        assert_eq!(h.cached_value(LineAddr::new(7)), Some(42));
+        // Core 1 now hits in its own L1.
+        let r2 = load(&mut h, &mut s, &mut m, 1, 7, 200);
+        assert_eq!(r2.level, HitLevel::L1);
+        // The dirty bit traveled with the line.
+        assert_eq!(h.dirty_line_count(), 1);
+    }
+
+    #[test]
+    fn llc_eviction_back_invalidates_private_copy() {
+        let (mut h, mut s, mut m) = rig(1);
+        // Lines k·64 all map to LLC set 0 (64 sets), L1 set 0, L2 set 0.
+        // The 4-way LLC set overflows while early lines still sit in the
+        // private caches, forcing back-invalidations.
+        for k in 0..12u64 {
+            store(&mut h, &mut s, &mut m, 0, k * 64, k + 1, k * 5);
+        }
+        assert!(h.stats().back_invalidations.get() > 0);
+        // Back-invalidated dirty lines were written in place.
+        assert!(!s.evictions.is_empty());
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let (mut h, mut s, mut m) = rig(1);
+        store(&mut h, &mut s, &mut m, 0, 3, 33, 0);
+        assert!(h.llc_len() > 0);
+        h.invalidate_all();
+        assert_eq!(h.llc_len(), 0);
+        assert_eq!(h.dirty_line_count(), 0);
+        assert_eq!(h.cached_value(LineAddr::new(3)), None);
+    }
+
+    #[test]
+    fn load_returns_memory_value() {
+        let (mut h, mut s, mut m) = rig(1);
+        m.state_mut().write_line(LineAddr::new(50), 123);
+        load(&mut h, &mut s, &mut m, 0, 50, 0);
+        assert_eq!(h.cached_value(LineAddr::new(50)), Some(123));
+    }
+
+    #[test]
+    fn clean_evictions_are_silent() {
+        let (mut h, mut s, mut m) = rig(1);
+        for i in 0..2000 {
+            load(&mut h, &mut s, &mut m, 0, i, i * 3);
+        }
+        assert!(h.stats().clean_evictions.get() > 0);
+        assert!(s.evictions.is_empty());
+        assert_eq!(h.stats().dirty_evictions.get(), 0);
+    }
+}

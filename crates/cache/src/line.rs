@@ -1,0 +1,70 @@
+//! Per-line cache metadata.
+
+use picl_types::{EpochId, LineAddr};
+
+/// Metadata carried by a cached line as it moves through the hierarchy.
+///
+/// This is the augmented cache entry of Fig. 5b: conventional state (valid
+/// is implied by presence, dirty is explicit) plus PiCL's per-line EID tag.
+/// The `value` field is the functional 64-bit stand-in for the line's data
+/// (see `picl_nvm::state`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLineMeta {
+    /// The line's current data token.
+    pub value: u64,
+    /// Whether the line differs from the copy at its canonical NVM address.
+    pub dirty: bool,
+    /// The epoch in which the line was last modified; `None` for lines
+    /// loaded from memory that have not been stored to ("a line loaded from
+    /// the memory to the LLC initially has no EID associated", §IV-A).
+    pub eid: Option<EpochId>,
+}
+
+impl CacheLineMeta {
+    /// Metadata for a line freshly filled from memory: clean, untagged.
+    pub fn clean(value: u64) -> Self {
+        CacheLineMeta {
+            value,
+            dirty: false,
+            eid: None,
+        }
+    }
+
+    /// Metadata for a dirty line tagged with the epoch that modified it.
+    pub fn dirty(value: u64, eid: EpochId) -> Self {
+        CacheLineMeta {
+            value,
+            dirty: true,
+            eid: Some(eid),
+        }
+    }
+}
+
+/// A dirty line extracted from the hierarchy for write-back — by an
+/// eviction, a synchronous flush, or PiCL's asynchronous cache scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushLine {
+    /// The line's address.
+    pub addr: LineAddr,
+    /// The data token to be written back.
+    pub value: u64,
+    /// The line's EID tag at extraction time.
+    pub eid: Option<EpochId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = CacheLineMeta::clean(5);
+        assert!(!c.dirty);
+        assert_eq!(c.eid, None);
+        assert_eq!(c.value, 5);
+
+        let d = CacheLineMeta::dirty(6, EpochId(3));
+        assert!(d.dirty);
+        assert_eq!(d.eid, Some(EpochId(3)));
+    }
+}

@@ -1,0 +1,239 @@
+//! The consistency-scheme interface.
+//!
+//! A [`ConsistencyScheme`] is the hardware mechanism that makes NVM contents
+//! crash-consistent. The simulator and cache hierarchy call into it at the
+//! points the paper identifies (Figs. 3, 7, 8):
+//!
+//! * **stores** — where PiCL detects cross-epoch modification and creates
+//!   undo entries from the cache;
+//! * **dirty LLC evictions** — where undo logging performs read-log-modify
+//!   and redo logging absorbs the write into a redo buffer;
+//! * **demand misses** — where redo logging must forward data that lives in
+//!   the redo buffer instead of the canonical address;
+//! * **epoch boundaries** — where prior work stalls the world to flush the
+//!   cache and PiCL merely bumps `SystemEID` and kicks ACS;
+//! * **crashes** — where the scheme's recovery procedure patches main
+//!   memory back to the last persisted checkpoint.
+
+use picl_nvm::Nvm;
+use picl_types::{Cycle, EpochId, LineAddr};
+
+use crate::hierarchy::Hierarchy;
+
+/// A store observed by the cache hierarchy, with pre-store metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEvent {
+    /// Line being stored to.
+    pub addr: LineAddr,
+    /// The line's data token *before* this store.
+    pub old_value: u64,
+    /// The line's EID tag before this store (`None` = never stored since
+    /// fill; the "no EID associated" state of §IV-A).
+    pub old_eid: Option<EpochId>,
+    /// Whether the line was already dirty.
+    pub was_dirty: bool,
+}
+
+/// What the scheme wants done to the stored line's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreDirective {
+    /// New EID tag for the line (`None` leaves the line untagged; schemes
+    /// without EID tracking always return `None`).
+    pub new_eid: Option<EpochId>,
+}
+
+/// A dirty line leaving the LLC toward memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionEvent {
+    /// Line being evicted.
+    pub addr: LineAddr,
+    /// The data token to be written back.
+    pub value: u64,
+    /// The line's EID tag.
+    pub eid: Option<EpochId>,
+}
+
+/// How the hierarchy should dispose of a dirty eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictRoute {
+    /// Write the line to its canonical NVM address (undo-based schemes).
+    /// The hierarchy performs the write and charges it as ordinary
+    /// write-back traffic.
+    InPlace,
+    /// The scheme captured the line (e.g., into a redo buffer or shadow
+    /// page) and issued its own NVM traffic; the canonical address must
+    /// *not* be updated.
+    Absorbed,
+}
+
+/// Result of an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryOutcome {
+    /// The epoch that just committed.
+    pub committed: EpochId,
+    /// If the scheme required a synchronous (stop-the-world) flush, the
+    /// cycle at which execution may resume.
+    pub stall_until: Option<Cycle>,
+}
+
+/// Result of crash recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// The checkpoint that main memory was restored to. Memory now holds
+    /// exactly the values it held when this epoch committed.
+    pub recovered_to: EpochId,
+    /// Log or table entries applied while patching memory.
+    pub entries_applied: u64,
+    /// Cycle at which recovery finished (includes log-scan time).
+    pub completed_at: Cycle,
+}
+
+/// Counters every scheme reports; drives Figs. 11, 13, and 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchemeStats {
+    /// Epoch commits, including forced early commits.
+    pub commits: u64,
+    /// Commits forced early by hardware-resource overflow (translation
+    /// table full) rather than the epoch timer.
+    pub forced_commits: u64,
+    /// Log entries created (undo entries, redo entries, or CoW pages).
+    pub log_entries: u64,
+    /// Bytes appended to durable log storage.
+    pub log_bytes_written: u64,
+    /// Bytes of log storage currently live (not yet garbage collected).
+    pub log_bytes_live: u64,
+    /// On-chip undo-buffer flushes (PiCL only).
+    pub buffer_flushes: u64,
+    /// Undo-buffer flushes forced by a bloom-filter hit on eviction.
+    pub buffer_flushes_forced: u64,
+    /// Total cycles execution was stalled by synchronous flushes.
+    pub stall_cycles: u64,
+}
+
+/// The hardware crash-consistency mechanism under test.
+///
+/// Object-safe: the simulator holds a `Box<dyn ConsistencyScheme>` chosen
+/// per run.
+pub trait ConsistencyScheme {
+    /// Scheme name for reports ("PiCL", "FRM", …).
+    fn name(&self) -> &'static str;
+
+    /// The currently executing (uncommitted) epoch.
+    fn system_eid(&self) -> EpochId;
+
+    /// The most recent fully durable, recoverable epoch.
+    fn persisted_eid(&self) -> EpochId;
+
+    /// A store is being performed; pre-store metadata in `ev`. The scheme
+    /// may create undo entries (issuing NVM traffic through `mem`) and
+    /// returns the line's new EID tag.
+    fn on_store(&mut self, ev: &StoreEvent, mem: &mut Nvm, now: Cycle) -> StoreDirective;
+
+    /// A dirty line is leaving the LLC. The scheme may issue extra traffic
+    /// (pre-image reads, log writes) and decides whether the canonical
+    /// address is updated.
+    fn on_dirty_eviction(&mut self, ev: &EvictionEvent, mem: &mut Nvm, now: Cycle) -> EvictRoute;
+
+    /// A demand miss for `addr`: if the current data lives in a scheme
+    /// structure (redo buffer, shadow page), return the value and the cycle
+    /// it is available, charging the access to `mem`. Returning `None`
+    /// lets the hierarchy read the canonical address.
+    fn forward_read(&mut self, addr: LineAddr, mem: &mut Nvm, now: Cycle) -> Option<(u64, Cycle)> {
+        let _ = (addr, mem, now);
+        None
+    }
+
+    /// Whether a hardware resource overflowed such that the current epoch
+    /// must commit early (checked by the simulator after every access).
+    fn wants_early_commit(&self) -> bool {
+        false
+    }
+
+    /// An epoch boundary: commit the executing epoch. Prior-work schemes
+    /// synchronously flush the cache here; PiCL bumps `SystemEID`, runs the
+    /// asynchronous cache scan for `SystemEID − ACS-gap`, and never stalls.
+    fn on_epoch_boundary(
+        &mut self,
+        hier: &mut Hierarchy,
+        mem: &mut Nvm,
+        now: Cycle,
+    ) -> BoundaryOutcome;
+
+    /// Power failure: all volatile state (caches, on-chip buffers) is lost;
+    /// the simulator has already invalidated the hierarchy. Patch `mem`
+    /// back to the last persisted checkpoint using only durable state and
+    /// report what was recovered.
+    fn crash_recover(&mut self, mem: &mut Nvm, now: Cycle) -> RecoveryOutcome;
+
+    /// Counters for reports.
+    fn stats(&self) -> SchemeStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A do-nothing scheme proving the trait is object-safe and exercising
+    /// the default method bodies.
+    #[derive(Debug, Default)]
+    struct Noop;
+
+    impl ConsistencyScheme for Noop {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+        fn system_eid(&self) -> EpochId {
+            EpochId(1)
+        }
+        fn persisted_eid(&self) -> EpochId {
+            EpochId::ZERO
+        }
+        fn on_store(&mut self, _: &StoreEvent, _: &mut Nvm, _: Cycle) -> StoreDirective {
+            StoreDirective::default()
+        }
+        fn on_dirty_eviction(&mut self, _: &EvictionEvent, _: &mut Nvm, _: Cycle) -> EvictRoute {
+            EvictRoute::InPlace
+        }
+        fn on_epoch_boundary(
+            &mut self,
+            _: &mut Hierarchy,
+            _: &mut Nvm,
+            _: Cycle,
+        ) -> BoundaryOutcome {
+            BoundaryOutcome {
+                committed: EpochId(1),
+                stall_until: None,
+            }
+        }
+        fn crash_recover(&mut self, _: &mut Nvm, now: Cycle) -> RecoveryOutcome {
+            RecoveryOutcome {
+                recovered_to: EpochId::ZERO,
+                entries_applied: 0,
+                completed_at: now,
+            }
+        }
+        fn stats(&self) -> SchemeStats {
+            SchemeStats::default()
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_with_defaults() {
+        use picl_types::config::NvmConfig;
+        use picl_types::time::ClockDomain;
+
+        let mut boxed: Box<dyn ConsistencyScheme> = Box::new(Noop);
+        let mut mem = Nvm::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000));
+        assert_eq!(boxed.name(), "noop");
+        assert!(!boxed.wants_early_commit());
+        assert!(boxed
+            .forward_read(LineAddr::new(0), &mut mem, Cycle(0))
+            .is_none());
+        assert_eq!(boxed.persisted_eid(), EpochId::ZERO);
+    }
+
+    #[test]
+    fn store_directive_default_is_untagged() {
+        assert_eq!(StoreDirective::default().new_eid, None);
+    }
+}

@@ -1,0 +1,364 @@
+//! A set-associative cache array with LRU replacement.
+//!
+//! Generic over the per-line payload so the same structure backs private
+//! caches (payload [`CacheLineMeta`](crate::line::CacheLineMeta)), the LLC
+//! (a directory-augmented payload), and the baselines' translation tables
+//! (address-mapping payloads) — the paper configures all of these as
+//! set-associative arrays.
+
+use picl_types::LineAddr;
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    addr: LineAddr,
+    payload: T,
+    last_use: u64,
+}
+
+/// A set-associative, LRU-replaced map from [`LineAddr`] to `T`.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<T> {
+    sets: Vec<Vec<Entry<T>>>,
+    ways: usize,
+    use_clock: u64,
+}
+
+impl<T> SetAssocCache<T> {
+    /// Creates a cache with `sets` sets of `ways` ways. Power-of-two set
+    /// counts index by bit masking (hardware caches); other counts (the
+    /// baselines' 384-set translation tables) index by modulo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0, "sets must be nonzero");
+        assert!(ways > 0, "ways must be nonzero");
+        SetAssocCache {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            use_clock: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn set_index(&self, addr: LineAddr) -> usize {
+        let n = self.sets.len();
+        if n.is_power_of_two() {
+            (addr.raw() as usize) & (n - 1)
+        } else {
+            (addr.raw() % n as u64) as usize
+        }
+    }
+
+    /// Whether `addr` is resident (no LRU update).
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        let set = &self.sets[self.set_index(addr)];
+        set.iter().any(|e| e.addr == addr)
+    }
+
+    /// Looks up `addr`, updating recency. Returns the payload if resident.
+    pub fn get(&mut self, addr: LineAddr) -> Option<&mut T> {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        set.iter_mut().find(|e| e.addr == addr).map(|e| {
+            e.last_use = clock;
+            &mut e.payload
+        })
+    }
+
+    /// Looks up `addr` without updating recency.
+    pub fn peek(&self, addr: LineAddr) -> Option<&T> {
+        let set = &self.sets[self.set_index(addr)];
+        set.iter().find(|e| e.addr == addr).map(|e| &e.payload)
+    }
+
+    /// Looks up `addr` mutably without updating recency.
+    pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut T> {
+        let idx = self.set_index(addr);
+        self.sets[idx]
+            .iter_mut()
+            .find(|e| e.addr == addr)
+            .map(|e| &mut e.payload)
+    }
+
+    /// Inserts `addr` with `payload`, making it most-recently used.
+    ///
+    /// If `addr` was already resident its payload is replaced and returned
+    /// as `Replaced`. If the set was full, the LRU victim is evicted and
+    /// returned as `Evicted`.
+    pub fn insert(&mut self, addr: LineAddr, payload: T) -> Insertion<T> {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let idx = self.set_index(addr);
+        let ways = self.ways;
+        let set = &mut self.sets[idx];
+
+        if let Some(e) = set.iter_mut().find(|e| e.addr == addr) {
+            e.last_use = clock;
+            let old = std::mem::replace(&mut e.payload, payload);
+            return Insertion::Replaced(old);
+        }
+
+        let mut victim = None;
+        if set.len() == ways {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .expect("full set is nonempty");
+            let e = set.swap_remove(vi);
+            victim = Some((e.addr, e.payload));
+        }
+        set.push(Entry {
+            addr,
+            payload,
+            last_use: clock,
+        });
+        match victim {
+            Some((a, p)) => Insertion::Evicted(a, p),
+            None => Insertion::Fit,
+        }
+    }
+
+    /// Removes `addr`, returning its payload if it was resident.
+    pub fn remove(&mut self, addr: LineAddr) -> Option<T> {
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|e| e.addr == addr)?;
+        Some(set.swap_remove(pos).payload)
+    }
+
+    /// Iterates over all resident `(addr, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.sets.iter().flatten().map(|e| (e.addr, &e.payload))
+    }
+
+    /// Iterates mutably over all resident `(addr, payload)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
+        self.sets
+            .iter_mut()
+            .flatten()
+            .map(|e| (e.addr, &mut e.payload))
+    }
+
+    /// Removes every entry for which `pred` returns true, yielding them.
+    pub fn drain_filter(&mut self, mut pred: impl FnMut(LineAddr, &T) -> bool) -> Vec<(LineAddr, T)> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if pred(set[i].addr, &set[i].payload) {
+                    let e = set.swap_remove(i);
+                    out.push((e.addr, e.payload));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of resident lines in the set that `addr` maps to.
+    pub fn set_len(&self, addr: LineAddr) -> usize {
+        self.sets[self.set_index(addr)].len()
+    }
+
+    /// Iterates over the `(addr, payload)` pairs in the set `addr` maps to.
+    pub fn set_entries(&self, addr: LineAddr) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.sets[self.set_index(addr)]
+            .iter()
+            .map(|e| (e.addr, &e.payload))
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+/// Outcome of [`SetAssocCache::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Insertion<T> {
+    /// The line fit without displacing anything.
+    Fit,
+    /// The line was already resident; its old payload is returned.
+    Replaced(T),
+    /// The set was full; the LRU `(addr, payload)` was evicted.
+    Evicted(LineAddr, T),
+}
+
+impl<T> Insertion<T> {
+    /// The evicted victim, if any.
+    pub fn into_victim(self) -> Option<(LineAddr, T)> {
+        match self {
+            Insertion::Evicted(a, p) => Some((a, p)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    #[test]
+    fn basic_insert_get() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(matches!(c.insert(addr(1), "a"), Insertion::Fit));
+        assert_eq!(c.get(addr(1)), Some(&mut "a"));
+        assert_eq!(c.peek(addr(1)), Some(&"a"));
+        assert!(c.contains(addr(1)));
+        assert!(!c.contains(addr(2)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.capacity(), 8);
+    }
+
+    #[test]
+    fn replace_returns_old_payload() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(addr(0), 1);
+        match c.insert(addr(0), 2) {
+            Insertion::Replaced(old) => assert_eq!(old, 1),
+            other => panic!("expected Replaced, got {other:?}"),
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 1 set, 2 ways: lines 0, 4, 8 all map to set 0 (4 sets? no: 1 set).
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(addr(0), "zero");
+        c.insert(addr(1), "one");
+        // Touch 0 so 1 becomes LRU.
+        c.get(addr(0));
+        match c.insert(addr(2), "two") {
+            Insertion::Evicted(a, p) => {
+                assert_eq!(a, addr(1));
+                assert_eq!(p, "one");
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.contains(addr(0)));
+        assert!(c.contains(addr(2)));
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(addr(0), 0);
+        c.insert(addr(1), 1);
+        c.peek(addr(0)); // no recency update: 0 stays LRU
+        let victim = c.insert(addr(2), 2).into_victim().unwrap();
+        assert_eq!(victim.0, addr(0));
+    }
+
+    #[test]
+    fn addresses_map_to_distinct_sets() {
+        let mut c = SetAssocCache::new(4, 1);
+        for i in 0..4 {
+            assert!(matches!(c.insert(addr(i), i), Insertion::Fit));
+        }
+        assert_eq!(c.len(), 4);
+        // Line 4 conflicts with line 0 (same low bits).
+        let victim = c.insert(addr(4), 4).into_victim().unwrap();
+        assert_eq!(victim.0, addr(0));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(addr(1), 1);
+        c.insert(addr(2), 2);
+        assert_eq!(c.remove(addr(1)), Some(1));
+        assert_eq!(c.remove(addr(1)), None);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iter_and_drain_filter() {
+        let mut c = SetAssocCache::new(4, 2);
+        for i in 0..6 {
+            c.insert(addr(i), i as i32);
+        }
+        assert_eq!(c.iter().count(), 6);
+        let drained = c.drain_filter(|_, v| v % 2 == 0);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(c.len(), 3);
+        for (_, v) in c.iter() {
+            assert!(v % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn iter_mut_mutates_in_place() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(addr(0), 1);
+        for (_, v) in c.iter_mut() {
+            *v += 10;
+        }
+        assert_eq!(c.peek(addr(0)), Some(&11));
+    }
+
+    #[test]
+    fn non_power_of_two_sets_index_by_modulo() {
+        let mut c = SetAssocCache::new(3, 1);
+        c.insert(addr(0), "a");
+        c.insert(addr(1), "b");
+        c.insert(addr(2), "c");
+        assert_eq!(c.len(), 3);
+        // Line 3 maps to set 0, evicting line 0.
+        let victim = c.insert(addr(3), "d").into_victim().unwrap();
+        assert_eq!(victim.0, addr(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sets must be nonzero")]
+    fn zero_sets_panics() {
+        let _ = SetAssocCache::<()>::new(0, 1);
+    }
+
+    #[test]
+    fn peek_mut_does_not_touch_lru() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(addr(0), 0);
+        c.insert(addr(1), 1);
+        *c.peek_mut(addr(0)).unwrap() = 99;
+        let victim = c.insert(addr(2), 2).into_victim().unwrap();
+        assert_eq!(victim, (addr(0), 99));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: `SetAssocCache` against a reference model.
+//!
+//! The reference is a per-set vector ordered by recency; the cache must
+//! agree on membership, payloads, and LRU victim choice for arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+
+use picl_cache::set_assoc::Insertion;
+use picl_cache::SetAssocCache;
+use picl_types::LineAddr;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u64),
+    Insert(u64, u32),
+    Remove(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64).prop_map(Op::Get),
+        ((0u64..64), any::<u32>()).prop_map(|(a, v)| Op::Insert(a, v)),
+        (0u64..64).prop_map(Op::Remove),
+    ]
+}
+
+/// Reference: per set, most-recently-used last.
+#[derive(Debug, Default)]
+struct ModelSet {
+    entries: Vec<(u64, u32)>,
+}
+
+struct Model {
+    sets: Vec<ModelSet>,
+    ways: usize,
+}
+
+impl Model {
+    fn new(sets: usize, ways: usize) -> Self {
+        Model {
+            sets: (0..sets).map(|_| ModelSet::default()).collect(),
+            ways,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        (addr % self.sets.len() as u64) as usize
+    }
+
+    fn get(&mut self, addr: u64) -> Option<u32> {
+        let si = self.set_of(addr);
+        let set = &mut self.sets[si];
+        let pos = set.entries.iter().position(|(a, _)| *a == addr)?;
+        let e = set.entries.remove(pos);
+        let v = e.1;
+        set.entries.push(e);
+        Some(v)
+    }
+
+    fn insert(&mut self, addr: u64, value: u32) -> Option<u64> {
+        let ways = self.ways;
+        let si = self.set_of(addr);
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.entries.iter().position(|(a, _)| *a == addr) {
+            set.entries.remove(pos);
+            set.entries.push((addr, value));
+            return None;
+        }
+        let victim = if set.entries.len() == ways {
+            Some(set.entries.remove(0).0)
+        } else {
+            None
+        };
+        set.entries.push((addr, value));
+        victim
+    }
+
+    fn remove(&mut self, addr: u64) -> Option<u32> {
+        let si = self.set_of(addr);
+        let set = &mut self.sets[si];
+        let pos = set.entries.iter().position(|(a, _)| *a == addr)?;
+        Some(set.entries.remove(pos).1)
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        sets in 1usize..8,
+        ways in 1usize..5,
+    ) {
+        let mut cache = SetAssocCache::new(sets, ways);
+        let mut model = Model::new(sets, ways);
+        for op in ops {
+            match op {
+                Op::Get(a) => {
+                    let got = cache.get(LineAddr::new(a)).map(|v| *v);
+                    prop_assert_eq!(got, model.get(a), "get({})", a);
+                }
+                Op::Insert(a, v) => {
+                    let got = cache.insert(LineAddr::new(a), v);
+                    let expected_victim = model.insert(a, v);
+                    match (got, expected_victim) {
+                        (Insertion::Evicted(va, _), Some(ma)) => {
+                            prop_assert_eq!(va, LineAddr::new(ma), "victim for insert({})", a);
+                        }
+                        (Insertion::Fit, None) | (Insertion::Replaced(_), None) => {}
+                        (got, expected) => prop_assert!(
+                            false,
+                            "insert({}) diverged: cache {:?}, model victim {:?}",
+                            a, got, expected
+                        ),
+                    }
+                }
+                Op::Remove(a) => {
+                    prop_assert_eq!(cache.remove(LineAddr::new(a)), model.remove(a), "remove({})", a);
+                }
+            }
+            // Capacity invariant.
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+        // Final contents agree.
+        let mut cache_entries: Vec<(u64, u32)> =
+            cache.iter().map(|(a, v)| (a.raw(), *v)).collect();
+        let mut model_entries: Vec<(u64, u32)> = model
+            .sets
+            .iter()
+            .flat_map(|s| s.entries.iter().copied())
+            .collect();
+        cache_entries.sort_unstable();
+        model_entries.sort_unstable();
+        prop_assert_eq!(cache_entries, model_entries);
+    }
+}

@@ -1,0 +1,421 @@
+//! Subcommand implementations for the `picl` CLI.
+
+use picl_nvm::TrafficCategory;
+use picl_sim::{Machine, RunReport, SchemeKind, Simulation, WorkloadSpec};
+use picl_trace::file::{write_trace, RecordedTrace};
+use picl_trace::spec::SpecBenchmark;
+use picl_trace::TraceSource;
+use picl_types::stats::format_bytes;
+use picl_types::SystemConfig;
+
+use crate::args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: picl <command> [--flag value]...
+
+commands:
+  run         simulate one scheme on one workload and print the report
+  compare     run every scheme on one workload, normalized to Ideal
+  crash       run, pull the plug, recover, and verify consistency
+  sweep       sweep a PiCL parameter (acs-gap | buffer | bloom | epoch)
+  record      capture a synthetic workload to a trace file
+  replay      simulate from a recorded trace file
+  benchmarks  list the 29 modeled SPEC2k6-like benchmarks
+  help        show this text
+
+common flags:
+  --bench NAME          workload (see `picl benchmarks`; default bzip2)
+  --scheme NAME         ideal|journaling|shadow|frm|thynvm|picl (default picl)
+  --instructions N      instructions per core, k/m/g suffixes (default 10m)
+  --epoch N             epoch length in instructions (default 3m)
+  --acs-gap N           PiCL ACS-gap (default 3)
+  --seed N              experiment seed (default 42)
+  --footprint-scale F   scale workload footprints (default 1.0)
+";
+
+/// Runs the parsed command.
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] describing any invalid flag or value.
+pub fn dispatch(args: &Args) -> Result<(), ArgError> {
+    match args.command() {
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        "crash" => cmd_crash(args),
+        "sweep" => cmd_sweep(args),
+        "record" => cmd_record(args),
+        "replay" => cmd_replay(args),
+        "benchmarks" => cmd_benchmarks(args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command {other:?}; try `picl help`"))),
+    }
+}
+
+const COMMON_FLAGS: &[&str] = &[
+    "bench",
+    "scheme",
+    "instructions",
+    "epoch",
+    "acs-gap",
+    "seed",
+    "footprint-scale",
+];
+
+fn parse_scheme(name: &str) -> Result<SchemeKind, ArgError> {
+    SchemeKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            ArgError(format!(
+                "unknown scheme {name:?}; choose one of {}",
+                SchemeKind::ALL.map(|k| k.name().to_ascii_lowercase()).join(", ")
+            ))
+        })
+}
+
+fn parse_bench(name: &str) -> Result<SpecBenchmark, ArgError> {
+    name.parse()
+        .map_err(|_| ArgError(format!("unknown benchmark {name:?}; see `picl benchmarks`")))
+}
+
+fn config_from(args: &Args) -> Result<SystemConfig, ArgError> {
+    let mut cfg = SystemConfig::paper_single_core();
+    cfg.epoch.epoch_len_instructions = args.count_or("epoch", 3_000_000)?;
+    cfg.epoch.acs_gap = args.count_or("acs-gap", 3)?;
+    cfg.validate()
+        .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+    Ok(cfg)
+}
+
+fn print_report(report: &RunReport) {
+    println!("{report}");
+    println!(
+        "  NVM ops: {} demand, {} write-back, {} sequential-log, {} random-log",
+        report.nvm.ops_in_category(TrafficCategory::Demand),
+        report.nvm.ops_in_category(TrafficCategory::WriteBack),
+        report.nvm.ops_in_category(TrafficCategory::SequentialLogging),
+        report.nvm.ops_in_category(TrafficCategory::RandomLogging),
+    );
+}
+
+fn cmd_run(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(COMMON_FLAGS)?;
+    let report = Simulation::builder(config_from(args)?)
+        .scheme(parse_scheme(args.get_or("scheme", "picl"))?)
+        .workload(&[parse_bench(args.get_or("bench", "bzip2"))?])
+        .instructions_per_core(args.count_or("instructions", 10_000_000)?)
+        .seed(args.count_or("seed", 42)?)
+        .footprint_scale(args.float_or("footprint-scale", 1.0)?)
+        .run()
+        .map_err(|e| ArgError(e.to_string()))?;
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(COMMON_FLAGS)?;
+    let bench = parse_bench(args.get_or("bench", "bzip2"))?;
+    let instructions = args.count_or("instructions", 9_000_000)?;
+    println!(
+        "{:<12}{:>9}{:>10}{:>9}{:>13}{:>12}",
+        "scheme", "norm.", "commits", "forced", "stall-cyc", "log-bytes"
+    );
+    let mut baseline = None;
+    for kind in SchemeKind::ALL {
+        let r = Simulation::builder(config_from(args)?)
+            .scheme(kind)
+            .workload(&[bench])
+            .instructions_per_core(instructions)
+            .seed(args.count_or("seed", 42)?)
+            .footprint_scale(args.float_or("footprint-scale", 1.0)?)
+            .run()
+            .map_err(|e| ArgError(e.to_string()))?;
+        let base = *baseline.get_or_insert(r.total_cycles.raw());
+        println!(
+            "{:<12}{:>9.3}{:>10}{:>9}{:>13}{:>12}",
+            r.scheme,
+            r.total_cycles.raw() as f64 / base as f64,
+            r.commits,
+            r.forced_commits,
+            r.stall_cycles,
+            format_bytes(r.scheme_stats.log_bytes_written)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_crash(args: &Args) -> Result<(), ArgError> {
+    let mut flags = COMMON_FLAGS.to_vec();
+    flags.push("at");
+    args.expect_only(&flags)?;
+    let at = args.count_or("at", 2_000_000)?;
+    let scheme = parse_scheme(args.get_or("scheme", "picl"))?;
+    let mut machine = Simulation::builder(config_from(args)?)
+        .scheme(scheme)
+        .workload_spec(WorkloadSpec::single(parse_bench(args.get_or("bench", "gcc"))?))
+        .seed(args.count_or("seed", 42)?)
+        .footprint_scale(args.float_or("footprint-scale", 0.25)?)
+        .keep_snapshots(true)
+        .into_machine()
+        .map_err(|e| ArgError(e.to_string()))?;
+    machine.run(at);
+    println!(
+        "ran {} instructions under {}; injecting power failure…",
+        machine.instructions(),
+        scheme.name()
+    );
+    let crash = machine.crash();
+    println!(
+        "recovered to {} applying {} entries in {} cycles",
+        crash.outcome.recovered_to,
+        crash.outcome.entries_applied,
+        crash
+            .outcome
+            .completed_at
+            .saturating_since(picl_types::Cycle::ZERO)
+            .raw()
+    );
+    match crash.consistent {
+        Some(true) => println!("verification: memory matches the recovered checkpoint exactly"),
+        Some(false) => println!(
+            "verification: INCONSISTENT — {} mismatching lines (first: {:?})",
+            crash.mismatches.len(),
+            crash.mismatches.first()
+        ),
+        None => println!("verification: no golden snapshot for that epoch"),
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
+    let mut flags = COMMON_FLAGS.to_vec();
+    flags.extend(["param", "values"]);
+    args.expect_only(&flags)?;
+    let param = args.get_or("param", "acs-gap");
+    let values: Vec<u64> = args
+        .get_or("values", "0,1,3,7")
+        .split(',')
+        .map(|v| {
+            crate::args::parse_count(v)
+                .ok_or_else(|| ArgError(format!("bad sweep value {v:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let bench = parse_bench(args.get_or("bench", "gcc"))?;
+    let instructions = args.count_or("instructions", 8_000_000)?;
+
+    println!("{:<12}{:>12}{:>10}{:>12}", param, "cycles", "commits", "log-bytes");
+    for &v in &values {
+        let mut cfg = config_from(args)?;
+        match param {
+            "acs-gap" => cfg.epoch.acs_gap = v,
+            "buffer" => cfg.epoch.undo_buffer_entries = v as usize,
+            "bloom" => cfg.epoch.bloom_bits = v as usize,
+            "epoch" => cfg.epoch.epoch_len_instructions = v,
+            other => {
+                return Err(ArgError(format!(
+                    "unknown sweep parameter {other:?}; use acs-gap|buffer|bloom|epoch"
+                )))
+            }
+        }
+        cfg.validate()
+            .map_err(|e| ArgError(format!("value {v} rejected: {e}")))?;
+        let r = Simulation::builder(cfg)
+            .scheme(SchemeKind::Picl)
+            .workload(&[bench])
+            .instructions_per_core(instructions)
+            .seed(args.count_or("seed", 42)?)
+            .footprint_scale(args.float_or("footprint-scale", 1.0)?)
+            .run()
+            .map_err(|e| ArgError(e.to_string()))?;
+        println!(
+            "{:<12}{:>12}{:>10}{:>12}",
+            v,
+            r.total_cycles.raw(),
+            r.commits,
+            format_bytes(r.scheme_stats.log_bytes_written)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_record(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["bench", "out", "events", "seed", "footprint-scale"])?;
+    let bench = parse_bench(args.get_or("bench", "bzip2"))?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("record needs --out FILE".into()))?;
+    let events = args.count_or("events", 100_000)? as u32;
+    let profile = bench
+        .profile()
+        .scaled(args.float_or("footprint-scale", 1.0)?);
+    let mut source = picl_trace::spec::ProfileGen::new(profile, args.count_or("seed", 42)?);
+    let file = std::fs::File::create(out)
+        .map_err(|e| ArgError(format!("cannot create {out}: {e}")))?;
+    write_trace(std::io::BufWriter::new(file), &mut source, events)
+        .map_err(|e| ArgError(format!("write failed: {e}")))?;
+    println!("recorded {events} events of {bench} to {out}");
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["trace", "scheme", "instructions", "epoch", "acs-gap", "seed"])?;
+    let path = args
+        .get("trace")
+        .ok_or_else(|| ArgError("replay needs --trace FILE".into()))?;
+    let file = std::fs::File::open(path)
+        .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+    let trace = RecordedTrace::from_reader(std::io::BufReader::new(file), path)
+        .map_err(|e| ArgError(format!("cannot parse {path}: {e}")))?;
+    println!("replaying {} recorded events (cyclically)…", trace.len());
+    let cfg = config_from(args)?;
+    let scheme = parse_scheme(args.get_or("scheme", "picl"))?;
+    let boxed: Box<dyn TraceSource + Send> = Box::new(trace);
+    let mut machine = Machine::new(cfg.clone(), scheme.build(&cfg), vec![boxed], path, false);
+    machine.run(args.count_or("instructions", 5_000_000)?);
+    print_report(&machine.report());
+    Ok(())
+}
+
+fn cmd_benchmarks(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[])?;
+    println!(
+        "{:<12}{:>8}{:>8}{:>10}{:>7}{:>7}{:>7}{:>6}",
+        "name", "apki", "store", "footprint", "seq", "hot", "theta", "rep"
+    );
+    for b in SpecBenchmark::ALL {
+        let p = b.profile();
+        println!(
+            "{:<12}{:>8}{:>8.2}{:>10}{:>7.2}{:>7.2}{:>7.2}{:>6}",
+            p.name,
+            p.accesses_per_kilo_instr,
+            p.store_fraction,
+            format_bytes(p.footprint_bytes),
+            p.seq_fraction,
+            p.hot_fraction,
+            p.hot_theta,
+            p.seq_repeats
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_parsing_accepts_all_names() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(parse_scheme(&kind.name().to_lowercase()).unwrap(), kind);
+        }
+        assert!(parse_scheme("bogus").is_err());
+    }
+
+    #[test]
+    fn bench_parsing() {
+        assert_eq!(parse_bench("mcf").unwrap(), SpecBenchmark::Mcf);
+        assert!(parse_bench("bogus").is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        let args = Args::parse(["frobnicate"]).unwrap();
+        assert!(dispatch(&args).is_err());
+    }
+
+    #[test]
+    fn benchmarks_listing_runs() {
+        let args = Args::parse(["benchmarks"]).unwrap();
+        dispatch(&args).unwrap();
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        let args = Args::parse([
+            "run",
+            "--bench",
+            "povray",
+            "--instructions",
+            "200k",
+            "--epoch",
+            "100k",
+            "--footprint-scale",
+            "0.1",
+        ])
+        .unwrap();
+        dispatch(&args).unwrap();
+    }
+
+    #[test]
+    fn crash_command_end_to_end() {
+        let args = Args::parse([
+            "crash",
+            "--bench",
+            "gcc",
+            "--at",
+            "150k",
+            "--epoch",
+            "50k",
+            "--footprint-scale",
+            "0.05",
+        ])
+        .unwrap();
+        dispatch(&args).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_parameter() {
+        let args = Args::parse(["sweep", "--param", "bogus", "--values", "1"]).unwrap();
+        assert!(dispatch(&args).is_err());
+    }
+
+    #[test]
+    fn record_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("picl_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.picltrc");
+        let path_s = path.to_str().unwrap().to_owned();
+        dispatch(
+            &Args::parse([
+                "record",
+                "--bench",
+                "gcc",
+                "--out",
+                &path_s,
+                "--events",
+                "5k",
+                "--footprint-scale",
+                "0.05",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        dispatch(
+            &Args::parse([
+                "replay",
+                "--trace",
+                &path_s,
+                "--instructions",
+                "100k",
+                "--epoch",
+                "50k",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn invalid_config_surfaces_cleanly() {
+        let args = Args::parse(["run", "--epoch", "0"]).unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("epoch"), "{err}");
+    }
+}

@@ -1,0 +1,38 @@
+//! `picl` — command-line frontend for the PiCL reproduction.
+//!
+//! ```text
+//! picl run        --bench mcf [--scheme picl] [--instructions 10m] [--epoch 3m] ...
+//! picl compare    --bench mcf [--instructions 9m] [--epoch 3m] ...
+//! picl crash      --bench gcc [--scheme picl] [--at 500k] ...
+//! picl sweep      --param acs-gap --values 0,1,3,7 [--bench gcc] ...
+//! picl record     --bench lbm --out trace.picltrc [--events 100k]
+//! picl replay     --trace trace.picltrc [--scheme picl] ...
+//! picl benchmarks
+//! picl help
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

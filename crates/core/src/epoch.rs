@@ -1,0 +1,171 @@
+//! Epoch state tracking (Table I).
+//!
+//! The paper distinguishes three epoch states:
+//!
+//! | state | meaning |
+//! |---|---|
+//! | executing | the uncommitted epoch; its EID is `SystemEID` |
+//! | committed | finished, but not necessarily durable |
+//! | persisted | fully written to NVM; a valid recovery target |
+//!
+//! [`EpochTracker`] maintains the `SystemEID`/`PersistedEID` pair and the
+//! invariants between them: persistence never leads commit, and the live
+//! window must fit the hardware tag width (§IV-A wraparound safety).
+
+use picl_types::epoch::wraparound_safe;
+use picl_types::EpochId;
+
+/// Tracks the executing, committed, and persisted epoch identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochTracker {
+    system: EpochId,
+    persisted: EpochId,
+    eid_bits: u32,
+}
+
+impl EpochTracker {
+    /// A fresh tracker: epoch 0 is the pre-execution memory image (already
+    /// trivially persisted); epoch 1 is executing.
+    pub fn new(eid_bits: u32) -> Self {
+        EpochTracker {
+            system: EpochId(1),
+            persisted: EpochId::ZERO,
+            eid_bits,
+        }
+    }
+
+    /// The currently executing (uncommitted) epoch — `SystemEID`.
+    pub fn system(&self) -> EpochId {
+        self.system
+    }
+
+    /// The most recently committed epoch (`SystemEID − 1`), or `None` if
+    /// nothing has committed yet.
+    pub fn committed(&self) -> Option<EpochId> {
+        (self.system.raw() > 1).then(|| self.system.prev())
+    }
+
+    /// The most recent persisted (recoverable) epoch — `PersistedEID`.
+    pub fn persisted(&self) -> EpochId {
+        self.persisted
+    }
+
+    /// Commits the executing epoch; a new epoch begins executing.
+    /// Returns the epoch that just committed.
+    pub fn commit(&mut self) -> EpochId {
+        let committed = self.system;
+        self.system = self.system.next();
+        committed
+    }
+
+    /// Marks `epoch` persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is not committed yet, regresses persistence, or
+    /// the resulting live window would overflow the EID tag width.
+    pub fn persist(&mut self, epoch: EpochId) {
+        assert!(epoch < self.system, "cannot persist the executing epoch {epoch}");
+        assert!(
+            epoch >= self.persisted,
+            "persistence cannot regress from {} to {epoch}",
+            self.persisted
+        );
+        self.persisted = epoch;
+        assert!(
+            wraparound_safe(self.persisted, self.system, self.eid_bits),
+            "live window {}..{} overflows {}-bit EID tags",
+            self.persisted,
+            self.system,
+            self.eid_bits
+        );
+    }
+
+    /// Number of committed-but-unpersisted epochs in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.system.raw() - 1 - self.persisted.raw()
+    }
+
+    /// Resets to post-recovery state: execution resumes in the epoch after
+    /// the persisted one.
+    pub fn resume_after_recovery(&mut self) {
+        self.system = self.persisted.next();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state() {
+        let t = EpochTracker::new(4);
+        assert_eq!(t.system(), EpochId(1));
+        assert_eq!(t.persisted(), EpochId::ZERO);
+        assert_eq!(t.committed(), None);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn commit_advances_system() {
+        let mut t = EpochTracker::new(4);
+        assert_eq!(t.commit(), EpochId(1));
+        assert_eq!(t.system(), EpochId(2));
+        assert_eq!(t.committed(), Some(EpochId(1)));
+        assert_eq!(t.in_flight(), 1);
+    }
+
+    #[test]
+    fn persist_catches_up() {
+        let mut t = EpochTracker::new(4);
+        for _ in 0..5 {
+            t.commit();
+        }
+        assert_eq!(t.in_flight(), 5);
+        t.persist(EpochId(2));
+        assert_eq!(t.persisted(), EpochId(2));
+        assert_eq!(t.in_flight(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot persist the executing epoch")]
+    fn persisting_executing_epoch_panics() {
+        let mut t = EpochTracker::new(4);
+        t.persist(EpochId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot regress")]
+    fn persistence_regression_panics() {
+        let mut t = EpochTracker::new(4);
+        for _ in 0..4 {
+            t.commit();
+        }
+        t.persist(EpochId(3));
+        t.persist(EpochId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn window_overflow_panics() {
+        let mut t = EpochTracker::new(2); // window of 4
+        for _ in 0..6 {
+            t.commit();
+        }
+        // system = 7, persisted = 0: window 7 >= 4 — persisting anything
+        // that leaves a window >= 4 still panics.
+        t.persist(EpochId(1));
+    }
+
+    #[test]
+    fn resume_after_recovery_rewinds_system() {
+        let mut t = EpochTracker::new(8);
+        for _ in 0..10 {
+            t.commit();
+        }
+        t.persist(EpochId(6));
+        t.resume_after_recovery();
+        assert_eq!(t.system(), EpochId(7));
+        assert_eq!(t.in_flight(), 0);
+    }
+}

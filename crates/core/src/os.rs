@@ -1,0 +1,202 @@
+//! OS responsibilities (§IV-B, §IV-C, §V-A).
+//!
+//! PiCL keeps the hardware simple by delegating bookkeeping to the OS:
+//!
+//! * **Log allocation** ([`LogAllocator`]) — the OS hands the hardware a
+//!   block of NVM (e.g., 128 MB) for the undo log and is interrupted to
+//!   allocate more when it runs low. Allocations need not be contiguous.
+//! * **Epoch-boundary handler** ([`boundary_handler_line`]) — a periodic,
+//!   user-transparent timer interrupt that stores the register file and
+//!   arithmetic flags of each core to a fixed per-core cacheable address,
+//!   so architectural state is part of every checkpoint.
+//! * **I/O consistency** ([`IoBuffer`]) — I/O reads may proceed
+//!   immediately, but I/O *writes* must be buffered until the epoch they
+//!   happened in has fully persisted (§IV-C); PiCL's deferred persistence
+//!   lengthens this delay to `epoch length × ACS-gap`, and a bulk ACS can
+//!   release pending I/O early.
+
+use std::collections::VecDeque;
+
+use picl_types::{CoreId, EpochId, LineAddr};
+
+/// Line index of the OS region holding per-core register-file checkpoints;
+/// disjoint from workload footprints and the log region.
+pub const OS_REGION_BASE_LINE: u64 = 1 << 39;
+
+/// The fixed cacheable line to which `core`'s epoch-boundary handler stores
+/// its register-file checkpoint.
+pub fn boundary_handler_line(core: CoreId) -> LineAddr {
+    LineAddr::new(OS_REGION_BASE_LINE + core.index() as u64)
+}
+
+/// OS-side undo-log memory management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogAllocator {
+    allocated_bytes: u64,
+    chunk_bytes: u64,
+    allocations: u64,
+}
+
+impl LogAllocator {
+    /// Creates an allocator that grows the log region in `chunk_bytes`
+    /// increments (the paper suggests e.g. 128 MB blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero.
+    pub fn new(chunk_bytes: u64) -> Self {
+        assert!(chunk_bytes > 0, "chunk size must be nonzero");
+        LogAllocator {
+            allocated_bytes: chunk_bytes,
+            chunk_bytes,
+            allocations: 1,
+        }
+    }
+
+    /// The paper's suggested 128 MB initial allocation.
+    pub fn paper_default() -> Self {
+        LogAllocator::new(128 * 1024 * 1024)
+    }
+
+    /// Ensures capacity for `live_bytes` of log, interrupting the OS for
+    /// more chunks as needed. Returns the number of interrupts taken.
+    pub fn ensure(&mut self, live_bytes: u64) -> u64 {
+        let mut interrupts = 0;
+        while self.allocated_bytes < live_bytes {
+            self.allocated_bytes += self.chunk_bytes;
+            self.allocations += 1;
+            interrupts += 1;
+        }
+        interrupts
+    }
+
+    /// Total bytes currently allocated to the log.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// Number of allocation requests serviced (including the initial one).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+}
+
+impl Default for LogAllocator {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A buffered I/O write awaiting epoch persistence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingIo {
+    /// Caller-assigned identifier of the I/O operation.
+    pub id: u64,
+    /// The epoch during which the write was issued.
+    pub epoch: EpochId,
+}
+
+/// Delays externally visible writes until their epoch persists.
+#[derive(Debug, Clone, Default)]
+pub struct IoBuffer {
+    pending: VecDeque<PendingIo>,
+    released: u64,
+}
+
+impl IoBuffer {
+    /// An empty I/O buffer.
+    pub fn new() -> Self {
+        IoBuffer::default()
+    }
+
+    /// Buffers an I/O write issued during `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if epochs are submitted out of order.
+    pub fn submit(&mut self, id: u64, epoch: EpochId) {
+        if let Some(last) = self.pending.back() {
+            assert!(epoch >= last.epoch, "I/O writes must be submitted in epoch order");
+        }
+        self.pending.push_back(PendingIo { id, epoch });
+    }
+
+    /// Releases every write whose epoch is now persisted, returning them in
+    /// submission order.
+    pub fn release_persisted(&mut self, persisted: EpochId) -> Vec<PendingIo> {
+        let mut out = Vec::new();
+        while let Some(front) = self.pending.front() {
+            if front.epoch <= persisted {
+                out.push(*front);
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.released += out.len() as u64;
+        out
+    }
+
+    /// Writes still held back.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total writes released so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_lines_are_per_core_and_disjoint() {
+        let a = boundary_handler_line(CoreId(0));
+        let b = boundary_handler_line(CoreId(7));
+        assert_ne!(a, b);
+        assert_eq!(b.raw() - a.raw(), 7);
+    }
+
+    #[test]
+    fn allocator_grows_in_chunks() {
+        let mut a = LogAllocator::new(100);
+        assert_eq!(a.allocated_bytes(), 100);
+        assert_eq!(a.ensure(50), 0);
+        assert_eq!(a.ensure(250), 2);
+        assert_eq!(a.allocated_bytes(), 300);
+        assert_eq!(a.allocations(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_chunk_panics() {
+        let _ = LogAllocator::new(0);
+    }
+
+    #[test]
+    fn io_released_only_when_persisted() {
+        let mut io = IoBuffer::new();
+        io.submit(1, EpochId(1));
+        io.submit(2, EpochId(1));
+        io.submit(3, EpochId(2));
+        assert_eq!(io.pending(), 3);
+        let r = io.release_persisted(EpochId(1));
+        assert_eq!(r.iter().map(|p| p.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(io.pending(), 1);
+        assert!(io.release_persisted(EpochId(1)).is_empty());
+        let r2 = io.release_persisted(EpochId(5));
+        assert_eq!(r2[0].id, 3);
+        assert_eq!(io.released(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch order")]
+    fn out_of_order_io_panics() {
+        let mut io = IoBuffer::new();
+        io.submit(1, EpochId(3));
+        io.submit(2, EpochId(2));
+    }
+}

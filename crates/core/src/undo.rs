@@ -1,0 +1,92 @@
+//! Multi-undo log entries (Fig. 5a).
+
+use picl_types::{EpochId, LineAddr};
+
+/// On-NVM size of one undo entry in bytes: 64 B of line data plus packed
+/// tag/EID metadata; 32 entries fill the 2 KB undo buffer (§IV-A).
+pub const ENTRY_BYTES: u64 = 64;
+
+/// One undo entry: the pre-image of a cache line together with the epoch
+/// range in which that pre-image was the line's live value.
+///
+/// `valid_from` is the epoch the value was created in (or, for lines that
+/// were clean when overwritten, conservatively the `PersistedEID` at entry
+/// creation); `valid_till` is the epoch whose store overwrote it. The entry
+/// must be applied when recovering to any epoch `P` with
+/// `valid_from <= P < valid_till` — see [`UndoEntry::covers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndoEntry {
+    /// The line whose pre-image this entry holds.
+    pub addr: LineAddr,
+    /// The pre-image data token.
+    pub value: u64,
+    /// First epoch in which `value` was the line's live value (ValidFrom).
+    pub valid_from: EpochId,
+    /// The epoch whose store overwrote `value` (ValidTill).
+    pub valid_till: EpochId,
+}
+
+impl UndoEntry {
+    /// Creates an entry, checking the range is well-formed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `valid_from >= valid_till`.
+    pub fn new(addr: LineAddr, value: u64, valid_from: EpochId, valid_till: EpochId) -> Self {
+        assert!(
+            valid_from < valid_till,
+            "undo validity range empty: {valid_from}..{valid_till}"
+        );
+        UndoEntry {
+            addr,
+            value,
+            valid_from,
+            valid_till,
+        }
+    }
+
+    /// Whether this entry must be applied when recovering to `target`
+    /// (§IV-B: entries "with ValidFrom and ValidTill range that covers this
+    /// EID").
+    pub fn covers(&self, target: EpochId) -> bool {
+        self.valid_from <= target && target < self.valid_till
+    }
+}
+
+impl std::fmt::Display for UndoEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "undo{{{} = {:#x} valid {}..{}}}",
+            self.addr, self.value, self.valid_from, self.valid_till
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_is_half_open() {
+        // The paper's example: undo for C tagged <1,3> is used when
+        // reverting to commit1 or commit2 but not commit3.
+        let e = UndoEntry::new(LineAddr::new(1), 5, EpochId(1), EpochId(3));
+        assert!(e.covers(EpochId(1)));
+        assert!(e.covers(EpochId(2)));
+        assert!(!e.covers(EpochId(3)));
+        assert!(!e.covers(EpochId::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_range_panics() {
+        let _ = UndoEntry::new(LineAddr::new(0), 0, EpochId(2), EpochId(2));
+    }
+
+    #[test]
+    fn display_format() {
+        let e = UndoEntry::new(LineAddr::new(2), 0xff, EpochId(1), EpochId(4));
+        assert_eq!(e.to_string(), "undo{L0x2 = 0xff valid E1..E4}");
+    }
+}

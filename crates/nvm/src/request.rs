@@ -1,0 +1,249 @@
+//! Memory requests and the traffic-classification vocabulary.
+//!
+//! Fig. 12 of the paper splits NVM operations into three groups —
+//! *sequential logging*, *random logging*, and *write-backs* — and notes
+//! that "reading a 4 KB memory block counts as one operation". Each request
+//! therefore carries an [`AccessClass`] describing *why* it was issued, and
+//! [`AccessClass::category`] maps classes onto the paper's three groups
+//! (plus demand reads, which are common to all schemes and excluded from the
+//! figure).
+
+use picl_types::{LineAddr, LINE_BYTES};
+
+/// Read or write, as seen by the memory device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Data flows from the device to the chip.
+    Read,
+    /// Data flows from the chip to the device.
+    Write,
+}
+
+/// Why a memory request was issued; determines Fig. 12 classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// A demand miss fetching data for a core (all schemes, identical
+    /// traffic; excluded from Fig. 12's extra-operation accounting).
+    DemandRead,
+    /// An ordinary dirty-line write-back to the canonical address.
+    WriteBack,
+    /// PiCL's in-place write-back issued by the asynchronous cache scan.
+    AcsWrite,
+    /// PiCL's bulk sequential flush of the on-chip undo buffer (2 KB).
+    UndoLogBulk,
+    /// Classic undo logging's pre-image *read* of the canonical address
+    /// (the "read" of read-log-modify; FRM).
+    UndoPreimageRead,
+    /// Classic undo logging's log append, written without coalescing (FRM).
+    UndoLogRandom,
+    /// A redo-buffer write at cache-line granularity (Journaling, ThyNVM
+    /// block-grain).
+    RedoLogWrite,
+    /// A redo-buffer *read* servicing a demand miss whose data lives in the
+    /// redo buffer rather than the canonical address.
+    RedoForwardRead,
+    /// Reading a redo entry back during the commit apply phase.
+    RedoApplyRead,
+    /// Writing a redo entry to its canonical address during commit.
+    RedoApplyWrite,
+    /// A page-granularity copy-on-write performed inside the memory module
+    /// (Shadow Paging; §VI-A optimization 1).
+    CowPageCopy,
+    /// A page-granularity write-back of a shadow page at commit.
+    ShadowPageWriteBack,
+    /// Bulk sequential log scan during crash recovery.
+    RecoveryLogRead,
+    /// An in-place patch write applied by crash recovery.
+    RecoveryPatchWrite,
+    /// OS epoch-boundary handler stores (register-file checkpoint, §V-A).
+    OsCheckpointWrite,
+}
+
+impl AccessClass {
+    /// The paper's Fig. 12 grouping for this class.
+    pub fn category(self) -> TrafficCategory {
+        use AccessClass::*;
+        match self {
+            DemandRead | RedoForwardRead => TrafficCategory::Demand,
+            WriteBack => TrafficCategory::WriteBack,
+            UndoLogBulk | CowPageCopy | ShadowPageWriteBack | RecoveryLogRead => {
+                TrafficCategory::SequentialLogging
+            }
+            AcsWrite | UndoPreimageRead | UndoLogRandom | RedoLogWrite | RedoApplyRead
+            | RedoApplyWrite | RecoveryPatchWrite | OsCheckpointWrite => {
+                TrafficCategory::RandomLogging
+            }
+        }
+    }
+
+    /// All classes, for exhaustive statistics tables.
+    pub fn all() -> [AccessClass; 15] {
+        use AccessClass::*;
+        [
+            DemandRead,
+            WriteBack,
+            AcsWrite,
+            UndoLogBulk,
+            UndoPreimageRead,
+            UndoLogRandom,
+            RedoLogWrite,
+            RedoForwardRead,
+            RedoApplyRead,
+            RedoApplyWrite,
+            CowPageCopy,
+            ShadowPageWriteBack,
+            RecoveryLogRead,
+            RecoveryPatchWrite,
+            OsCheckpointWrite,
+        ]
+    }
+
+    /// Stable index of this class into dense statistics arrays.
+    pub(crate) fn index(self) -> usize {
+        Self::all().iter().position(|c| *c == self).expect("class listed in all()")
+    }
+}
+
+impl std::fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            AccessClass::DemandRead => "demand-read",
+            AccessClass::WriteBack => "write-back",
+            AccessClass::AcsWrite => "acs-write",
+            AccessClass::UndoLogBulk => "undo-log-bulk",
+            AccessClass::UndoPreimageRead => "undo-preimage-read",
+            AccessClass::UndoLogRandom => "undo-log-random",
+            AccessClass::RedoLogWrite => "redo-log-write",
+            AccessClass::RedoForwardRead => "redo-forward-read",
+            AccessClass::RedoApplyRead => "redo-apply-read",
+            AccessClass::RedoApplyWrite => "redo-apply-write",
+            AccessClass::CowPageCopy => "cow-page-copy",
+            AccessClass::ShadowPageWriteBack => "shadow-page-wb",
+            AccessClass::RecoveryLogRead => "recovery-log-read",
+            AccessClass::RecoveryPatchWrite => "recovery-patch-write",
+            AccessClass::OsCheckpointWrite => "os-checkpoint-write",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Fig. 12's traffic groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficCategory {
+    /// Demand fetches — identical in every scheme, not "extra" traffic.
+    Demand,
+    /// Ordinary dirty write-backs.
+    WriteBack,
+    /// Accesses that fill the row buffer (bulk log writes, page copies).
+    SequentialLogging,
+    /// Extra cache-line-granularity reads/writes with poor locality.
+    RandomLogging,
+}
+
+impl std::fmt::Display for TrafficCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            TrafficCategory::Demand => "demand",
+            TrafficCategory::WriteBack => "write-back",
+            TrafficCategory::SequentialLogging => "sequential-logging",
+            TrafficCategory::RandomLogging => "random-logging",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single request presented to the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// First line touched by the request.
+    pub line: LineAddr,
+    /// Transfer size in bytes (64 for line requests, up to a row for bulk).
+    pub bytes: u64,
+    /// Direction.
+    pub kind: RequestKind,
+    /// Why the request was issued.
+    pub class: AccessClass,
+}
+
+impl MemRequest {
+    /// A 64-byte read of one line.
+    pub fn line_read(line: LineAddr, class: AccessClass) -> Self {
+        MemRequest {
+            line,
+            bytes: LINE_BYTES,
+            kind: RequestKind::Read,
+            class,
+        }
+    }
+
+    /// A 64-byte write of one line.
+    pub fn line_write(line: LineAddr, class: AccessClass) -> Self {
+        MemRequest {
+            line,
+            bytes: LINE_BYTES,
+            kind: RequestKind::Write,
+            class,
+        }
+    }
+
+    /// A sequential bulk write of `bytes` starting at `base`.
+    pub fn bulk_write(base: LineAddr, bytes: u64, class: AccessClass) -> Self {
+        MemRequest {
+            line: base,
+            bytes,
+            kind: RequestKind::Write,
+            class,
+        }
+    }
+
+    /// A sequential bulk read of `bytes` starting at `base`.
+    pub fn bulk_read(base: LineAddr, bytes: u64, class: AccessClass) -> Self {
+        MemRequest {
+            line: base,
+            bytes,
+            kind: RequestKind::Read,
+            class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_mapping_matches_figure_12() {
+        assert_eq!(AccessClass::UndoLogBulk.category(), TrafficCategory::SequentialLogging);
+        assert_eq!(AccessClass::CowPageCopy.category(), TrafficCategory::SequentialLogging);
+        assert_eq!(AccessClass::UndoPreimageRead.category(), TrafficCategory::RandomLogging);
+        assert_eq!(AccessClass::RedoLogWrite.category(), TrafficCategory::RandomLogging);
+        assert_eq!(AccessClass::AcsWrite.category(), TrafficCategory::RandomLogging);
+        assert_eq!(AccessClass::WriteBack.category(), TrafficCategory::WriteBack);
+        assert_eq!(AccessClass::DemandRead.category(), TrafficCategory::Demand);
+    }
+
+    #[test]
+    fn all_classes_have_unique_indices() {
+        let all = AccessClass::all();
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let names: std::collections::HashSet<String> =
+            AccessClass::all().iter().map(|c| c.to_string()).collect();
+        assert_eq!(names.len(), AccessClass::all().len());
+    }
+
+    #[test]
+    fn request_constructors() {
+        let r = MemRequest::line_read(LineAddr::new(3), AccessClass::DemandRead);
+        assert_eq!(r.bytes, 64);
+        assert_eq!(r.kind, RequestKind::Read);
+        let w = MemRequest::bulk_write(LineAddr::new(0), 2048, AccessClass::UndoLogBulk);
+        assert_eq!(w.bytes, 2048);
+        assert_eq!(w.kind, RequestKind::Write);
+    }
+}

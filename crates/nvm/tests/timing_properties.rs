@@ -1,0 +1,113 @@
+//! Property tests for the NVM timing model: causality, occupancy, and
+//! accounting invariants over arbitrary request streams.
+
+use proptest::prelude::*;
+
+use picl_nvm::{AccessClass, MemRequest, NvmTiming};
+use picl_types::time::ClockDomain;
+use picl_types::{config::NvmConfig, Cycle, LineAddr};
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    line: u64,
+    write: bool,
+    bulk: bool,
+    gap: u64,
+}
+
+fn req_strategy() -> impl Strategy<Value = ReqSpec> {
+    ((0u64..4096), any::<bool>(), any::<bool>(), (0u64..2000)).prop_map(|(line, write, bulk, gap)| {
+        ReqSpec {
+            line,
+            write,
+            bulk,
+            gap,
+        }
+    })
+}
+
+fn build(spec: &ReqSpec) -> MemRequest {
+    match (spec.write, spec.bulk) {
+        (true, false) => MemRequest::line_write(LineAddr::new(spec.line), AccessClass::WriteBack),
+        (false, false) => MemRequest::line_read(LineAddr::new(spec.line), AccessClass::DemandRead),
+        (true, true) => {
+            MemRequest::bulk_write(LineAddr::new(spec.line), 2048, AccessClass::UndoLogBulk)
+        }
+        (false, true) => {
+            MemRequest::bulk_read(LineAddr::new(spec.line), 2048, AccessClass::RecoveryLogRead)
+        }
+    }
+}
+
+proptest! {
+    /// Completion never precedes issue, per-device completion times are
+    /// nondecreasing for FCFS issue order on the shared link, and the
+    /// statistics account one operation per request.
+    #[test]
+    fn causality_and_accounting(reqs in proptest::collection::vec(req_strategy(), 1..200)) {
+        let mut t = NvmTiming::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000));
+        let mut now = Cycle::ZERO;
+        let mut last_done = Cycle::ZERO;
+        for spec in &reqs {
+            now += spec.gap;
+            let req = build(spec);
+            let done = t.access(now, &req);
+            prop_assert!(done > now, "completion {done} not after issue {now}");
+            // The shared link serializes all transfers: completions are
+            // globally nondecreasing in issue order.
+            prop_assert!(done >= last_done, "FCFS link order violated");
+            last_done = done;
+        }
+        prop_assert_eq!(t.stats().total_ops(), reqs.len() as u64);
+        prop_assert_eq!(
+            t.stats().row_hits.get() + t.stats().row_misses.get() >= reqs.len() as u64,
+            true
+        );
+        prop_assert!(t.drained_at() >= last_done.saturating_since(Cycle(0)));
+    }
+
+    /// Closed-page policy (the paper's controller): no request ever hits.
+    #[test]
+    fn closed_page_never_hits(reqs in proptest::collection::vec(req_strategy(), 1..100)) {
+        let mut t = NvmTiming::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000));
+        let mut now = Cycle::ZERO;
+        for spec in &reqs {
+            now += spec.gap;
+            now = t.access(now, &build(spec));
+        }
+        prop_assert_eq!(t.stats().row_hits.get(), 0);
+    }
+
+    /// A bulk transfer is never slower than the same bytes issued as
+    /// back-to-back line requests (coalescing can only help).
+    #[test]
+    fn bulk_beats_scattered(start_line in 0u64..1024, write in any::<bool>()) {
+        let clock = ClockDomain::from_mhz(2000);
+        let mut bulk = NvmTiming::new(NvmConfig::paper_nvm(), clock);
+        let mut scattered = NvmTiming::new(NvmConfig::paper_nvm(), clock);
+        let class = if write { AccessClass::UndoLogBulk } else { AccessClass::RecoveryLogRead };
+
+        let done_bulk = bulk.access(
+            Cycle(0),
+            &if write {
+                MemRequest::bulk_write(LineAddr::new(start_line), 2048, class)
+            } else {
+                MemRequest::bulk_read(LineAddr::new(start_line), 2048, class)
+            },
+        );
+        let mut done_scattered = Cycle::ZERO;
+        for i in 0..32u64 {
+            let line = LineAddr::new(start_line + i);
+            let req = if write {
+                MemRequest::line_write(line, AccessClass::UndoLogRandom)
+            } else {
+                MemRequest::line_read(line, AccessClass::DemandRead)
+            };
+            done_scattered = done_scattered.max(scattered.access(Cycle(0), &req));
+        }
+        prop_assert!(
+            done_bulk <= done_scattered,
+            "bulk {done_bulk} slower than scattered {done_scattered}"
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! The core simulation loop.
+//!
+//! A [`Machine`] owns the cache hierarchy, the NVM, one consistency scheme,
+//! and one trace source per core. Cores advance on private clocks; the
+//! laggard (smallest clock) executes next, which keeps shared-resource
+//! contention causally ordered without a global event queue.
+//!
+//! Beyond timing, the machine maintains a *logical* memory image — the
+//! values all committed and uncommitted stores have produced so far — and
+//! snapshots it at every epoch commit. Crash injection invalidates all
+//! volatile state, runs the scheme's recovery, and compares NVM contents
+//! against the golden snapshot of the epoch the scheme claims to have
+//! recovered — the end-to-end crash-consistency check the paper's FPGA
+//! prototype performed with micro-benchmarks (§V).
+
+
+use picl::os::boundary_handler_line;
+use picl_cache::hierarchy::AccessType;
+use picl_cache::{ConsistencyScheme, Hierarchy};
+use picl_nvm::{MainMemory, Nvm};
+use picl_trace::{AccessKind, TraceSource};
+use picl_types::{CoreId, Cycle, EpochId, LineAddr, SystemConfig};
+
+use crate::report::RunReport;
+
+/// Lines at or above this index belong to scheme-internal regions (undo
+/// log, redo buffers, shadow pages) and are excluded from consistency
+/// comparisons.
+const WORKLOAD_LINE_LIMIT: u64 = 1 << 40;
+
+struct Core {
+    clock: Cycle,
+    instructions: u64,
+    trace: Box<dyn TraceSource + Send>,
+}
+
+/// Result of an injected crash and recovery.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// What the scheme recovered (target epoch, entries applied, time).
+    pub outcome: picl_cache::RecoveryOutcome,
+    /// Whether post-recovery NVM contents exactly match the golden
+    /// snapshot of the recovered epoch; `None` if snapshots were disabled
+    /// or the epoch was never snapshotted.
+    pub consistent: Option<bool>,
+    /// Mismatching lines (up to 16, for diagnostics).
+    pub mismatches: Vec<LineAddr>,
+}
+
+/// A configured, running simulation.
+pub struct Machine {
+    cfg: SystemConfig,
+    hier: Hierarchy,
+    mem: Nvm,
+    scheme: Box<dyn ConsistencyScheme + Send>,
+    cores: Vec<Core>,
+    logical: MainMemory,
+    snapshots: picl_types::hash::FastMap<EpochId, MainMemory>,
+    keep_snapshots: bool,
+    token: u64,
+    instr_since_boundary: u64,
+    workload_label: String,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("scheme", &self.scheme.name())
+            .field("workload", &self.workload_label)
+            .field("cores", &self.cores.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine: one trace source per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the trace count does not
+    /// match `cfg.cores`.
+    pub fn new(
+        cfg: SystemConfig,
+        scheme: Box<dyn ConsistencyScheme + Send>,
+        traces: Vec<Box<dyn TraceSource + Send>>,
+        workload_label: impl Into<String>,
+        keep_snapshots: bool,
+    ) -> Self {
+        cfg.validate().expect("valid system configuration");
+        assert_eq!(traces.len(), cfg.cores, "one trace per core required");
+        let hier = Hierarchy::new(&cfg);
+        let mut snapshots = picl_types::hash::FastMap::default();
+        // Epoch 0 is the pre-execution image: all lines initial.
+        snapshots.insert(EpochId::ZERO, MainMemory::new());
+        Machine {
+            mem: Nvm::new(cfg.nvm, cfg.clock()),
+            hier,
+            scheme,
+            cores: traces
+                .into_iter()
+                .map(|trace| Core {
+                    clock: Cycle::ZERO,
+                    instructions: 0,
+                    trace,
+                })
+                .collect(),
+            logical: MainMemory::new(),
+            snapshots,
+            keep_snapshots,
+            token: 0,
+            instr_since_boundary: 0,
+            workload_label: workload_label.into(),
+            cfg,
+        }
+    }
+
+    /// The scheme under test.
+    pub fn scheme(&self) -> &dyn ConsistencyScheme {
+        self.scheme.as_ref()
+    }
+
+    /// The memory system.
+    pub fn memory(&self) -> &Nvm {
+        &self.mem
+    }
+
+    /// The logical (all-stores-applied) memory image.
+    pub fn logical_memory(&self) -> &MainMemory {
+        &self.logical
+    }
+
+    /// The golden snapshot of `epoch`, if one was taken.
+    pub fn snapshot(&self, epoch: EpochId) -> Option<&MainMemory> {
+        self.snapshots.get(&epoch)
+    }
+
+    /// The value of `line` if it is resident anywhere in the hierarchy.
+    pub fn hierarchy_cached_value(&self, line: LineAddr) -> Option<u64> {
+        self.hier.cached_value(line)
+    }
+
+    /// Total instructions retired across all cores.
+    pub fn instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Wall-clock time: the furthest core clock.
+    pub fn now(&self) -> Cycle {
+        self.cores
+            .iter()
+            .map(|c| c.clock)
+            .fold(Cycle::ZERO, Cycle::max)
+    }
+
+    fn next_token(&mut self) -> u64 {
+        self.token += 1;
+        self.token
+    }
+
+    /// Executes one trace event on the core with the smallest clock among
+    /// those with fewer than `budget_per_core` instructions. Returns
+    /// `false` when every core has reached the budget.
+    pub fn step(&mut self, budget_per_core: u64) -> bool {
+        let Some(idx) = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.instructions < budget_per_core)
+            .min_by_key(|(_, c)| c.clock)
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+
+        let ev = self.cores[idx].trace.next_event();
+        let core = &mut self.cores[idx];
+        core.clock += u64::from(ev.gap_instructions);
+        core.instructions += ev.instructions();
+        self.instr_since_boundary += ev.instructions();
+        let issue_at = core.clock;
+
+        let line = ev.addr.line();
+        let access = match ev.kind {
+            AccessKind::Load => AccessType::Load,
+            AccessKind::Store => {
+                let token = self.next_token();
+                self.logical.write_line(line, token);
+                AccessType::Store { new_value: token }
+            }
+        };
+        let result = self.hier.access(
+            CoreId(idx),
+            line,
+            access,
+            self.scheme.as_mut(),
+            &mut self.mem,
+            issue_at,
+        );
+        let core = &mut self.cores[idx];
+        match ev.kind {
+            // Loads block the in-order core until data returns.
+            AccessKind::Load => core.clock = result.data_ready.max(core.clock + 1u64),
+            // Stores retire through the store buffer (§IV-A).
+            AccessKind::Store => core.clock += 1u64,
+        }
+
+        // The epoch timer is per-core work (a wall-clock proxy): with N
+        // cores running concurrently, N x epoch_len instructions retire
+        // per epoch interval.
+        let epoch_budget = self.cfg.epoch.epoch_len_instructions * self.cores.len() as u64;
+        if self.scheme.wants_early_commit() || self.instr_since_boundary >= epoch_budget {
+            self.epoch_boundary();
+        }
+        true
+    }
+
+    /// Forces an epoch boundary now (the OS timer interrupt).
+    pub fn epoch_boundary(&mut self) {
+        // The OS boundary handler checkpoints each core's register file
+        // with ordinary cacheable stores (§V-A) before the commit.
+        for i in 0..self.cores.len() {
+            let line = boundary_handler_line(CoreId(i));
+            let token = self.next_token();
+            self.logical.write_line(line, token);
+            let at = self.cores[i].clock;
+            self.hier.access(
+                CoreId(i),
+                line,
+                AccessType::Store { new_value: token },
+                self.scheme.as_mut(),
+                &mut self.mem,
+                at,
+            );
+            self.cores[i].clock += 1u64;
+        }
+
+        let now = self.now();
+        let outcome = self.scheme.on_epoch_boundary(&mut self.hier, &mut self.mem, now);
+        if let Some(stall) = outcome.stall_until {
+            // Stop-the-world: every core resumes after the flush.
+            for core in &mut self.cores {
+                core.clock = core.clock.max(stall);
+            }
+        }
+        if self.keep_snapshots {
+            self.snapshots.insert(outcome.committed, self.logical.snapshot());
+        }
+        self.instr_since_boundary = 0;
+    }
+
+    /// Runs until every core has retired at least `budget_per_core`
+    /// instructions.
+    pub fn run(&mut self, budget_per_core: u64) {
+        while self.step(budget_per_core) {}
+    }
+
+    /// Injects a power failure: all volatile state (caches, on-chip
+    /// buffers) is lost, the scheme recovers main memory from durable
+    /// state, and — when snapshots are enabled — the result is compared
+    /// line-for-line against the golden image of the recovered epoch.
+    pub fn crash(&mut self) -> CrashReport {
+        let now = self.now();
+        self.hier.invalidate_all();
+        let outcome = self.scheme.crash_recover(&mut self.mem, now);
+
+        let (consistent, mismatches) = match self.snapshots.get(&outcome.recovered_to) {
+            Some(golden) => {
+                let diffs: Vec<LineAddr> = golden
+                    .diff(self.mem.state())
+                    .into_iter()
+                    .filter(|l| l.raw() < WORKLOAD_LINE_LIMIT)
+                    .collect();
+                (Some(diffs.is_empty()), diffs.into_iter().take(16).collect())
+            }
+            None => (None, Vec::new()),
+        };
+        // Execution resumes from the recovered checkpoint: the logical
+        // reference image rewinds to that snapshot, and snapshots of the
+        // rolled-back timeline are dropped (their epoch numbers will be
+        // reused by the new timeline).
+        if let Some(golden) = self.snapshots.get(&outcome.recovered_to) {
+            self.logical = golden.clone();
+        }
+        self.snapshots.retain(|e, _| *e <= outcome.recovered_to);
+        self.instr_since_boundary = 0;
+        CrashReport {
+            outcome,
+            consistent,
+            mismatches,
+        }
+    }
+
+    /// Produces the run report.
+    pub fn report(&self) -> RunReport {
+        let stats = self.scheme.stats();
+        RunReport {
+            scheme: self.scheme.name(),
+            workload: self.workload_label.clone(),
+            cores: self.cores.len(),
+            instructions: self.instructions(),
+            total_cycles: self.now(),
+            commits: stats.commits,
+            forced_commits: stats.forced_commits,
+            stall_cycles: stats.stall_cycles,
+            scheme_stats: stats,
+            nvm: self.mem.stats().clone(),
+            hierarchy: self.hier.stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::SchemeKind;
+    use picl_trace::event::ScriptedSource;
+    use picl_trace::TraceEvent;
+    use picl_types::Address;
+
+    fn tiny_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::paper_single_core();
+        cfg.epoch.epoch_len_instructions = 1000;
+        cfg
+    }
+
+    fn script() -> Box<dyn TraceSource + Send> {
+        let events: Vec<TraceEvent> = (0..64)
+            .map(|i| TraceEvent {
+                gap_instructions: 3,
+                kind: if i % 3 == 0 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
+                addr: Address::new(i * 64),
+            })
+            .collect();
+        Box::new(ScriptedSource::new("script", events))
+    }
+
+    fn machine(kind: SchemeKind) -> Machine {
+        let cfg = tiny_cfg();
+        let scheme = kind.build(&cfg);
+        Machine::new(cfg, scheme, vec![script()], "script", true)
+    }
+
+    #[test]
+    fn run_retires_budget() {
+        let mut m = machine(SchemeKind::Picl);
+        m.run(5000);
+        assert!(m.instructions() >= 5000);
+        assert!(m.now() > Cycle::ZERO);
+        let r = m.report();
+        assert_eq!(r.cores, 1);
+        assert!(r.commits >= 4, "expected ~5 epochs, got {}", r.commits);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = machine(SchemeKind::Picl);
+        let mut b = machine(SchemeKind::Picl);
+        a.run(3000);
+        b.run(3000);
+        assert_eq!(a.instructions(), b.instructions());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.report().commits, b.report().commits);
+    }
+
+    #[test]
+    fn instruction_count_is_scheme_independent() {
+        let mut a = machine(SchemeKind::Picl);
+        let mut b = machine(SchemeKind::Frm);
+        a.run(3000);
+        b.run(3000);
+        assert_eq!(a.instructions(), b.instructions());
+    }
+
+    #[test]
+    fn crash_recovery_is_consistent_for_picl() {
+        let mut m = machine(SchemeKind::Picl);
+        m.run(20_000);
+        let crash = m.crash();
+        assert_eq!(
+            crash.consistent,
+            Some(true),
+            "PiCL recovery mismatched at {:?} (target {})",
+            crash.mismatches,
+            crash.outcome.recovered_to
+        );
+    }
+
+    #[test]
+    fn crash_recovery_is_consistent_for_all_protected_schemes() {
+        for kind in [
+            SchemeKind::Frm,
+            SchemeKind::Journaling,
+            SchemeKind::Shadow,
+            SchemeKind::ThyNvm,
+        ] {
+            let mut m = machine(kind);
+            m.run(20_000);
+            let crash = m.crash();
+            assert_eq!(
+                crash.consistent,
+                Some(true),
+                "{kind:?} recovery mismatched at {:?}",
+                crash.mismatches
+            );
+        }
+    }
+
+    #[test]
+    fn stalls_advance_all_clocks() {
+        let mut m = machine(SchemeKind::Frm);
+        m.run(2000); // crosses at least one boundary
+        assert!(m.report().stall_cycles > 0, "FRM must stall at commits");
+    }
+
+    #[test]
+    fn snapshots_taken_per_commit() {
+        let mut m = machine(SchemeKind::Picl);
+        m.run(3000);
+        assert!(m.snapshot(EpochId::ZERO).is_some());
+        assert!(m.snapshot(EpochId(1)).is_some());
+    }
+}

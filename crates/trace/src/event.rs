@@ -1,0 +1,138 @@
+//! Trace events and the source abstraction.
+
+use picl_types::Address;
+
+/// Load or store, from the core's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load; the core stalls until data returns.
+    Load,
+    /// A store; absorbed by the store buffer, off the critical path
+    /// (§IV-A: "stores are not on the critical path").
+    Store,
+}
+
+/// One trace record: run `gap_instructions` non-memory instructions, then
+/// perform one memory access.
+///
+/// A trace of such records plus a CPI-1 core model reproduces the paper's
+/// trace-driven methodology (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Non-memory instructions retired before the access (CPI 1 each).
+    pub gap_instructions: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Byte address accessed.
+    pub addr: Address,
+}
+
+impl TraceEvent {
+    /// Total instructions this event accounts for (the gap plus the memory
+    /// instruction itself).
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.gap_instructions) + 1
+    }
+
+    /// Whether this event is a store.
+    pub fn is_store(&self) -> bool {
+        self.kind == AccessKind::Store
+    }
+}
+
+/// An endless, deterministic stream of trace events.
+///
+/// Object-safe so the simulator can run heterogeneous workload mixes and so
+/// applications can drive the simulator with custom scripted workloads (see
+/// the `crash_recovery` example).
+pub trait TraceSource {
+    /// Produces the next event. Sources are infinite; the simulator decides
+    /// when a run ends (instruction budget).
+    fn next_event(&mut self) -> TraceEvent;
+
+    /// A short human-readable label for reports.
+    fn label(&self) -> &str;
+}
+
+/// A scripted, finite-then-repeating source built from an explicit event
+/// list; mainly for tests and examples.
+#[derive(Debug, Clone)]
+pub struct ScriptedSource {
+    label: String,
+    events: Vec<TraceEvent>,
+    pos: usize,
+}
+
+impl ScriptedSource {
+    /// Creates a source that cycles through `events` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty.
+    pub fn new(label: impl Into<String>, events: Vec<TraceEvent>) -> Self {
+        assert!(!events.is_empty(), "scripted source needs at least one event");
+        ScriptedSource {
+            label: label.into(),
+            events,
+            pos: 0,
+        }
+    }
+}
+
+impl TraceSource for ScriptedSource {
+    fn next_event(&mut self) -> TraceEvent {
+        let ev = self.events[self.pos];
+        self.pos = (self.pos + 1) % self.events.len();
+        ev
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(gap: u32, kind: AccessKind, addr: u64) -> TraceEvent {
+        TraceEvent {
+            gap_instructions: gap,
+            kind,
+            addr: Address::new(addr),
+        }
+    }
+
+    #[test]
+    fn event_instruction_accounting() {
+        assert_eq!(ev(9, AccessKind::Load, 0).instructions(), 10);
+        assert_eq!(ev(0, AccessKind::Store, 0).instructions(), 1);
+        assert!(ev(0, AccessKind::Store, 0).is_store());
+        assert!(!ev(0, AccessKind::Load, 0).is_store());
+    }
+
+    #[test]
+    fn scripted_source_cycles() {
+        let mut s = ScriptedSource::new(
+            "t",
+            vec![ev(1, AccessKind::Load, 64), ev(2, AccessKind::Store, 128)],
+        );
+        assert_eq!(s.next_event().addr.raw(), 64);
+        assert_eq!(s.next_event().addr.raw(), 128);
+        assert_eq!(s.next_event().addr.raw(), 64);
+        assert_eq!(s.label(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn empty_script_panics() {
+        let _ = ScriptedSource::new("t", vec![]);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn TraceSource> =
+            Box::new(ScriptedSource::new("x", vec![ev(0, AccessKind::Load, 0)]));
+        assert_eq!(boxed.next_event().gap_instructions, 0);
+    }
+}

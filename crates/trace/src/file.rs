@@ -1,0 +1,268 @@
+//! Trace recording and replay.
+//!
+//! The paper's methodology is trace-driven: workloads are captured once
+//! and replayed deterministically. This module provides the equivalent
+//! plumbing — a compact binary format for memory traces, so captured or
+//! externally produced traces can be replayed through the simulator
+//! instead of (or alongside) the synthetic generators.
+//!
+//! # Format (`PICLTRC1`)
+//!
+//! A 12-byte header — 8-byte magic `b"PICLTRC1"` and a little-endian `u32`
+//! record count — followed by fixed 13-byte records:
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 0..4 | gap_instructions, `u32` LE |
+//! | 4 | kind: 0 = load, 1 = store |
+//! | 5..13 | byte address, `u64` LE |
+//!
+//! # Example
+//!
+//! ```
+//! use picl_trace::file::{record, RecordedTrace};
+//! use picl_trace::spec::SpecBenchmark;
+//! use picl_trace::TraceSource;
+//!
+//! let mut source = SpecBenchmark::Gcc.trace(1);
+//! let bytes = record(&mut source, 100);
+//! let mut replay = RecordedTrace::from_bytes(&bytes, "gcc").unwrap();
+//! let first = replay.next_event();
+//! assert!(first.gap_instructions < 100);
+//! ```
+
+use std::io::{self, Read, Write};
+
+use picl_types::Address;
+
+use crate::event::{AccessKind, TraceEvent, TraceSource};
+
+/// File magic for version 1 of the format.
+pub const MAGIC: &[u8; 8] = b"PICLTRC1";
+
+/// Size of one record in bytes.
+pub const RECORD_BYTES: usize = 13;
+
+/// Captures `count` events from a source into the serialized format.
+pub fn record(source: &mut dyn TraceSource, count: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + count as usize * RECORD_BYTES);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&count.to_le_bytes());
+    for _ in 0..count {
+        let ev = source.next_event();
+        out.extend_from_slice(&ev.gap_instructions.to_le_bytes());
+        out.push(match ev.kind {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+        });
+        out.extend_from_slice(&ev.addr.raw().to_le_bytes());
+    }
+    out
+}
+
+/// Writes a captured trace to any writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut w: W, source: &mut dyn TraceSource, count: u32) -> io::Result<()> {
+    w.write_all(&record(source, count))
+}
+
+/// A parse failure when loading a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The payload is shorter than the header's record count promises.
+    Truncated {
+        /// Records promised by the header.
+        expected: u32,
+        /// Records actually present.
+        found: u32,
+    },
+    /// A record's kind byte was neither 0 nor 1.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTraceError::BadMagic => write!(f, "not a PICLTRC1 trace file"),
+            ParseTraceError::Truncated { expected, found } => {
+                write!(f, "trace truncated: header promises {expected} records, found {found}")
+            }
+            ParseTraceError::BadKind(k) => write!(f, "invalid access kind byte {k:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// A fully loaded trace that replays (cyclically) as a [`TraceSource`].
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    label: String,
+    events: Vec<TraceEvent>,
+    pos: usize,
+}
+
+impl RecordedTrace {
+    /// Parses a serialized trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on a malformed payload.
+    pub fn from_bytes(bytes: &[u8], label: impl Into<String>) -> Result<Self, ParseTraceError> {
+        if bytes.len() < 12 || &bytes[..8] != MAGIC {
+            return Err(ParseTraceError::BadMagic);
+        }
+        let expected = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let payload = &bytes[12..];
+        let found = (payload.len() / RECORD_BYTES) as u32;
+        if found < expected {
+            return Err(ParseTraceError::Truncated { expected, found });
+        }
+        let mut events = Vec::with_capacity(expected as usize);
+        for i in 0..expected as usize {
+            let r = &payload[i * RECORD_BYTES..(i + 1) * RECORD_BYTES];
+            let gap = u32::from_le_bytes(r[0..4].try_into().expect("4 bytes"));
+            let kind = match r[4] {
+                0 => AccessKind::Load,
+                1 => AccessKind::Store,
+                k => return Err(ParseTraceError::BadKind(k)),
+            };
+            let addr = u64::from_le_bytes(r[5..13].try_into().expect("8 bytes"));
+            events.push(TraceEvent {
+                gap_instructions: gap,
+                kind,
+                addr: Address::new(addr),
+            });
+        }
+        if events.is_empty() {
+            return Err(ParseTraceError::Truncated {
+                expected: 1,
+                found: 0,
+            });
+        }
+        Ok(RecordedTrace {
+            label: label.into(),
+            events,
+            pos: 0,
+        })
+    }
+
+    /// Reads and parses a trace from any reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] wrapping either the I/O failure or the
+    /// parse failure.
+    pub fn from_reader<R: Read>(mut r: R, label: impl Into<String>) -> io::Result<Self> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes, label).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Number of recorded events (one replay cycle).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events (never true for parsed traces).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn next_event(&mut self) -> TraceEvent {
+        let ev = self.events[self.pos];
+        self.pos = (self.pos + 1) % self.events.len();
+        ev
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBenchmark;
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let mut original = SpecBenchmark::Mcf.trace(9);
+        let mut reference = SpecBenchmark::Mcf.trace(9);
+        let bytes = record(&mut original, 500);
+        let mut replay = RecordedTrace::from_bytes(&bytes, "mcf").unwrap();
+        assert_eq!(replay.len(), 500);
+        for i in 0..500 {
+            assert_eq!(replay.next_event(), reference.next_event(), "record {i}");
+        }
+    }
+
+    #[test]
+    fn replay_cycles() {
+        let mut src = SpecBenchmark::Gcc.trace(1);
+        let bytes = record(&mut src, 3);
+        let mut replay = RecordedTrace::from_bytes(&bytes, "gcc").unwrap();
+        let first = replay.next_event();
+        replay.next_event();
+        replay.next_event();
+        assert_eq!(replay.next_event(), first, "must wrap around");
+        assert_eq!(replay.label(), "gcc");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = RecordedTrace::from_bytes(b"NOTATRACE...", "x").unwrap_err();
+        assert_eq!(err, ParseTraceError::BadMagic);
+        assert!(err.to_string().contains("PICLTRC1"));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut src = SpecBenchmark::Gcc.trace(1);
+        let mut bytes = record(&mut src, 10);
+        bytes.truncate(12 + 5 * RECORD_BYTES);
+        let err = RecordedTrace::from_bytes(&bytes, "x").unwrap_err();
+        assert_eq!(
+            err,
+            ParseTraceError::Truncated {
+                expected: 10,
+                found: 5
+            }
+        );
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut src = SpecBenchmark::Gcc.trace(1);
+        let mut bytes = record(&mut src, 1);
+        bytes[12 + 4] = 7; // corrupt the kind byte
+        assert_eq!(
+            RecordedTrace::from_bytes(&bytes, "x").unwrap_err(),
+            ParseTraceError::BadKind(7)
+        );
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(RecordedTrace::from_bytes(&bytes, "x").is_err());
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let mut src = SpecBenchmark::Lbm.trace(4);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &mut src, 50).unwrap();
+        let replay = RecordedTrace::from_reader(buf.as_slice(), "lbm").unwrap();
+        assert_eq!(replay.len(), 50);
+    }
+}

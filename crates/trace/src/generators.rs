@@ -1,0 +1,448 @@
+//! Reusable trace-generator building blocks.
+//!
+//! Each generator produces an endless address stream over a configurable
+//! footprint with a configurable store fraction and memory intensity. The
+//! SPEC-like profiles in [`crate::spec`] compose these blocks.
+
+use picl_types::rng::Zipf;
+use picl_types::{Address, Rng, LINE_BYTES};
+
+use crate::event::{AccessKind, TraceEvent, TraceSource};
+
+/// Shared knobs for all generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenParams {
+    /// Footprint in bytes; addresses fall in `[base, base + footprint)`.
+    pub footprint_bytes: u64,
+    /// Base byte address of the footprint.
+    pub base: u64,
+    /// Fraction of accesses that are stores, in `[0, 1]`.
+    pub store_fraction: f64,
+    /// Memory accesses per 1000 instructions; determines gap lengths.
+    pub accesses_per_kilo_instr: u32,
+}
+
+impl GenParams {
+    /// Creates parameters with validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is smaller than one line, the store fraction
+    /// is outside `[0, 1]`, or the intensity is zero or above 1000.
+    pub fn new(footprint_bytes: u64, store_fraction: f64, accesses_per_kilo_instr: u32) -> Self {
+        assert!(footprint_bytes >= LINE_BYTES, "footprint below one line");
+        assert!((0.0..=1.0).contains(&store_fraction), "store fraction outside [0,1]");
+        assert!(
+            (1..=1000).contains(&accesses_per_kilo_instr),
+            "intensity must be 1..=1000 per kilo-instruction"
+        );
+        GenParams {
+            footprint_bytes,
+            base: 0,
+            store_fraction,
+            accesses_per_kilo_instr,
+        }
+    }
+
+    /// Returns a copy with the footprint starting at `base`.
+    #[must_use]
+    pub fn with_base(mut self, base: u64) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Footprint size in cache lines.
+    pub fn footprint_lines(&self) -> u64 {
+        self.footprint_bytes / LINE_BYTES
+    }
+
+    /// Mean gap (non-memory instructions) between accesses, in
+    /// milli-instructions: one access per `1000/apki` instructions, one of
+    /// which is the memory instruction itself.
+    fn mean_gap_milli(&self) -> u64 {
+        (1_000_000 / u64::from(self.accesses_per_kilo_instr)).saturating_sub(1000)
+    }
+
+    /// Samples a gap uniformly in `[mean/2, 3·mean/2]` with stochastic
+    /// rounding, so the expected gap matches the intensity knob exactly
+    /// even when the mean is fractional (high-apki profiles).
+    pub(crate) fn sample_gap(&self, rng: &mut Rng) -> u32 {
+        let mean = self.mean_gap_milli();
+        if mean == 0 {
+            return 0;
+        }
+        let milli = rng.range(mean / 2, mean + mean / 2 + 1);
+        let base = milli / 1000;
+        let frac = milli % 1000;
+        (base + u64::from(rng.below(1000) < frac)) as u32
+    }
+
+    fn sample_kind(&self, rng: &mut Rng) -> AccessKind {
+        if rng.chance(self.store_fraction) {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        }
+    }
+
+    fn event(&self, rng: &mut Rng, line_index: u64) -> TraceEvent {
+        let line = line_index % self.footprint_lines();
+        let addr = self.base + line * LINE_BYTES + rng.below(LINE_BYTES / 8) * 8;
+        TraceEvent {
+            gap_instructions: self.sample_gap(rng),
+            kind: self.sample_kind(rng),
+            addr: Address::new(addr),
+        }
+    }
+}
+
+/// Sequentially streams through the footprint line by line (lbm-like).
+#[derive(Debug, Clone)]
+pub struct StreamGen {
+    params: GenParams,
+    rng: Rng,
+    next_line: u64,
+    label: String,
+}
+
+impl StreamGen {
+    /// Creates a streaming generator.
+    pub fn new(params: GenParams, seed: u64) -> Self {
+        StreamGen {
+            params,
+            rng: Rng::new(seed),
+            next_line: 0,
+            label: "stream".to_owned(),
+        }
+    }
+}
+
+impl TraceSource for StreamGen {
+    fn next_event(&mut self) -> TraceEvent {
+        let ev = self.params.event(&mut self.rng, self.next_line);
+        self.next_line = (self.next_line + 1) % self.params.footprint_lines();
+        ev
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Walks the footprint with a fixed line stride (matrix-column-like).
+#[derive(Debug, Clone)]
+pub struct StridedGen {
+    params: GenParams,
+    rng: Rng,
+    stride_lines: u64,
+    cursor: u64,
+    label: String,
+}
+
+impl StridedGen {
+    /// Creates a strided generator stepping `stride_lines` lines per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride_lines` is zero.
+    pub fn new(params: GenParams, stride_lines: u64, seed: u64) -> Self {
+        assert!(stride_lines > 0, "stride must be nonzero");
+        StridedGen {
+            params,
+            rng: Rng::new(seed),
+            stride_lines,
+            cursor: 0,
+            label: format!("strided{stride_lines}"),
+        }
+    }
+}
+
+impl TraceSource for StridedGen {
+    fn next_event(&mut self) -> TraceEvent {
+        let ev = self.params.event(&mut self.rng, self.cursor);
+        // A stride coprime with the footprint visits every line.
+        self.cursor = self.cursor.wrapping_add(self.stride_lines);
+        ev
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Uniform-random line accesses (mcf-like pointer chasing).
+#[derive(Debug, Clone)]
+pub struct PointerChaseGen {
+    params: GenParams,
+    rng: Rng,
+    label: String,
+}
+
+impl PointerChaseGen {
+    /// Creates a uniform-random generator.
+    pub fn new(params: GenParams, seed: u64) -> Self {
+        PointerChaseGen {
+            params,
+            rng: Rng::new(seed),
+            label: "chase".to_owned(),
+        }
+    }
+}
+
+impl TraceSource for PointerChaseGen {
+    fn next_event(&mut self) -> TraceEvent {
+        let line = self.rng.below(self.params.footprint_lines());
+        self.params.event(&mut self.rng, line)
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Zipf-skewed accesses: a small hot set absorbs most traffic (cache-
+/// friendly compute codes).
+#[derive(Debug, Clone)]
+pub struct HotColdGen {
+    params: GenParams,
+    rng: Rng,
+    zipf: Zipf,
+    label: String,
+}
+
+impl HotColdGen {
+    /// Creates a hot/cold generator with skew `theta` in `[0, 1)`.
+    pub fn new(params: GenParams, theta: f64, seed: u64) -> Self {
+        let zipf = Zipf::new(params.footprint_lines(), theta);
+        HotColdGen {
+            params,
+            rng: Rng::new(seed),
+            zipf,
+            label: "hotcold".to_owned(),
+        }
+    }
+}
+
+impl TraceSource for HotColdGen {
+    fn next_event(&mut self) -> TraceEvent {
+        // Scramble ranks across the footprint so the hot set is not one
+        // contiguous region (multiplicative hashing by a odd constant).
+        let rank = self.zipf.sample(&mut self.rng);
+        let lines = self.params.footprint_lines();
+        let line = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % lines;
+        self.params.event(&mut self.rng, line)
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Alternates between phases drawn from a set of sub-generators; models
+/// programs with distinct compute/memory phases (gcc-like).
+pub struct PhasedGen {
+    phases: Vec<Box<dyn TraceSource + Send>>,
+    events_per_phase: u64,
+    current: usize,
+    remaining: u64,
+    label: String,
+}
+
+impl std::fmt::Debug for PhasedGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhasedGen")
+            .field("phases", &self.phases.len())
+            .field("events_per_phase", &self.events_per_phase)
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl PhasedGen {
+    /// Creates a phased generator cycling through `phases`, switching every
+    /// `events_per_phase` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or `events_per_phase` is zero.
+    pub fn new(phases: Vec<Box<dyn TraceSource + Send>>, events_per_phase: u64) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(events_per_phase > 0, "phase length must be nonzero");
+        PhasedGen {
+            phases,
+            events_per_phase,
+            current: 0,
+            remaining: events_per_phase,
+            label: "phased".to_owned(),
+        }
+    }
+}
+
+impl TraceSource for PhasedGen {
+    fn next_event(&mut self) -> TraceEvent {
+        if self.remaining == 0 {
+            self.current = (self.current + 1) % self.phases.len();
+            self.remaining = self.events_per_phase;
+        }
+        self.remaining -= 1;
+        self.phases[self.current].next_event()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> GenParams {
+        GenParams::new(64 * 1024, 0.3, 250)
+    }
+
+    #[test]
+    fn params_validation() {
+        assert_eq!(params().footprint_lines(), 1024);
+        assert_eq!(params().mean_gap_milli(), 3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint")]
+    fn tiny_footprint_panics() {
+        let _ = GenParams::new(32, 0.5, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "store fraction")]
+    fn bad_store_fraction_panics() {
+        let _ = GenParams::new(4096, 1.5, 100);
+    }
+
+    #[test]
+    fn stream_is_sequential() {
+        let mut g = StreamGen::new(params(), 1);
+        let a = g.next_event().addr.line();
+        let b = g.next_event().addr.line();
+        assert_eq!(b.raw(), a.raw() + 1);
+    }
+
+    #[test]
+    fn stream_wraps_footprint() {
+        let p = GenParams::new(128, 0.0, 1000);
+        let mut g = StreamGen::new(p, 1);
+        let lines: Vec<u64> = (0..4).map(|_| g.next_event().addr.line().raw()).collect();
+        assert_eq!(lines, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let p = params();
+        let mut sources: Vec<Box<dyn TraceSource>> = vec![
+            Box::new(StreamGen::new(p, 2)),
+            Box::new(StridedGen::new(p, 17, 3)),
+            Box::new(PointerChaseGen::new(p, 4)),
+            Box::new(HotColdGen::new(p, 0.8, 5)),
+        ];
+        for src in &mut sources {
+            for _ in 0..2000 {
+                let a = src.next_event().addr.raw();
+                assert!(a < p.footprint_bytes, "{} escaped: {a:#x}", src.label());
+            }
+        }
+    }
+
+    #[test]
+    fn base_offsets_addresses() {
+        let p = params().with_base(1 << 40);
+        let mut g = PointerChaseGen::new(p, 9);
+        for _ in 0..100 {
+            let a = g.next_event().addr.raw();
+            assert!(a >= 1 << 40);
+            assert!(a < (1 << 40) + p.footprint_bytes);
+        }
+    }
+
+    #[test]
+    fn store_fraction_is_respected() {
+        let p = GenParams::new(1 << 20, 0.25, 500);
+        let mut g = PointerChaseGen::new(p, 11);
+        let stores = (0..10_000).filter(|_| g.next_event().is_store()).count();
+        let frac = stores as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.03, "store fraction {frac}");
+    }
+
+    #[test]
+    fn hot_cold_concentrates_accesses() {
+        let p = GenParams::new(1 << 20, 0.3, 500); // 16 K lines
+        let mut g = HotColdGen::new(p, 0.95, 13);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(g.next_event().addr.line()).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top16: u32 = freqs.iter().take(16).sum();
+        assert!(
+            f64::from(top16) / 20_000.0 > 0.25,
+            "hot lines got {top16}/20000"
+        );
+    }
+
+    #[test]
+    fn phased_switches_generators() {
+        let seq = GenParams::new(4096, 0.0, 1000);
+        let g = PhasedGen::new(
+            vec![
+                Box::new(StreamGen::new(seq, 1)),
+                Box::new(StreamGen::new(seq.with_base(1 << 30), 1)),
+            ],
+            3,
+        );
+        let mut g = g;
+        let regions: Vec<bool> = (0..9).map(|_| g.next_event().addr.raw() >= 1 << 30).collect();
+        assert_eq!(
+            regions,
+            vec![false, false, false, true, true, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let p = params();
+        let mut a = PointerChaseGen::new(p, 77);
+        let mut b = PointerChaseGen::new(p, 77);
+        for _ in 0..500 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn gap_sampling_brackets_mean() {
+        let p = GenParams::new(1 << 16, 0.5, 100); // mean gap 9
+        let mut g = StreamGen::new(p, 21);
+        let mut total = 0u64;
+        for _ in 0..2000 {
+            let gap = g.next_event().gap_instructions;
+            assert!((4..=15).contains(&gap), "gap {gap}");
+            total += u64::from(gap);
+        }
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 9.0).abs() < 0.5, "mean gap {mean}");
+    }
+
+    #[test]
+    fn high_intensity_gap_mean_is_exact() {
+        // apki 370: gaps must average 1000/370 − 1 ≈ 1.70 instructions,
+        // which integer-only sampling cannot produce.
+        let p = GenParams::new(1 << 20, 0.25, 370);
+        let mut g = PointerChaseGen::new(p, 5);
+        let mut instructions = 0u64;
+        const EVENTS: u64 = 50_000;
+        for _ in 0..EVENTS {
+            instructions += g.next_event().instructions();
+        }
+        let apki = EVENTS as f64 * 1000.0 / instructions as f64;
+        assert!((apki - 370.0).abs() < 10.0, "apki {apki}");
+    }
+}

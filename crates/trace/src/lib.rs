@@ -1,0 +1,35 @@
+//! Synthetic memory-trace generation.
+//!
+//! The paper profiles SPEC CPU2006 through Pin-based SimPoint traces. Those
+//! binaries and traces are proprietary, so this crate substitutes
+//! parameterized synthetic generators (see DESIGN.md §2): each of the 29
+//! benchmarks named in the paper's figures is modeled by a
+//! [`spec::Profile`] capturing the properties that drive the evaluation —
+//! memory intensity, write fraction, footprint, and the mix of sequential /
+//! hot-set / uniform-random accesses.
+//!
+//! * [`event`] — the trace vocabulary: [`TraceEvent`] and the object-safe
+//!   [`TraceSource`] trait the simulator consumes.
+//! * [`generators`] — reusable building blocks (streaming, strided,
+//!   pointer-chase, hot/cold, phased).
+//! * [`spec`] — the 29 SPEC2k6-like profiles and their generator.
+//! * [`mixes`] — Table V's eight-program multiprogram mixes W0–W7.
+//! * [`mod@file`] — a compact binary trace format for record/replay.
+//!
+//! # Example
+//!
+//! ```
+//! use picl_trace::{spec::SpecBenchmark, TraceSource};
+//!
+//! let mut src = SpecBenchmark::Mcf.trace(42);
+//! let ev = src.next_event();
+//! assert!(ev.gap_instructions < 10_000);
+//! ```
+
+pub mod event;
+pub mod file;
+pub mod generators;
+pub mod mixes;
+pub mod spec;
+
+pub use event::{AccessKind, TraceEvent, TraceSource};

@@ -1,0 +1,112 @@
+//! Table V: the eight-program multiprogram workload mixes.
+//!
+//! The paper evaluates multi-core performance on eight randomly chosen
+//! mixes, W0–W7, of eight SPEC benchmarks each. The assignments below
+//! reconstruct Table V.
+
+use crate::spec::SpecBenchmark;
+
+/// Number of programs in each mix.
+pub const PROGRAMS_PER_MIX: usize = 8;
+/// Number of mixes (W0–W7).
+pub const MIX_COUNT: usize = 8;
+
+/// A named eight-program workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadMix {
+    /// Mix name as in the paper ("W0" … "W7").
+    pub name: &'static str,
+    /// The eight programs; program *i* runs on core *i*.
+    pub programs: [SpecBenchmark; PROGRAMS_PER_MIX],
+}
+
+/// Table V's mixes in order W0..W7.
+pub fn table_v_mixes() -> [WorkloadMix; MIX_COUNT] {
+    use SpecBenchmark::*;
+    [
+        WorkloadMix {
+            name: "W0",
+            programs: [H264ref, Soplex, Hmmer, Bzip2, Gcc, Sjeng, Perlbench, Hmmer],
+        },
+        WorkloadMix {
+            name: "W1",
+            programs: [Gcc, Gobmk, Gcc, Soplex, Bzip2, Gamess, Tonto, Gcc],
+        },
+        WorkloadMix {
+            name: "W2",
+            programs: [Bzip2, Lbm, Gobmk, Perlbench, CactusADM, Bzip2, H264ref, Mcf],
+        },
+        WorkloadMix {
+            name: "W3",
+            programs: [Gcc, Bzip2, Tonto, CactusADM, Astar, Bzip2, Namd, Zeusmp],
+        },
+        WorkloadMix {
+            name: "W4",
+            programs: [Perlbench, Wrf, Gobmk, Gcc, Namd, Gobmk, Milc, Bzip2],
+        },
+        WorkloadMix {
+            name: "W5",
+            programs: [Omnetpp, Bzip2, Bzip2, Gobmk, Sjeng, Perlbench, Bzip2, Gobmk],
+        },
+        WorkloadMix {
+            name: "W6",
+            programs: [Gcc, Tonto, Gamess, CactusADM, DealII, Gobmk, Omnetpp, Bzip2],
+        },
+        WorkloadMix {
+            name: "W7",
+            programs: [Gcc, Wrf, Gcc, Bzip2, Gamess, Gromacs, Gcc, Perlbench],
+        },
+    ]
+}
+
+/// Looks up a mix by name ("W3", case-insensitive).
+pub fn mix_by_name(name: &str) -> Option<WorkloadMix> {
+    table_v_mixes()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+impl std::fmt::Display for WorkloadMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:", self.name)?;
+        for p in &self.programs {
+            write!(f, " {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_mixes_of_eight() {
+        let mixes = table_v_mixes();
+        assert_eq!(mixes.len(), 8);
+        for (i, m) in mixes.iter().enumerate() {
+            assert_eq!(m.name, format!("W{i}"));
+            assert_eq!(m.programs.len(), 8);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(mix_by_name("w2").unwrap().name, "W2");
+        assert!(mix_by_name("W9").is_none());
+    }
+
+    #[test]
+    fn display_lists_programs() {
+        let s = table_v_mixes()[0].to_string();
+        assert!(s.starts_with("W0: h264ref soplex"), "{s}");
+    }
+
+    #[test]
+    fn w2_contains_heavy_hitters() {
+        // W2 is the paper's heaviest mix (lbm + mcf); keep it that way.
+        let w2 = mix_by_name("W2").unwrap();
+        assert!(w2.programs.contains(&SpecBenchmark::Lbm));
+        assert!(w2.programs.contains(&SpecBenchmark::Mcf));
+    }
+}

@@ -1,0 +1,462 @@
+//! SPEC CPU2006-like benchmark profiles.
+//!
+//! The paper evaluates on 29 SPEC CPU2006 benchmarks via Pin/SimPoint
+//! traces. Those inputs are proprietary, so each benchmark is modeled here
+//! by a [`Profile`]: memory intensity, store fraction, footprint, and the
+//! sequential / hot-set / uniform-random access mix. The parameters are
+//! calibrated to each benchmark's well-known memory-behaviour *class* —
+//! e.g. `lbm` is an intense streaming writer, `mcf` a huge-footprint
+//! pointer chaser, `gamess`/`povray` compute-bound with tiny write sets —
+//! which is exactly the structure the paper's per-benchmark discussion
+//! relies on (large write sets overflow redo tables; low spatial locality
+//! defeats page-grain schemes; cache-resident workloads show no overhead).
+//!
+//! Absolute numbers are *not* expected to match the paper; normalized
+//! shapes are (see EXPERIMENTS.md).
+
+use picl_types::rng::Zipf;
+use picl_types::{Address, Rng, LINE_BYTES};
+
+use crate::event::{AccessKind, TraceEvent, TraceSource};
+use crate::generators::GenParams;
+
+const MIB: u64 = 1024 * 1024;
+
+/// Behavioural parameters of one synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Memory accesses per 1000 instructions.
+    pub accesses_per_kilo_instr: u32,
+    /// Fraction of memory accesses that are stores.
+    pub store_fraction: f64,
+    /// Resident footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Probability an access continues the sequential stream.
+    pub seq_fraction: f64,
+    /// Probability an access targets the Zipf hot set.
+    pub hot_fraction: f64,
+    /// Zipf skew of the hot set.
+    pub hot_theta: f64,
+    /// Consecutive sequential accesses that land on the same line before
+    /// the stream advances — models word-granularity walks over each line
+    /// (real code touches a 64 B line several times before moving on).
+    pub seq_repeats: u32,
+}
+
+impl Profile {
+    /// Returns a copy with the footprint scaled by `factor` (≥ one line).
+    ///
+    /// Used by the experiment runner to trade memory for speed on small
+    /// machines without changing a workload's qualitative class.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Profile {
+        let scaled = (self.footprint_bytes as f64 * factor) as u64;
+        self.footprint_bytes = scaled.max(LINE_BYTES * 16);
+        self
+    }
+
+    fn params(&self) -> GenParams {
+        GenParams::new(
+            self.footprint_bytes,
+            self.store_fraction,
+            self.accesses_per_kilo_instr,
+        )
+    }
+}
+
+/// The 29 benchmarks shown in Fig. 9 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum SpecBenchmark {
+    Astar,
+    Bzip2,
+    Gcc,
+    Gobmk,
+    H264ref,
+    Hmmer,
+    Mcf,
+    Omnetpp,
+    Perlbench,
+    Sjeng,
+    Xalancbmk,
+    Bwaves,
+    CactusADM,
+    Calculix,
+    DealII,
+    Gamess,
+    GemsFDTD,
+    Gromacs,
+    Lbm,
+    Leslie3d,
+    Milc,
+    Namd,
+    Povray,
+    Soplex,
+    Sphinx3,
+    Tonto,
+    Wrf,
+    Zeusmp,
+    Libquantum,
+}
+
+impl SpecBenchmark {
+    /// All 29 benchmarks in the paper's figure order.
+    pub const ALL: [SpecBenchmark; 29] = [
+        SpecBenchmark::Astar,
+        SpecBenchmark::Bzip2,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Gobmk,
+        SpecBenchmark::H264ref,
+        SpecBenchmark::Hmmer,
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Omnetpp,
+        SpecBenchmark::Perlbench,
+        SpecBenchmark::Sjeng,
+        SpecBenchmark::Xalancbmk,
+        SpecBenchmark::Bwaves,
+        SpecBenchmark::CactusADM,
+        SpecBenchmark::Calculix,
+        SpecBenchmark::DealII,
+        SpecBenchmark::Gamess,
+        SpecBenchmark::GemsFDTD,
+        SpecBenchmark::Gromacs,
+        SpecBenchmark::Lbm,
+        SpecBenchmark::Leslie3d,
+        SpecBenchmark::Milc,
+        SpecBenchmark::Namd,
+        SpecBenchmark::Povray,
+        SpecBenchmark::Soplex,
+        SpecBenchmark::Sphinx3,
+        SpecBenchmark::Tonto,
+        SpecBenchmark::Wrf,
+        SpecBenchmark::Zeusmp,
+        SpecBenchmark::Libquantum,
+    ];
+
+    /// The subset of benchmarks the paper selects for Fig. 12's IOPS plot.
+    pub const FIG12_SUBSET: [SpecBenchmark; 13] = [
+        SpecBenchmark::Astar,
+        SpecBenchmark::Bzip2,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Gobmk,
+        SpecBenchmark::H264ref,
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Perlbench,
+        SpecBenchmark::Lbm,
+        SpecBenchmark::Leslie3d,
+        SpecBenchmark::Milc,
+        SpecBenchmark::Namd,
+        SpecBenchmark::Sphinx3,
+        SpecBenchmark::Libquantum,
+    ];
+
+    /// This benchmark's behavioural profile.
+    ///
+    /// Columns: accesses/kilo-instruction, store fraction, footprint MiB,
+    /// sequential fraction, hot-set fraction, Zipf θ, sequential repeats.
+    /// The remainder (1 − seq − hot) is uniform-random over the footprint,
+    /// which on a 2 MB LLC is approximately the benchmark's miss traffic;
+    /// fractions are calibrated so LLC misses-per-kilo-instruction land in
+    /// each benchmark's published class (compute-bound < 5, moderate
+    /// 10–25, memory-bound 35–65).
+    pub fn profile(self) -> Profile {
+        use SpecBenchmark::*;
+        let (name, apki, store, fp_mib, seq, hot, theta, rep) = match self {
+            Astar => ("astar", 160, 0.30, 96, 0.06, 0.90, 0.75, 2),
+            Bzip2 => ("bzip2", 170, 0.32, 48, 0.30, 0.66, 0.80, 8),
+            Gcc => ("gcc", 190, 0.35, 64, 0.25, 0.72, 0.80, 8),
+            Gobmk => ("gobmk", 120, 0.28, 24, 0.02, 0.96, 0.85, 16),
+            H264ref => ("h264ref", 150, 0.30, 16, 0.30, 0.68, 0.85, 16),
+            Hmmer => ("hmmer", 160, 0.40, 8, 0.25, 0.73, 0.90, 16),
+            Mcf => ("mcf", 370, 0.25, 256, 0.05, 0.80, 0.60, 2),
+            Omnetpp => ("omnetpp", 250, 0.30, 128, 0.05, 0.87, 0.70, 2),
+            Perlbench => ("perlbench", 140, 0.35, 32, 0.04, 0.93, 0.85, 16),
+            Sjeng => ("sjeng", 110, 0.25, 12, 0.02, 0.96, 0.88, 16),
+            Xalancbmk => ("xalancbmk", 230, 0.28, 96, 0.10, 0.83, 0.75, 4),
+            Bwaves => ("bwaves", 280, 0.20, 192, 0.80, 0.17, 0.60, 8),
+            CactusADM => ("cactusADM", 220, 0.30, 128, 0.60, 0.36, 0.60, 8),
+            Calculix => ("calculix", 90, 0.25, 16, 0.15, 0.82, 0.85, 16),
+            DealII => ("dealII", 150, 0.30, 48, 0.30, 0.66, 0.80, 8),
+            Gamess => ("gamess", 60, 0.20, 4, 0.03, 0.96, 0.92, 16),
+            GemsFDTD => ("GemsFDTD", 290, 0.30, 256, 0.80, 0.17, 0.60, 8),
+            Gromacs => ("gromacs", 100, 0.28, 12, 0.06, 0.91, 0.85, 16),
+            Lbm => ("lbm", 340, 0.47, 384, 0.92, 0.06, 0.50, 8),
+            Leslie3d => ("leslie3d", 280, 0.28, 128, 0.78, 0.19, 0.60, 8),
+            Milc => ("milc", 300, 0.35, 256, 0.50, 0.44, 0.55, 8),
+            Namd => ("namd", 90, 0.22, 8, 0.04, 0.95, 0.90, 16),
+            Povray => ("povray", 70, 0.30, 2, 0.03, 0.96, 0.92, 16),
+            Soplex => ("soplex", 240, 0.22, 128, 0.25, 0.68, 0.70, 4),
+            Sphinx3 => ("sphinx3", 260, 0.08, 64, 0.55, 0.42, 0.75, 8),
+            Tonto => ("tonto", 80, 0.30, 6, 0.05, 0.93, 0.88, 16),
+            Wrf => ("wrf", 210, 0.25, 96, 0.60, 0.37, 0.65, 8),
+            Zeusmp => ("zeusmp", 230, 0.30, 128, 0.65, 0.31, 0.60, 8),
+            Libquantum => ("libquantum", 320, 0.30, 32, 0.95, 0.03, 0.50, 16),
+        };
+        Profile {
+            name,
+            accesses_per_kilo_instr: apki,
+            store_fraction: store,
+            footprint_bytes: fp_mib * MIB,
+            seq_fraction: seq,
+            hot_fraction: hot,
+            hot_theta: theta,
+            seq_repeats: rep,
+        }
+    }
+
+    /// The benchmark's display name (matches the paper's figures).
+    pub fn name(self) -> &'static str {
+        self.profile().name
+    }
+
+    /// Builds this benchmark's deterministic trace generator.
+    pub fn trace(self, seed: u64) -> ProfileGen {
+        ProfileGen::new(self.profile(), seed)
+    }
+
+    /// Looks a benchmark up by its figure name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<SpecBenchmark> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for SpecBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SpecBenchmark {
+    type Err = UnknownBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::from_name(s).ok_or_else(|| UnknownBenchmarkError(s.to_owned()))
+    }
+}
+
+/// A benchmark name that is not one of the 29 modeled benchmarks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmarkError(String);
+
+impl std::fmt::Display for UnknownBenchmarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown benchmark name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownBenchmarkError {}
+
+/// The generator realizing a [`Profile`]: a three-way mixture of a
+/// sequential stream, a scrambled Zipf hot set, and uniform-random lines.
+#[derive(Debug, Clone)]
+pub struct ProfileGen {
+    profile: Profile,
+    params: GenParams,
+    rng: Rng,
+    zipf: Zipf,
+    seq_cursor: u64,
+    seq_visits: u32,
+}
+
+impl ProfileGen {
+    /// Creates the generator for a profile with the given seed.
+    pub fn new(profile: Profile, seed: u64) -> Self {
+        let params = profile.params();
+        let hot_lines = (params.footprint_lines() / 64).max(16);
+        ProfileGen {
+            profile,
+            params,
+            rng: Rng::new(seed ^ 0x5151_5151),
+            zipf: Zipf::new(hot_lines, profile.hot_theta),
+            seq_cursor: 0,
+            seq_visits: 0,
+        }
+    }
+
+    /// Returns a copy whose addresses are offset by `base` bytes; used to
+    /// give each program of a multiprogram mix a private address space.
+    #[must_use]
+    pub fn with_base(mut self, base: u64) -> Self {
+        self.params = self.params.with_base(base);
+        self
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    fn next_line(&mut self) -> u64 {
+        let lines = self.params.footprint_lines();
+        let roll = self.rng.unit_f64();
+        if roll < self.profile.seq_fraction {
+            // Dwell on each line for `seq_repeats` accesses (word-level
+            // walk) before the stream advances to the next line.
+            self.seq_visits += 1;
+            if self.seq_visits >= self.profile.seq_repeats.max(1) {
+                self.seq_visits = 0;
+                self.seq_cursor = (self.seq_cursor + 1) % lines;
+            }
+            self.seq_cursor
+        } else if roll < self.profile.seq_fraction + self.profile.hot_fraction {
+            // Scramble Zipf ranks across the footprint so the hot set is
+            // scattered, stressing line-grain (not page-grain) tracking.
+            let rank = self.zipf.sample(&mut self.rng);
+            rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % lines
+        } else {
+            self.rng.below(lines)
+        }
+    }
+}
+
+impl TraceSource for ProfileGen {
+    fn next_event(&mut self) -> TraceEvent {
+        let line = self.next_line();
+        let lines = self.params.footprint_lines();
+        let addr = self.params.base + (line % lines) * LINE_BYTES;
+        let gap = self.params.sample_gap(&mut self.rng);
+        let kind = if self.rng.chance(self.params.store_fraction) {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        TraceEvent {
+            gap_instructions: gap,
+            kind,
+            addr: Address::new(addr),
+        }
+    }
+
+    fn label(&self) -> &str {
+        self.profile.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_29_benchmarks_present() {
+        assert_eq!(SpecBenchmark::ALL.len(), 29);
+        let names: std::collections::HashSet<&str> =
+            SpecBenchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 29);
+    }
+
+    #[test]
+    fn fig12_subset_is_a_subset() {
+        for b in SpecBenchmark::FIG12_SUBSET {
+            assert!(SpecBenchmark::ALL.contains(&b));
+        }
+        assert_eq!(SpecBenchmark::FIG12_SUBSET.len(), 13);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(SpecBenchmark::from_name("mcf"), Some(SpecBenchmark::Mcf));
+        assert_eq!(SpecBenchmark::from_name("MCF"), Some(SpecBenchmark::Mcf));
+        assert_eq!(SpecBenchmark::from_name("cactusADM"), Some(SpecBenchmark::CactusADM));
+        assert_eq!(SpecBenchmark::from_name("nope"), None);
+        let parsed: SpecBenchmark = "lbm".parse().unwrap();
+        assert_eq!(parsed, SpecBenchmark::Lbm);
+        assert!("nope".parse::<SpecBenchmark>().is_err());
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for b in SpecBenchmark::ALL {
+            let p = b.profile();
+            assert!(p.accesses_per_kilo_instr >= 50 && p.accesses_per_kilo_instr <= 400, "{}", p.name);
+            assert!(p.store_fraction > 0.0 && p.store_fraction < 0.6, "{}", p.name);
+            let mix = p.seq_fraction + p.hot_fraction;
+            assert!(mix <= 1.0, "{} mix {mix}", p.name);
+            assert!(p.footprint_bytes >= MIB, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn scaled_profile_shrinks_footprint() {
+        let p = SpecBenchmark::Mcf.profile().scaled(0.25);
+        assert_eq!(p.footprint_bytes, 64 * MIB);
+        let tiny = SpecBenchmark::Povray.profile().scaled(1e-9);
+        assert_eq!(tiny.footprint_bytes, LINE_BYTES * 16);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = SpecBenchmark::Gcc.trace(5);
+        let mut b = SpecBenchmark::Gcc.trace(5);
+        for _ in 0..1000 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn streaming_profile_is_mostly_sequential() {
+        let mut g = SpecBenchmark::Libquantum.trace(3);
+        let mut prev = g.next_event().addr.line().raw();
+        let mut local = 0;
+        for _ in 0..2000 {
+            let cur = g.next_event().addr.line().raw();
+            if cur == prev + 1 || cur == prev {
+                local += 1;
+            }
+            prev = cur;
+        }
+        assert!(local > 1700, "stream-local transitions: {local}/2000");
+    }
+
+    #[test]
+    fn seq_repeats_dwell_on_lines() {
+        // libquantum dwells 16 accesses per line: distinct lines seen in a
+        // window should be roughly window/16 of what a dwell-free stream
+        // would produce.
+        let mut g = SpecBenchmark::Libquantum.trace(9);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..3200 {
+            distinct.insert(g.next_event().addr.line());
+        }
+        assert!(
+            distinct.len() < 450,
+            "expected ~200 distinct lines with dwell, saw {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn pointer_chaser_is_mostly_random() {
+        let mut g = SpecBenchmark::Mcf.trace(3);
+        let mut prev = g.next_event().addr.line().raw();
+        let mut seq = 0;
+        for _ in 0..2000 {
+            let cur = g.next_event().addr.line().raw();
+            if cur == prev + 1 {
+                seq += 1;
+            }
+            prev = cur;
+        }
+        assert!(seq < 400, "sequential transitions: {seq}/2000");
+    }
+
+    #[test]
+    fn with_base_relocates() {
+        let mut g = SpecBenchmark::Gamess.trace(1).with_base(1 << 44);
+        for _ in 0..200 {
+            assert!(g.next_event().addr.raw() >= 1 << 44);
+        }
+    }
+
+    #[test]
+    fn label_matches_profile() {
+        let g = SpecBenchmark::Tonto.trace(0);
+        assert_eq!(g.label(), "tonto");
+        assert_eq!(g.profile().name, "tonto");
+        assert_eq!(SpecBenchmark::Tonto.to_string(), "tonto");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the workload generators: containment, determinism,
+//! and statistical calibration of every SPEC-like profile.
+
+use proptest::prelude::*;
+
+use picl_trace::spec::SpecBenchmark;
+use picl_trace::TraceSource;
+
+fn bench_strategy() -> impl Strategy<Value = SpecBenchmark> {
+    proptest::sample::select(SpecBenchmark::ALL.to_vec())
+}
+
+proptest! {
+    /// Every event of every profile stays inside the profile's footprint.
+    #[test]
+    fn addresses_stay_in_footprint(bench in bench_strategy(), seed in any::<u64>()) {
+        let profile = bench.profile();
+        let mut gen = bench.trace(seed);
+        for _ in 0..500 {
+            let ev = gen.next_event();
+            prop_assert!(
+                ev.addr.raw() < profile.footprint_bytes,
+                "{} escaped footprint: {:#x} >= {:#x}",
+                profile.name, ev.addr.raw(), profile.footprint_bytes
+            );
+        }
+    }
+
+    /// Same seed, same stream — for every benchmark.
+    #[test]
+    fn generators_deterministic(bench in bench_strategy(), seed in any::<u64>()) {
+        let mut a = bench.trace(seed);
+        let mut b = bench.trace(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    /// Store fraction and memory intensity land near the profile's knobs.
+    #[test]
+    fn calibration_matches_profile(bench in bench_strategy()) {
+        let profile = bench.profile();
+        let mut gen = bench.trace(12345);
+        let mut stores = 0u64;
+        let mut instructions = 0u64;
+        const EVENTS: u64 = 20_000;
+        for _ in 0..EVENTS {
+            let ev = gen.next_event();
+            instructions += ev.instructions();
+            if ev.is_store() {
+                stores += 1;
+            }
+        }
+        let store_frac = stores as f64 / EVENTS as f64;
+        prop_assert!(
+            (store_frac - profile.store_fraction).abs() < 0.03,
+            "{}: store fraction {} vs profile {}",
+            profile.name, store_frac, profile.store_fraction
+        );
+        let apki = EVENTS as f64 * 1000.0 / instructions as f64;
+        let target = f64::from(profile.accesses_per_kilo_instr);
+        prop_assert!(
+            (apki - target).abs() / target < 0.15,
+            "{}: {} accesses/kinstr vs target {}",
+            profile.name, apki, target
+        );
+    }
+
+    /// Footprint scaling shrinks the address range but never below the
+    /// floor, and the generator still works.
+    #[test]
+    fn scaled_profiles_generate(bench in bench_strategy(), factor in 0.001f64..1.0) {
+        let profile = bench.profile().scaled(factor);
+        let mut gen = picl_trace::spec::ProfileGen::new(profile, 1);
+        for _ in 0..100 {
+            let ev = gen.next_event();
+            prop_assert!(ev.addr.raw() < profile.footprint_bytes);
+        }
+    }
+}
+
+/// Every profile's sequential-dwell behaviour: consecutive sequential
+/// accesses revisit lines, so distinct-line counts stay below the event
+/// count for repeat factors above one.
+#[test]
+fn seq_repeats_reduce_distinct_lines() {
+    for bench in [SpecBenchmark::Libquantum, SpecBenchmark::Lbm, SpecBenchmark::Hmmer] {
+        let profile = bench.profile();
+        assert!(profile.seq_repeats > 1, "{}", profile.name);
+        let mut gen = bench.trace(3);
+        let mut distinct = std::collections::HashSet::new();
+        const EVENTS: usize = 4000;
+        for _ in 0..EVENTS {
+            distinct.insert(gen.next_event().addr.line());
+        }
+        assert!(
+            distinct.len() < EVENTS * 3 / 4,
+            "{}: {} distinct lines in {} events",
+            profile.name,
+            distinct.len(),
+            EVENTS
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Strongly-typed physical addresses.
+//!
+//! The simulator works at four granularities, all of which appear in the
+//! paper:
+//!
+//! * byte addresses ([`Address`]) — what a core issues;
+//! * 64-byte cache lines ([`LineAddr`]) — the tracking granularity of the
+//!   evaluation configuration;
+//! * 16-byte sub-blocks ([`SubBlockAddr`]) — the tracking granularity of the
+//!   OpenPiton FPGA prototype (§V-A);
+//! * 4 KB pages ([`PageAddr`]) — the granularity of Shadow Paging and of
+//!   ThyNVM's page-grain redo table.
+//!
+//! Newtypes keep the granularities from being mixed up at compile time
+//! (C-NEWTYPE).
+
+/// Bytes per cache line (Table IV: 64-byte lines).
+pub const LINE_BYTES: u64 = 64;
+/// Bytes per OpenPiton private-cache sub-block (§V-A: 16 bytes).
+pub const SUB_BLOCK_BYTES: u64 = 16;
+/// Bytes per page (4 KB, the Shadow-Paging / ThyNVM page granularity).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A byte-granularity physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte offset.
+    pub fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Returns the raw byte offset.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The 16-byte sub-block containing this address.
+    pub fn sub_block(self) -> SubBlockAddr {
+        SubBlockAddr(self.0 / SUB_BLOCK_BYTES)
+    }
+
+    /// The 4 KB page containing this address.
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+
+    /// Byte offset of this address within its cache line.
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl std::fmt::Display for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line-granularity address (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line *index* (not a byte address).
+    pub fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// Returns the line index.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of this line.
+    pub fn base(self) -> Address {
+        Address(self.0 * LINE_BYTES)
+    }
+
+    /// The page containing this line.
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 * LINE_BYTES / PAGE_BYTES)
+    }
+
+    /// The first 16-byte sub-block of this line.
+    pub fn first_sub_block(self) -> SubBlockAddr {
+        SubBlockAddr(self.0 * (LINE_BYTES / SUB_BLOCK_BYTES))
+    }
+
+    /// Index of this line within its 4 KB page (`0..64`).
+    pub fn index_in_page(self) -> u64 {
+        self.0 % (PAGE_BYTES / LINE_BYTES)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(index: u64) -> Self {
+        LineAddr(index)
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A 16-byte sub-block address, the OpenPiton prototype's tracking grain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubBlockAddr(u64);
+
+impl SubBlockAddr {
+    /// Creates a sub-block address from a sub-block index.
+    pub fn new(index: u64) -> Self {
+        SubBlockAddr(index)
+    }
+
+    /// Returns the sub-block index.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this sub-block.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 * SUB_BLOCK_BYTES / LINE_BYTES)
+    }
+
+    /// Index of this sub-block within its 64-byte line (`0..4`).
+    pub fn index_in_line(self) -> u64 {
+        self.0 % (LINE_BYTES / SUB_BLOCK_BYTES)
+    }
+}
+
+impl std::fmt::Display for SubBlockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{:#x}", self.0)
+    }
+}
+
+/// A 4 KB-page-granularity address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr(u64);
+
+impl PageAddr {
+    /// Creates a page address from a page index.
+    pub fn new(index: u64) -> Self {
+        PageAddr(index)
+    }
+
+    /// Returns the page index.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of this page.
+    pub fn base(self) -> Address {
+        Address(self.0 * PAGE_BYTES)
+    }
+
+    /// The first cache line of this page.
+    pub fn first_line(self) -> LineAddr {
+        LineAddr(self.0 * PAGE_BYTES / LINE_BYTES)
+    }
+
+    /// Iterates over all 64 cache lines of this page.
+    pub fn lines(self) -> impl Iterator<Item = LineAddr> {
+        let first = self.0 * PAGE_BYTES / LINE_BYTES;
+        (first..first + PAGE_BYTES / LINE_BYTES).map(LineAddr)
+    }
+}
+
+impl std::fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_round_trips() {
+        let a = Address::new(0x12345);
+        assert_eq!(a.raw(), 0x12345);
+        assert_eq!(a.line().base().raw(), 0x12345 & !(LINE_BYTES - 1));
+        assert_eq!(a.line_offset(), 0x12345 % LINE_BYTES);
+    }
+
+    #[test]
+    fn line_page_relationship() {
+        let p = PageAddr::new(7);
+        let lines: Vec<_> = p.lines().collect();
+        assert_eq!(lines.len(), 64);
+        for l in &lines {
+            assert_eq!(l.page(), p);
+        }
+        assert_eq!(lines[0], p.first_line());
+        assert_eq!(lines[0].index_in_page(), 0);
+        assert_eq!(lines[63].index_in_page(), 63);
+    }
+
+    #[test]
+    fn sub_blocks_per_line() {
+        let l = LineAddr::new(10);
+        let s = l.first_sub_block();
+        assert_eq!(s.line(), l);
+        assert_eq!(s.index_in_line(), 0);
+        let last = SubBlockAddr::new(s.raw() + 3);
+        assert_eq!(last.line(), l);
+        assert_eq!(last.index_in_line(), 3);
+        assert_eq!(SubBlockAddr::new(s.raw() + 4).line(), LineAddr::new(11));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Address::new(0x40).to_string(), "0x40");
+        assert_eq!(LineAddr::new(1).to_string(), "L0x1");
+        assert_eq!(PageAddr::new(2).to_string(), "P0x2");
+        assert_eq!(SubBlockAddr::new(3).to_string(), "S0x3");
+        assert_eq!(format!("{:x}", Address::new(255)), "ff");
+    }
+
+    #[test]
+    fn conversions_from_raw() {
+        let a: Address = 128u64.into();
+        assert_eq!(a.line(), LineAddr::from(2));
+        assert_eq!(a.sub_block().raw(), 8);
+        assert_eq!(a.page().raw(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Epoch identifiers.
+//!
+//! The paper divides execution into *epochs* (Table I): an executing epoch
+//! (the current `SystemEID`), committed epochs (finished but not necessarily
+//! durable), and persisted epochs (fully written to NVM, recoverable).
+//!
+//! Logically EIDs grow without bound; the hardware stores only a small
+//! truncated tag (4 bits suffice per §IV-A). [`EpochId`] is the unbounded
+//! logical identifier used throughout the simulator, and [`TaggedEid`] models
+//! the truncated hardware tag together with the wraparound-safety condition
+//! that makes the truncation lossless.
+
+/// An unbounded logical epoch identifier.
+///
+/// `EpochId(0)` is the state of memory before execution begins; the first
+/// executing epoch is `EpochId(1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EpochId(pub u64);
+
+impl EpochId {
+    /// The pre-execution epoch: memory as it was at simulation start.
+    pub const ZERO: EpochId = EpochId(0);
+
+    /// Returns the raw epoch number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The epoch immediately after this one.
+    #[must_use]
+    pub fn next(self) -> EpochId {
+        EpochId(self.0 + 1)
+    }
+
+    /// The epoch immediately before this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`EpochId::ZERO`].
+    #[must_use]
+    pub fn prev(self) -> EpochId {
+        assert!(self.0 > 0, "EpochId::ZERO has no predecessor");
+        EpochId(self.0 - 1)
+    }
+
+    /// Epoch that is `gap` epochs before this one, saturating at zero.
+    #[must_use]
+    pub fn saturating_back(self, gap: u64) -> EpochId {
+        EpochId(self.0.saturating_sub(gap))
+    }
+
+    /// The truncated hardware tag of this epoch for a given tag width.
+    pub fn tag(self, bits: u32) -> TaggedEid {
+        TaggedEid::new(self, bits)
+    }
+}
+
+impl std::fmt::Display for EpochId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl From<u64> for EpochId {
+    fn from(raw: u64) -> Self {
+        EpochId(raw)
+    }
+}
+
+/// A truncated epoch tag as stored in hardware (§IV-A: "4-bit values are
+/// sufficient").
+///
+/// The truncation is lossless as long as the spread of live epochs — from the
+/// oldest unpersisted epoch to the current `SystemEID` — stays below
+/// `2^bits`. [`TaggedEid::reconstruct`] recovers the full [`EpochId`] under
+/// that condition, and [`wraparound_safe`] states the condition itself so the
+/// simulator can assert it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaggedEid {
+    tag: u16,
+    bits: u32,
+}
+
+impl TaggedEid {
+    /// Truncates `eid` to its low `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 16.
+    pub fn new(eid: EpochId, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "tag width must be 1..=16 bits");
+        TaggedEid {
+            tag: (eid.0 & ((1u64 << bits) - 1)) as u16,
+            bits,
+        }
+    }
+
+    /// The raw truncated tag value.
+    pub fn raw(self) -> u16 {
+        self.tag
+    }
+
+    /// The tag width in bits.
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Reconstructs the full epoch id given any *reference* epoch known to be
+    /// within `2^bits - 1` epochs at or after the tagged epoch (typically the
+    /// current `SystemEID`).
+    ///
+    /// Returns the unique `EpochId <= reference` whose truncation equals this
+    /// tag.
+    pub fn reconstruct(self, reference: EpochId) -> EpochId {
+        let modulus = 1u64 << self.bits;
+        let ref_tag = reference.0 & (modulus - 1);
+        let back = (ref_tag + modulus - u64::from(self.tag)) % modulus;
+        EpochId(reference.0 - back)
+    }
+}
+
+impl std::fmt::Display for TaggedEid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{:#x}/{}b", self.tag, self.bits)
+    }
+}
+
+/// Whether the live-epoch window `[oldest, newest]` can be represented
+/// without ambiguity by tags of the given width.
+///
+/// This is the wraparound-safety condition the hardware must maintain: the
+/// ACS engine may never let persistence lag execution by `2^bits` or more
+/// epochs.
+pub fn wraparound_safe(oldest: EpochId, newest: EpochId, bits: u32) -> bool {
+    newest.0 - oldest.0 < (1u64 << bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prev() {
+        let e = EpochId(5);
+        assert_eq!(e.next(), EpochId(6));
+        assert_eq!(e.prev(), EpochId(4));
+        assert_eq!(e.saturating_back(3), EpochId(2));
+        assert_eq!(e.saturating_back(10), EpochId::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no predecessor")]
+    fn prev_of_zero_panics() {
+        let _ = EpochId::ZERO.prev();
+    }
+
+    #[test]
+    fn tag_truncates() {
+        let t = EpochId(0x123).tag(4);
+        assert_eq!(t.raw(), 0x3);
+        assert_eq!(t.bits(), 4);
+    }
+
+    #[test]
+    fn reconstruct_within_window() {
+        // Tag width 4: window of 16 epochs.
+        for base in [0u64, 13, 100, 4093] {
+            let reference = EpochId(base + 15);
+            for off in 0..16 {
+                let eid = EpochId(base + off);
+                let t = eid.tag(4);
+                assert_eq!(t.reconstruct(reference), eid, "base={base} off={off}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_is_ambiguous_outside_window() {
+        // An epoch 16 back aliases with the reference itself under 4 bits.
+        let reference = EpochId(32);
+        let stale = EpochId(16);
+        assert_eq!(stale.tag(4).reconstruct(reference), reference);
+        assert!(!wraparound_safe(stale, reference, 4));
+        assert!(wraparound_safe(EpochId(17), reference, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "tag width")]
+    fn zero_width_tag_panics() {
+        let _ = EpochId(1).tag(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EpochId(7).to_string(), "E7");
+        assert_eq!(EpochId(7).tag(4).to_string(), "T0x7/4b");
+    }
+}

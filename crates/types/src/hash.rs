@@ -1,0 +1,90 @@
+//! Fast deterministic hashing for simulator-internal maps.
+//!
+//! Simulation state lives in multi-million-entry hash maps keyed by line
+//! addresses; the standard library's DoS-resistant SipHash costs more than
+//! the rest of an access's work. [`FastMap`]/[`FastSet`] use a Fibonacci
+//! multiplicative hash instead — keys are simulator-internal addresses, so
+//! adversarial collisions are not a concern, and determinism across runs is
+//! a feature (SipHash's random seed is not reproducible).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative hasher for integer-like keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // The rustc-hash recurrence: ends in a multiply, so the low bits
+        // (hashbrown's bucket index) cycle distinctly for sequential keys.
+        self.state = (self.state.rotate_left(5) ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// The `BuildHasher` for [`FxHasher`].
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with deterministic, fast hashing.
+pub type FastMap<K, V> = HashMap<K, V, FxBuild>;
+
+/// A `HashSet` with deterministic, fast hashing.
+pub type FastSet<T> = HashSet<T, FxBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 64, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn set_round_trips() {
+        let mut s: FastSet<u64> = FastSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn hash_spreads_sequential_keys() {
+        // Sequential line addresses must not collide in low bits, or maps
+        // degenerate into linked lists.
+        let mut low_bits: FastSet<u64> = FastSet::default();
+        for i in 0..256u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            low_bits.insert(h.finish() & 0xFF);
+        }
+        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+    }
+}

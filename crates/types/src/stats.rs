@@ -1,0 +1,154 @@
+//! Counters and small statistics helpers used by run reports.
+
+/// A saturating event counter.
+///
+/// Wraps a `u64` so that report code reads as `counter.add(n)` /
+/// `counter.get()` and cannot be accidentally assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` events (saturating).
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Adds one event.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero and returns the previous value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl std::ops::AddAssign<u64> for Counter {
+    fn add_assign(&mut self, rhs: u64) {
+        self.add(rhs);
+    }
+}
+
+/// Geometric mean of strictly positive values; the paper reports GMean for
+/// its normalized-execution figures.
+///
+/// Returns `None` for an empty input or if any value is not finite and
+/// positive.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut log_sum = 0.0f64;
+    for &v in values {
+        if !(v.is_finite() && v > 0.0) {
+            return None;
+        }
+        log_sum += v.ln();
+    }
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; the paper reports AMean for the log-size figure.
+///
+/// Returns `None` for an empty input.
+pub fn arithmetic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// A ratio of two counters rendered as `f64`, with `0/0 = 0`.
+pub fn ratio(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+/// Formats a byte count with a binary-unit suffix (`1.5 MiB`).
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{:.2} {}", v, UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        c += 5;
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn geomean() {
+        let g = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn amean() {
+        assert_eq!(arithmetic_mean(&[1.0, 3.0]), Some(2.0));
+        assert!(arithmetic_mean(&[]).is_none());
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(6, 3), 2.0);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024 + 512 * 1024), "5.50 MiB");
+    }
+}

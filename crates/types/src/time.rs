@@ -1,0 +1,160 @@
+//! Simulation time.
+//!
+//! The simulator counts core clock cycles. Table IV's memory latencies are
+//! given in nanoseconds at a 2.0 GHz core clock, so [`Picoseconds`] values
+//! convert to [`Cycle`] counts through [`ClockDomain`].
+
+/// A point in (or duration of) simulated time, in core clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the raw cycle count.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction of two time points, as a duration.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two time points.
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+}
+
+impl std::ops::Add for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Cycle {
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl std::ops::AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl std::fmt::Display for Cycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+/// A duration expressed in picoseconds, used for configuration input.
+///
+/// Picoseconds (rather than nanoseconds) keep sub-nanosecond clock periods
+/// exact: a 2.0 GHz clock has a 500 ps period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Picoseconds(pub u64);
+
+impl Picoseconds {
+    /// Constructs a duration from nanoseconds.
+    pub fn from_ns(ns: u64) -> Self {
+        Picoseconds(ns * 1000)
+    }
+
+    /// Returns the duration in picoseconds.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Converts real-time durations to core cycles for a fixed core frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDomain {
+    /// Clock period in picoseconds.
+    period_ps: u64,
+}
+
+impl ClockDomain {
+    /// A clock domain running at the given frequency in megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "clock frequency must be nonzero");
+        ClockDomain {
+            period_ps: 1_000_000 / mhz,
+        }
+    }
+
+    /// The clock period in picoseconds.
+    pub fn period_ps(self) -> u64 {
+        self.period_ps
+    }
+
+    /// Converts a duration to cycles, rounding up (a latency of 1.5 periods
+    /// occupies 2 cycles).
+    pub fn cycles(self, d: Picoseconds) -> Cycle {
+        Cycle(d.0.div_ceil(self.period_ps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let mut c = Cycle(10);
+        c += 5u64;
+        c += Cycle(1);
+        assert_eq!(c, Cycle(16));
+        assert_eq!(c + 4u64, Cycle(20));
+        assert_eq!(c.saturating_since(Cycle(20)), Cycle::ZERO);
+        assert_eq!(Cycle(3).max(Cycle(7)), Cycle(7));
+        assert_eq!(c.to_string(), "16cy");
+    }
+
+    #[test]
+    fn table_iv_latencies_at_2ghz() {
+        // Table IV: 2.0 GHz core, 128 ns row read, 368 ns row write.
+        let clk = ClockDomain::from_mhz(2000);
+        assert_eq!(clk.period_ps(), 500);
+        assert_eq!(clk.cycles(Picoseconds::from_ns(128)), Cycle(256));
+        assert_eq!(clk.cycles(Picoseconds::from_ns(368)), Cycle(736));
+    }
+
+    #[test]
+    fn conversion_rounds_up() {
+        let clk = ClockDomain::from_mhz(2000);
+        assert_eq!(clk.cycles(Picoseconds(501)), Cycle(2));
+        assert_eq!(clk.cycles(Picoseconds(500)), Cycle(1));
+        assert_eq!(clk.cycles(Picoseconds(0)), Cycle(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_frequency_panics() {
+        let _ = ClockDomain::from_mhz(0);
+    }
+}

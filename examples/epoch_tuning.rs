@@ -1,0 +1,78 @@
+//! Tuning PiCL's epoch length and ACS-gap: the performance ↔ durability
+//! trade-off of §III and §IV-C.
+//!
+//! A longer ACS-gap defers persistence (better coalescing, but I/O writes
+//! wait longer: checkpoint-persist latency = epoch length × gap); longer
+//! epochs amortize boundary work but enlarge the undo log. This example
+//! sweeps both knobs and also demonstrates the bulk-ACS extension that
+//! releases pending I/O early.
+//!
+//! ```sh
+//! cargo run --release --example epoch_tuning
+//! ```
+
+use picl_repro::core::os::IoBuffer;
+use picl_repro::sim::{SchemeKind, Simulation};
+use picl_repro::trace::spec::SpecBenchmark;
+use picl_repro::types::stats::format_bytes;
+use picl_repro::types::{EpochId, SystemConfig};
+
+fn main() {
+    let bench = SpecBenchmark::Gcc;
+    let budget = 8_000_000u64;
+
+    println!("PiCL tuning on {bench} ({budget} instructions)\n");
+    println!(
+        "{:<14}{:>9}{:>12}{:>14}{:>16}",
+        "epoch(instr)", "acs-gap", "norm.", "log written", "persist-lag"
+    );
+
+    for epoch_len in [500_000u64, 1_000_000, 2_000_000] {
+        for gap in [0u64, 1, 3, 7] {
+            let mut cfg = SystemConfig::paper_single_core();
+            cfg.epoch.epoch_len_instructions = epoch_len;
+            cfg.epoch.acs_gap = gap;
+            let ideal = Simulation::builder(cfg.clone())
+                .scheme(SchemeKind::Ideal)
+                .workload(&[bench])
+                .instructions_per_core(budget)
+                .run()
+                .expect("valid configuration");
+            let picl = Simulation::builder(cfg)
+                .scheme(SchemeKind::Picl)
+                .workload(&[bench])
+                .instructions_per_core(budget)
+                .run()
+                .expect("valid configuration");
+            println!(
+                "{:<14}{:>9}{:>12.3}{:>14}{:>13.1} Mi",
+                epoch_len,
+                gap,
+                picl.normalized_to(&ideal),
+                format_bytes(picl.scheme_stats.log_bytes_written),
+                // Persist latency in instructions: epoch length × (gap+1).
+                (epoch_len * (gap + 1)) as f64 / 1e6
+            );
+        }
+    }
+
+    // I/O buffering: writes issued in epoch E release once E persists.
+    println!("\nI/O write buffering at the OS (ACS-gap 3):");
+    let mut io = IoBuffer::new();
+    for (id, epoch) in [(1u64, 2u64), (2, 2), (3, 4), (4, 5)] {
+        io.submit(id, EpochId(epoch));
+    }
+    println!("  submitted 4 I/O writes across epochs 2..5; persisted = 1 → pending {}", io.pending());
+    let released = io.release_persisted(EpochId(2));
+    println!(
+        "  epoch 2 persists → released {:?}, pending {}",
+        released.iter().map(|p| p.id).collect::<Vec<_>>(),
+        io.pending()
+    );
+    let released = io.release_persisted(EpochId(5));
+    println!(
+        "  bulk ACS persists through epoch 5 → released {:?}, pending {}",
+        released.iter().map(|p| p.id).collect::<Vec<_>>(),
+        io.pending()
+    );
+}

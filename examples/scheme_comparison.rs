@@ -1,0 +1,54 @@
+//! Compare all six consistency schemes on one workload: execution time,
+//! stalls, commits, and NVM traffic mix.
+//!
+//! ```sh
+//! cargo run --release --example scheme_comparison [benchmark]
+//! ```
+//!
+//! Pass any benchmark name from the paper's figures (default: `mcf`).
+
+use picl_repro::nvm::TrafficCategory;
+use picl_repro::sim::{SchemeKind, Simulation};
+use picl_repro::trace::spec::SpecBenchmark;
+use picl_repro::types::SystemConfig;
+
+fn main() {
+    let bench: SpecBenchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mcf".to_owned())
+        .parse()
+        .expect("benchmark name from the paper's figures (e.g. mcf, lbm, povray)");
+
+    let mut cfg = SystemConfig::paper_single_core();
+    cfg.epoch.epoch_len_instructions = 3_000_000;
+    let budget = 9_000_000;
+
+    println!("scheme comparison on {bench} ({budget} instructions, 3 M-instr epochs)\n");
+    println!(
+        "{:<12}{:>8}{:>10}{:>9}{:>12}{:>10}{:>10}",
+        "scheme", "norm.", "commits", "forced", "stall-cyc", "seq-log", "rnd-log"
+    );
+
+    let mut baseline_cycles = None;
+    for kind in SchemeKind::ALL {
+        let report = Simulation::builder(cfg.clone())
+            .scheme(kind)
+            .workload(&[bench])
+            .instructions_per_core(budget)
+            .seed(42)
+            .run()
+            .expect("valid configuration");
+        let base = *baseline_cycles.get_or_insert(report.total_cycles.raw());
+        println!(
+            "{:<12}{:>8.3}{:>10}{:>9}{:>12}{:>10}{:>10}",
+            report.scheme,
+            report.total_cycles.raw() as f64 / base as f64,
+            report.commits,
+            report.forced_commits,
+            report.stall_cycles,
+            report.nvm.ops_in_category(TrafficCategory::SequentialLogging),
+            report.nvm.ops_in_category(TrafficCategory::RandomLogging),
+        );
+    }
+    println!("\nnorm. = execution time relative to Ideal NVM (lower is better)");
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper's evaluation.
+# PICL_SCALE trades fidelity for time (1.0 = paper-faithful budgets).
+set -e
+SCALE="${PICL_SCALE:-1.0}"
+export PICL_SCALE="$SCALE"
+OUT="${1:-results}"
+mkdir -p "$OUT"
+for bin in table2_features table3_hw_overheads table4_config \
+           fig09_single_core fig10_multicore fig11_commits fig12_iops \
+           fig13_log_size fig14_long_epochs fig15_cache_sweep \
+           fig16_nvm_latency recovery_latency ablation_picl; do
+  echo "== $bin (PICL_SCALE=$SCALE) =="
+  cargo run --release -q -p picl-bench --bin "$bin" > "$OUT/$bin.txt" 2>&1
+  echo "   -> $OUT/$bin.txt"
+done

@@ -1,0 +1,39 @@
+//! Umbrella crate for the PiCL reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`types`] — addresses, epochs, configuration, statistics, RNG.
+//! * [`trace`] — synthetic workload generators and SPEC2k6-like profiles.
+//! * [`nvm`] — the NVM timing and functional model.
+//! * [`cache`] — the cache hierarchy and the consistency-scheme interface.
+//! * [`core`] — PiCL itself: multi-undo logging, cache-driven logging, ACS.
+//! * [`baselines`] — FRM, Journaling, Shadow Paging, ThyNVM, Ideal NVM.
+//! * [`sim`] — the trace-driven multicore simulator and experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use picl_repro::sim::{Simulation, SchemeKind};
+//! use picl_repro::types::SystemConfig;
+//! use picl_repro::trace::spec::SpecBenchmark;
+//!
+//! let mut cfg = SystemConfig::paper_single_core();
+//! cfg.epoch.epoch_len_instructions = 200_000; // small demo epochs
+//! let report = Simulation::builder(cfg)
+//!     .scheme(SchemeKind::Picl)
+//!     .workload(&[SpecBenchmark::Bzip2])
+//!     .instructions_per_core(400_000)
+//!     .seed(1)
+//!     .run()
+//!     .expect("valid config");
+//! assert!(report.total_cycles.raw() > 0);
+//! ```
+
+pub use picl as core;
+pub use picl_baselines as baselines;
+pub use picl_cache as cache;
+pub use picl_nvm as nvm;
+pub use picl_sim as sim;
+pub use picl_trace as trace;
+pub use picl_types as types;

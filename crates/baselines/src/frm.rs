@@ -236,7 +236,6 @@ mod tests {
         assert_eq!(out.entries_applied, 1);
         assert_eq!(m.state().read_line(LineAddr::new(3)), 30);
         assert_eq!(f.system_eid(), EpochId(1));
-
     }
 
     #[test]

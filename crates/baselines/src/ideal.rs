@@ -52,12 +52,7 @@ impl ConsistencyScheme for IdealNvm {
         EvictRoute::InPlace
     }
 
-    fn on_epoch_boundary(
-        &mut self,
-        _: &mut Hierarchy,
-        _: &mut Nvm,
-        _: Cycle,
-    ) -> BoundaryOutcome {
+    fn on_epoch_boundary(&mut self, _: &mut Hierarchy, _: &mut Nvm, _: Cycle) -> BoundaryOutcome {
         let committed = self.system;
         self.system = self.system.next();
         self.commits.incr();
@@ -112,6 +107,10 @@ mod tests {
         let out = s.crash_recover(&mut m, Cycle(7));
         assert_eq!(out.recovered_to, EpochId::ZERO);
         assert_eq!(out.entries_applied, 0);
-        assert_eq!(m.state().read_line(LineAddr::new(1)), 99, "memory untouched");
+        assert_eq!(
+            m.state().read_line(LineAddr::new(1)),
+            99,
+            "memory untouched"
+        );
     }
 }

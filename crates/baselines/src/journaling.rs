@@ -83,9 +83,7 @@ impl Journaling {
         let done = mem.write(now, self.redo_line(addr), value, AccessClass::RedoLogWrite);
         self.redo_entries.incr();
         self.redo_bytes.add(64);
-        if self.table.contains(addr) {
-            self.table.insert(addr, RedoSlot { value });
-        } else if self.table.set_len(addr) < self.table.ways() {
+        if self.table.contains(addr) || self.table.set_len(addr) < self.table.ways() {
             self.table.insert(addr, RedoSlot { value });
         } else {
             // Set conflict: hardware cannot track this line — the epoch
@@ -259,7 +257,9 @@ mod tests {
         let (v, done) = j.forward_read(LineAddr::new(4), &mut m, Cycle(10)).unwrap();
         assert_eq!(v, 41);
         assert!(done > Cycle(10));
-        assert!(j.forward_read(LineAddr::new(5), &mut m, Cycle(10)).is_none());
+        assert!(j
+            .forward_read(LineAddr::new(5), &mut m, Cycle(10))
+            .is_none());
     }
 
     #[test]
@@ -283,7 +283,10 @@ mod tests {
         for k in 0..17u64 {
             evict(&mut j, &mut m, k * sets, k);
         }
-        assert!(j.wants_early_commit(), "17th way must overflow a 16-way set");
+        assert!(
+            j.wants_early_commit(),
+            "17th way must overflow a 16-way set"
+        );
     }
 
     #[test]

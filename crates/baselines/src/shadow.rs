@@ -24,7 +24,9 @@ use picl_cache::{
     SchemeStats, SetAssocCache, StoreDirective, StoreEvent,
 };
 use picl_nvm::{AccessClass, Nvm};
-use picl_types::{config::TableConfig, stats::Counter, Cycle, EpochId, LineAddr, PageAddr, PAGE_BYTES};
+use picl_types::{
+    config::TableConfig, stats::Counter, Cycle, EpochId, LineAddr, PageAddr, PAGE_BYTES,
+};
 
 use picl::epoch::EpochTracker;
 
@@ -126,7 +128,12 @@ impl ShadowPaging {
                 }
             }
             // Local CoW inside the memory module (§VI-A optimization 1).
-            t = mem.write_bulk(t, self.shadow_line(page, 0), PAGE_BYTES, AccessClass::CowPageCopy);
+            t = mem.write_bulk(
+                t,
+                self.shadow_line(page, 0),
+                PAGE_BYTES,
+                AccessClass::CowPageCopy,
+            );
             self.cow_copies.incr();
             self.table.insert(key, ShadowEntry::default());
         }

@@ -16,7 +16,9 @@ use picl_cache::{
     SchemeStats, SetAssocCache, StoreDirective, StoreEvent,
 };
 use picl_nvm::{AccessClass, Nvm};
-use picl_types::{config::TableConfig, stats::Counter, Cycle, EpochId, LineAddr, PageAddr, PAGE_BYTES};
+use picl_types::{
+    config::TableConfig, stats::Counter, Cycle, EpochId, LineAddr, PageAddr, PAGE_BYTES,
+};
 
 use picl::epoch::EpochTracker;
 
@@ -153,7 +155,12 @@ impl ThyNvm {
         }
 
         if self.blocks.set_len(addr) < self.blocks.ways() {
-            t = mem.write(t, self.redo_block_line(addr), value, AccessClass::RedoLogWrite);
+            t = mem.write(
+                t,
+                self.redo_block_line(addr),
+                value,
+                AccessClass::RedoLogWrite,
+            );
             self.redo_entries.incr();
             self.redo_bytes.add(64);
             self.blocks.insert(addr, BlockEntry { value, epoch: sys });
@@ -194,7 +201,12 @@ impl ThyNvm {
         }
         for (key, e) in self.pages.drain_filter(|_, e| e.epoch < sys) {
             let page = PageAddr::new(key.raw());
-            t = t.max(mem.write_bulk(now, page.first_line(), PAGE_BYTES, AccessClass::RedoApplyWrite));
+            t = t.max(mem.write_bulk(
+                now,
+                page.first_line(),
+                PAGE_BYTES,
+                AccessClass::RedoApplyWrite,
+            ));
             for (idx, v) in e.delta {
                 mem.state_mut()
                     .write_line(LineAddr::new(page.first_line().raw() + idx), v);
@@ -239,7 +251,11 @@ impl ConsistencyScheme for ThyNvm {
         }
         let e = self.blocks.peek(addr)?;
         let value = e.value;
-        let (_, done) = mem.read(now, self.redo_block_line(addr), AccessClass::RedoForwardRead);
+        let (_, done) = mem.read(
+            now,
+            self.redo_block_line(addr),
+            AccessClass::RedoForwardRead,
+        );
         Some((value, done))
     }
 
@@ -366,7 +382,11 @@ mod tests {
         evict(&mut s, &mut m, 100_000, 22);
         assert_eq!(s.block_occupancy(), 2);
         assert_eq!(s.page_occupancy(), 0);
-        assert_eq!(m.state().read_line(LineAddr::new(1)), 0, "canonical untouched");
+        assert_eq!(
+            m.state().read_line(LineAddr::new(1)),
+            0,
+            "canonical untouched"
+        );
     }
 
     #[test]
@@ -399,7 +419,11 @@ mod tests {
         // Entry survives commit, occupying the table while its background
         // apply overlaps the next epoch.
         assert_eq!(s.block_occupancy(), 1);
-        assert_eq!(m.state().read_line(LineAddr::new(5)), 0, "apply not yet visible");
+        assert_eq!(
+            m.state().read_line(LineAddr::new(5)),
+            0,
+            "apply not yet visible"
+        );
         // By the next boundary the apply has drained it.
         let _out2 = s.on_epoch_boundary(&mut h, &mut m, Cycle(10_000));
         assert_eq!(s.block_occupancy(), 0);
@@ -440,11 +464,11 @@ mod tests {
         let (mut s, _, mut m) = rig();
         let block_sets = 2048u64 / 16; // 128
         let page_sets = 4096u64 / 16; // 256
-        // Fill one block set (16 lines, distinct pages aligned so their
-        // pages also collide in one page set).
-        // Block set index: line % 128 == 0 -> lines k*128*... choose lines
-        // whose page index also ≡ 0 mod 256: page = line/64.
-        // line = k * 64 * 256 => page = k*256 (page set 0); line % 128 == 0 ✓
+                                      // Fill one block set (16 lines, distinct pages aligned so their
+                                      // pages also collide in one page set).
+                                      // Block set index: line % 128 == 0 -> lines k*128*... choose lines
+                                      // whose page index also ≡ 0 mod 256: page = line/64.
+                                      // line = k * 64 * 256 => page = k*256 (page set 0); line % 128 == 0 ✓
         for k in 0..40u64 {
             evict(&mut s, &mut m, k * 64 * page_sets, k);
         }

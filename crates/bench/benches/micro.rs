@@ -14,7 +14,7 @@ use picl::log::UndoLog;
 use picl::undo::UndoEntry;
 use picl_cache::hierarchy::AccessType;
 use picl_cache::{Hierarchy, SetAssocCache};
-use picl_nvm::{AccessClass, Nvm};
+use picl_nvm::Nvm;
 use picl_sim::{Machine, SchemeKind};
 use picl_trace::spec::SpecBenchmark;
 use picl_trace::TraceSource;
@@ -177,7 +177,11 @@ fn bench_recovery(c: &mut Criterion) {
 fn bench_trace_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace");
     group.throughput(Throughput::Elements(1));
-    for bench in [SpecBenchmark::Mcf, SpecBenchmark::Libquantum, SpecBenchmark::Gamess] {
+    for bench in [
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Libquantum,
+        SpecBenchmark::Gamess,
+    ] {
         group.bench_function(bench.name(), |b| {
             let mut gen = bench.trace(1);
             b.iter(|| black_box(gen.next_event()));

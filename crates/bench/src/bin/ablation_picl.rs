@@ -45,7 +45,10 @@ fn main() {
     let ideal = baseline_cycles(&base_cfg, budget);
 
     println!("\nACS-gap sweep (buffer 32, bloom 4096):");
-    println!("{:<8}{:>10}{:>14}{:>14}", "gap", "norm.", "ACS writes", "log live");
+    println!(
+        "{:<8}{:>10}{:>14}{:>14}",
+        "gap", "norm.", "ACS writes", "log live"
+    );
     for gap in [0u64, 1, 2, 3, 5, 7, 10] {
         let mut cfg = base_cfg.clone();
         cfg.epoch.acs_gap = gap;
@@ -60,7 +63,10 @@ fn main() {
     }
 
     println!("\nUndo-buffer capacity sweep (gap 3, bloom 4096):");
-    println!("{:<8}{:>10}{:>12}{:>14}", "entries", "norm.", "flushes", "forced");
+    println!(
+        "{:<8}{:>10}{:>12}{:>14}",
+        "entries", "norm.", "flushes", "forced"
+    );
     for entries in [4usize, 8, 16, 32, 64, 128] {
         let mut cfg = base_cfg.clone();
         cfg.epoch.undo_buffer_entries = entries;

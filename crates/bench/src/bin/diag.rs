@@ -3,19 +3,26 @@
 //! timing model (`cargo run --release -p picl-bench --bin diag mcf`).
 
 use picl_nvm::{AccessClass, TrafficCategory};
-use picl_sim::{Simulation, SchemeKind};
+use picl_sim::{SchemeKind, Simulation};
 use picl_trace::spec::SpecBenchmark;
 use picl_types::SystemConfig;
 
 fn main() {
-    let bench: SpecBenchmark = std::env::args().nth(1).unwrap_or("mcf".into()).parse().unwrap();
+    let bench: SpecBenchmark = std::env::args()
+        .nth(1)
+        .unwrap_or("mcf".into())
+        .parse()
+        .unwrap();
     for scheme in SchemeKind::ALL {
         let mut cfg = SystemConfig::paper_single_core();
         cfg.epoch.epoch_len_instructions = 3_000_000;
         let r = Simulation::builder(cfg)
-            .scheme(scheme).workload(&[bench])
-            .instructions_per_core(9_000_000).seed(1)
-            .run().unwrap();
+            .scheme(scheme)
+            .workload(&[bench])
+            .instructions_per_core(9_000_000)
+            .seed(1)
+            .run()
+            .unwrap();
         let n = &r.nvm;
         println!("{:<11} cyc={:>12} commits={:>4} stall={:>11} | demand={:>8} wb={:>8} seqlog={:>7} rndlog={:>9} | rowhit={:>8} rowmiss={:>8} svc={:>12}",
             r.scheme, r.total_cycles.raw(), r.commits, r.stall_cycles,
@@ -24,9 +31,17 @@ fn main() {
             n.ops_in_category(TrafficCategory::SequentialLogging),
             n.ops_in_category(TrafficCategory::RandomLogging),
             n.row_hits.get(), n.row_misses.get(), n.service_cycles.get());
-        for c in [AccessClass::AcsWrite, AccessClass::UndoLogBulk, AccessClass::UndoPreimageRead, AccessClass::RedoLogWrite, AccessClass::CowPageCopy] {
+        for c in [
+            AccessClass::AcsWrite,
+            AccessClass::UndoLogBulk,
+            AccessClass::UndoPreimageRead,
+            AccessClass::RedoLogWrite,
+            AccessClass::CowPageCopy,
+        ] {
             let ops = n.ops(c);
-            if ops > 0 { print!("    {c}={ops}"); }
+            if ops > 0 {
+                print!("    {c}={ops}");
+            }
         }
         println!();
     }

@@ -33,7 +33,10 @@ fn main() {
     );
     let reports = run_experiments(&experiments, threads());
 
-    println!("\n# of commits per epoch interval of {}M instructions (1.0 = timer only)", cfg.epoch.epoch_len_instructions / 1_000_000);
+    println!(
+        "\n# of commits per epoch interval of {}M instructions (1.0 = timer only)",
+        cfg.epoch.epoch_len_instructions / 1_000_000
+    );
     print!("{:<12}", "workload");
     for s in &schemes {
         print!("{:>12}", s.name());

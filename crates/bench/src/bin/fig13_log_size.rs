@@ -6,7 +6,7 @@
 //! epochs; the heaviest loggers stay within a few hundred MB — well within
 //! NVM capacities.
 
-use picl_bench::{bar, banner, grid, scaled, threads};
+use picl_bench::{banner, bar, grid, scaled, threads};
 use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
 use picl_trace::spec::SpecBenchmark;
 use picl_types::stats::format_bytes;

@@ -32,8 +32,10 @@ fn main() {
     );
     let reports = run_experiments(&experiments, threads());
 
-    println!("\nObserved epoch length in M instructions (target {} M)",
-        cfg.epoch.epoch_len_instructions / 1_000_000);
+    println!(
+        "\nObserved epoch length in M instructions (target {} M)",
+        cfg.epoch.epoch_len_instructions / 1_000_000
+    );
     print!("{:<12}", "workload");
     for s in &schemes {
         print!("{:>12}", s.name());

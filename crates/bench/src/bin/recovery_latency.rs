@@ -20,8 +20,10 @@ fn main() {
         "\n{:<10}{:>9}{:>14}{:>14}{:>16}{:>12}",
         "scheme", "acs-gap", "entries", "applied", "latency(cyc)", "latency(ms)"
     );
-    let mut jobs: Vec<(SchemeKind, u64)> =
-        [0u64, 1, 3, 7].iter().map(|&g| (SchemeKind::Picl, g)).collect();
+    let mut jobs: Vec<(SchemeKind, u64)> = [0u64, 1, 3, 7]
+        .iter()
+        .map(|&g| (SchemeKind::Picl, g))
+        .collect();
     jobs.push((SchemeKind::Frm, 0));
 
     for (scheme, gap) in jobs {

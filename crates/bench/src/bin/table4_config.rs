@@ -54,6 +54,9 @@ fn main() {
     );
     println!(
         "  Tables      {} entries {}-way (Journaling/Shadow); ThyNVM {} block + {} page",
-        cfg.table.entries, cfg.table.ways, cfg.table.thynvm_block_entries, cfg.table.thynvm_page_entries
+        cfg.table.entries,
+        cfg.table.ways,
+        cfg.table.thynvm_block_entries,
+        cfg.table.thynvm_page_entries
     );
 }

@@ -85,7 +85,10 @@ pub fn grid(
 ///
 /// Panics if `reports.len()` is not a multiple of `schemes`.
 pub fn normalize_rows(reports: &[RunReport], schemes: usize) -> Vec<(String, Vec<f64>)> {
-    assert!(schemes > 0 && reports.len() % schemes == 0, "ragged grid");
+    assert!(
+        schemes > 0 && reports.len().is_multiple_of(schemes),
+        "ragged grid"
+    );
     reports
         .chunks(schemes)
         .map(|chunk| {
@@ -151,7 +154,7 @@ mod tests {
     #[test]
     fn scaled_never_zero() {
         assert!(scaled(1) >= 10_000);
-        assert_eq!(scaled(1_000_000), (1_000_000 as f64 * scale()) as u64);
+        assert_eq!(scaled(1_000_000), (1_000_000_f64 * scale()) as u64);
     }
 
     #[test]

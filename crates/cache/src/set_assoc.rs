@@ -169,7 +169,10 @@ impl<T> SetAssocCache<T> {
     }
 
     /// Removes every entry for which `pred` returns true, yielding them.
-    pub fn drain_filter(&mut self, mut pred: impl FnMut(LineAddr, &T) -> bool) -> Vec<(LineAddr, T)> {
+    pub fn drain_filter(
+        &mut self,
+        mut pred: impl FnMut(LineAddr, &T) -> bool,
+    ) -> Vec<(LineAddr, T)> {
         let mut out = Vec::new();
         for set in &mut self.sets {
             let mut i = 0;

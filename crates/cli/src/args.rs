@@ -42,7 +42,9 @@ impl Args {
             .next()
             .ok_or_else(|| ArgError("missing command; try `picl help`".into()))?;
         if command.starts_with('-') {
-            return Err(ArgError(format!("expected a command, found flag {command:?}")));
+            return Err(ArgError(format!(
+                "expected a command, found flag {command:?}"
+            )));
         }
         let mut flags = BTreeMap::new();
         while let Some(tok) = it.next() {
@@ -169,7 +171,10 @@ mod tests {
     fn malformed_flags_are_errors() {
         assert!(Args::parse(["run", "mcf"]).is_err(), "positional");
         assert!(Args::parse(["run", "--bench"]).is_err(), "missing value");
-        assert!(Args::parse(["run", "--a", "1", "--a", "2"]).is_err(), "duplicate");
+        assert!(
+            Args::parse(["run", "--a", "1", "--a", "2"]).is_err(),
+            "duplicate"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Subcommand implementations for the `picl` CLI.
 
+use picl_crashlab::{run_campaign, CampaignConfig, CrashPoint, LabScheme, TrialSpec};
 use picl_nvm::TrafficCategory;
 use picl_sim::{Machine, RunReport, SchemeKind, Simulation, WorkloadSpec};
 use picl_trace::file::{write_trace, RecordedTrace};
@@ -18,6 +19,7 @@ commands:
   run         simulate one scheme on one workload and print the report
   compare     run every scheme on one workload, normalized to Ideal
   crash       run, pull the plug, recover, and verify consistency
+  crashlab    crash-injection campaign: schemes x benchmarks x crash points
   sweep       sweep a PiCL parameter (acs-gap | buffer | bloom | epoch)
   record      capture a synthetic workload to a trace file
   replay      simulate from a recorded trace file
@@ -32,6 +34,15 @@ common flags:
   --acs-gap N           PiCL ACS-gap (default 3)
   --seed N              experiment seed (default 42)
   --footprint-scale F   scale workload footprints (default 1.0)
+
+crashlab flags:
+  --schemes LIST        all | comma list (adds broken-noundo; default all)
+  --bench LIST          comma list of benchmarks (default mcf,gcc,lbm)
+  --points N            crash points per benchmark (default 64)
+  --instructions N      run budget in instructions (default 200k)
+  --threads N           worker threads (default: all cores)
+  --crash-at N          replay one crash at instruction N instead
+  --boundary-cores N    with --crash-at: crash mid-flush after N checkpoints
 ";
 
 /// Runs the parsed command.
@@ -44,6 +55,7 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
         "run" => cmd_run(args),
         "compare" => cmd_compare(args),
         "crash" => cmd_crash(args),
+        "crashlab" => cmd_crashlab(args),
         "sweep" => cmd_sweep(args),
         "record" => cmd_record(args),
         "replay" => cmd_replay(args),
@@ -52,7 +64,9 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(ArgError(format!("unknown command {other:?}; try `picl help`"))),
+        other => Err(ArgError(format!(
+            "unknown command {other:?}; try `picl help`"
+        ))),
     }
 }
 
@@ -74,7 +88,9 @@ fn parse_scheme(name: &str) -> Result<SchemeKind, ArgError> {
         .ok_or_else(|| {
             ArgError(format!(
                 "unknown scheme {name:?}; choose one of {}",
-                SchemeKind::ALL.map(|k| k.name().to_ascii_lowercase()).join(", ")
+                SchemeKind::ALL
+                    .map(|k| k.name().to_ascii_lowercase())
+                    .join(", ")
             ))
         })
 }
@@ -99,7 +115,9 @@ fn print_report(report: &RunReport) {
         "  NVM ops: {} demand, {} write-back, {} sequential-log, {} random-log",
         report.nvm.ops_in_category(TrafficCategory::Demand),
         report.nvm.ops_in_category(TrafficCategory::WriteBack),
-        report.nvm.ops_in_category(TrafficCategory::SequentialLogging),
+        report
+            .nvm
+            .ops_in_category(TrafficCategory::SequentialLogging),
         report.nvm.ops_in_category(TrafficCategory::RandomLogging),
     );
 }
@@ -158,7 +176,9 @@ fn cmd_crash(args: &Args) -> Result<(), ArgError> {
     let scheme = parse_scheme(args.get_or("scheme", "picl"))?;
     let mut machine = Simulation::builder(config_from(args)?)
         .scheme(scheme)
-        .workload_spec(WorkloadSpec::single(parse_bench(args.get_or("bench", "gcc"))?))
+        .workload_spec(WorkloadSpec::single(parse_bench(
+            args.get_or("bench", "gcc"),
+        )?))
         .seed(args.count_or("seed", 42)?)
         .footprint_scale(args.float_or("footprint-scale", 0.25)?)
         .keep_snapshots(true)
@@ -183,14 +203,140 @@ fn cmd_crash(args: &Args) -> Result<(), ArgError> {
     );
     match crash.consistent {
         Some(true) => println!("verification: memory matches the recovered checkpoint exactly"),
-        Some(false) => println!(
-            "verification: INCONSISTENT — {} mismatching lines (first: {:?})",
-            crash.mismatches.len(),
-            crash.mismatches.first()
-        ),
+        Some(false) => {
+            let first = crash
+                .mismatches
+                .first()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "?".into());
+            println!(
+                "verification: INCONSISTENT — {} mismatching lines (first: {first})",
+                crash.mismatch_count
+            );
+        }
         None => println!("verification: no golden snapshot for that epoch"),
     }
     Ok(())
+}
+
+fn parse_lab_schemes(spec: &str) -> Result<Vec<LabScheme>, ArgError> {
+    if spec.eq_ignore_ascii_case("all") {
+        return Ok(LabScheme::PROTECTED.to_vec());
+    }
+    spec.split(',')
+        .map(|name| {
+            LabScheme::parse(name.trim()).ok_or_else(|| {
+                ArgError(format!(
+                    "unknown scheme {name:?}; use `all`, a scheme name, or broken-noundo"
+                ))
+            })
+        })
+        .collect()
+}
+
+fn cmd_crashlab(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "schemes",
+        "bench",
+        "points",
+        "seed",
+        "instructions",
+        "epoch",
+        "acs-gap",
+        "footprint-scale",
+        "threads",
+        "crash-at",
+        "boundary-cores",
+    ])?;
+    let schemes = parse_lab_schemes(args.get_or("schemes", "all"))?;
+    let benches: Vec<SpecBenchmark> = args
+        .get_or("bench", "mcf,gcc,lbm")
+        .split(',')
+        .map(|b| parse_bench(b.trim()))
+        .collect::<Result<_, _>>()?;
+    let config = CampaignConfig {
+        schemes,
+        benches,
+        points: args.count_or("points", 64)? as usize,
+        seed: args.count_or("seed", 1)?,
+        budget: args.count_or("instructions", 200_000)?,
+        epoch_len: args.count_or("epoch", 25_000)?,
+        acs_gap: args.count_or("acs-gap", 3)?,
+        footprint_scale: args.float_or("footprint-scale", 0.05)?,
+        threads: args.count_or("threads", 0)? as usize,
+        shrink_failures: true,
+    };
+    if config.points == 0 {
+        return Err(ArgError("--points must be at least 1".into()));
+    }
+    if args.get("boundary-cores").is_some() && args.get("crash-at").is_none() {
+        return Err(ArgError(
+            "--boundary-cores only applies in repro mode; pass --crash-at too".into(),
+        ));
+    }
+
+    // Repro mode: replay one crash point (the format `repro_command` emits).
+    if let Some(at) = args.get("crash-at") {
+        let at = crate::args::parse_count(at)
+            .ok_or_else(|| ArgError(format!("--crash-at: cannot parse {at:?} as a count")))?;
+        let point = if args.get("boundary-cores").is_some() {
+            CrashPoint::MidBoundary {
+                at,
+                cores_done: args.count_or("boundary-cores", 0)? as usize,
+            }
+        } else {
+            CrashPoint::MidEpoch { at }
+        };
+        let mut failures = 0usize;
+        for &scheme in &config.schemes {
+            for &bench in &config.benches {
+                let spec = TrialSpec {
+                    scheme,
+                    bench,
+                    epoch_len: config.epoch_len,
+                    acs_gap: config.acs_gap,
+                    seed: config.seed,
+                    footprint_scale: config.footprint_scale,
+                    point,
+                };
+                let outcome = spec.execute();
+                let verdict = if outcome.passed(scheme.expects_consistency()) {
+                    "ok"
+                } else {
+                    failures += 1;
+                    "FAIL"
+                };
+                println!(
+                    "{:<14} {:<8} {}: {} — recovered to epoch {} ({} epochs lost, \
+                     {} entries, {} cycles, {} mismatching lines)",
+                    scheme.name(),
+                    bench.name(),
+                    spec.point,
+                    verdict,
+                    outcome.recovered_to,
+                    outcome.epochs_lost,
+                    outcome.entries_applied,
+                    outcome.recovery_cycles,
+                    outcome.mismatch_count
+                );
+            }
+        }
+        if failures > 0 {
+            return Err(ArgError(format!("{failures} crash trial(s) inconsistent")));
+        }
+        return Ok(());
+    }
+
+    let report = run_campaign(&config);
+    print!("{report}");
+    if report.all_passed() {
+        Ok(())
+    } else {
+        Err(ArgError(format!(
+            "{} crash trial(s) recovered inconsistently (reproducers above)",
+            report.failures.len()
+        )))
+    }
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
@@ -202,14 +348,16 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         .get_or("values", "0,1,3,7")
         .split(',')
         .map(|v| {
-            crate::args::parse_count(v)
-                .ok_or_else(|| ArgError(format!("bad sweep value {v:?}")))
+            crate::args::parse_count(v).ok_or_else(|| ArgError(format!("bad sweep value {v:?}")))
         })
         .collect::<Result<_, _>>()?;
     let bench = parse_bench(args.get_or("bench", "gcc"))?;
     let instructions = args.count_or("instructions", 8_000_000)?;
 
-    println!("{:<12}{:>12}{:>10}{:>12}", param, "cycles", "commits", "log-bytes");
+    println!(
+        "{:<12}{:>12}{:>10}{:>12}",
+        param, "cycles", "commits", "log-bytes"
+    );
     for &v in &values {
         let mut cfg = config_from(args)?;
         match param {
@@ -255,8 +403,8 @@ fn cmd_record(args: &Args) -> Result<(), ArgError> {
         .profile()
         .scaled(args.float_or("footprint-scale", 1.0)?);
     let mut source = picl_trace::spec::ProfileGen::new(profile, args.count_or("seed", 42)?);
-    let file = std::fs::File::create(out)
-        .map_err(|e| ArgError(format!("cannot create {out}: {e}")))?;
+    let file =
+        std::fs::File::create(out).map_err(|e| ArgError(format!("cannot create {out}: {e}")))?;
     write_trace(std::io::BufWriter::new(file), &mut source, events)
         .map_err(|e| ArgError(format!("write failed: {e}")))?;
     println!("recorded {events} events of {bench} to {out}");
@@ -264,12 +412,19 @@ fn cmd_record(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_replay(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["trace", "scheme", "instructions", "epoch", "acs-gap", "seed"])?;
+    args.expect_only(&[
+        "trace",
+        "scheme",
+        "instructions",
+        "epoch",
+        "acs-gap",
+        "seed",
+    ])?;
     let path = args
         .get("trace")
         .ok_or_else(|| ArgError("replay needs --trace FILE".into()))?;
-    let file = std::fs::File::open(path)
-        .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
     let trace = RecordedTrace::from_reader(std::io::BufReader::new(file), path)
         .map_err(|e| ArgError(format!("cannot parse {path}: {e}")))?;
     println!("replaying {} recorded events (cyclically)…", trace.len());
@@ -367,6 +522,49 @@ mod tests {
         ])
         .unwrap();
         dispatch(&args).unwrap();
+    }
+
+    #[test]
+    fn crashlab_small_campaign_passes() {
+        let args = Args::parse([
+            "crashlab",
+            "--schemes",
+            "picl,frm",
+            "--bench",
+            "gcc",
+            "--points",
+            "4",
+            "--instructions",
+            "120k",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        dispatch(&args).unwrap();
+    }
+
+    #[test]
+    fn crashlab_catches_broken_scheme_in_repro_mode() {
+        let args = Args::parse([
+            "crashlab",
+            "--schemes",
+            "broken-noundo",
+            "--bench",
+            "gcc",
+            "--crash-at",
+            "120k",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn crashlab_rejects_unknown_scheme() {
+        let args = Args::parse(["crashlab", "--schemes", "bogus"]).unwrap();
+        assert!(dispatch(&args).is_err());
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl BloomFilter {
     /// Panics if `bits` is not a nonzero multiple of 64 and power of two,
     /// or `hashes` is zero.
     pub fn new(bits: usize, hashes: u32) -> Self {
-        assert!(bits >= 64 && bits.is_power_of_two(), "bits must be a power of two >= 64");
+        assert!(
+            bits >= 64 && bits.is_power_of_two(),
+            "bits must be a power of two >= 64"
+        );
         assert!(hashes > 0, "need at least one hash function");
         BloomFilter {
             words: vec![0; bits / 64],
@@ -54,7 +57,8 @@ impl BloomFilter {
         let h1 = mix(addr.raw().wrapping_add(0x9E37_79B9_7F4A_7C15));
         let h2 = mix(h1 ^ 0xD6E8_FEB8_6659_FD93) | 1;
         let mask = (self.bits - 1) as u64;
-        (0..self.hashes).map(move |i| (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & mask) as usize)
+        (0..self.hashes)
+            .map(move |i| (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & mask) as usize)
     }
 
     /// Records `addr` in the filter.
@@ -131,7 +135,11 @@ mod tests {
             f.insert(LineAddr::new(i.wrapping_mul(0xDEAD_BEEF_1234)));
         }
         // §III-B: false-positive rate is insignificant at this sizing.
-        assert!(f.false_positive_estimate() < 0.001, "fp {}", f.false_positive_estimate());
+        assert!(
+            f.false_positive_estimate() < 0.001,
+            "fp {}",
+            f.false_positive_estimate()
+        );
         // Empirical check over many non-inserted addresses.
         let fp = (1_000_000u64..1_020_000)
             .filter(|&i| f.maybe_contains(LineAddr::new(i)))

@@ -65,7 +65,10 @@ impl EpochTracker {
     /// Panics if `epoch` is not committed yet, regresses persistence, or
     /// the resulting live window would overflow the EID tag width.
     pub fn persist(&mut self, epoch: EpochId) {
-        assert!(epoch < self.system, "cannot persist the executing epoch {epoch}");
+        assert!(
+            epoch < self.system,
+            "cannot persist the executing epoch {epoch}"
+        );
         assert!(
             epoch >= self.persisted,
             "persistence cannot regress from {} to {epoch}",

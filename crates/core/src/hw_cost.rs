@@ -133,7 +133,11 @@ impl OverheadReport {
 impl std::fmt::Display for OverheadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "PiCL hardware overhead on {}", self.device.name)?;
-        writeln!(f, "{:<12} {:>10} {:>8} {:>8}", "structure", "bits", "BRAM36", "LUTs")?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>8} {:>8}",
+            "structure", "bits", "BRAM36", "LUTs"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -154,7 +158,13 @@ impl std::fmt::Display for OverheadReport {
 
 /// Estimates PiCL's hardware overhead for a prototype configuration.
 pub fn estimate(params: &PrototypeParams, device: FpgaDevice) -> OverheadReport {
-    let brams = |bits: u64| if bits == 0 { 0 } else { bits.div_ceil(BRAM36_BITS) };
+    let brams = |bits: u64| {
+        if bits == 0 {
+            0
+        } else {
+            bits.div_ceil(BRAM36_BITS)
+        }
+    };
 
     // L1 is write-through and unmodified (§V-A).
     let l1 = OverheadRow {
@@ -238,9 +248,16 @@ mod tests {
         // §V-B: total logic overhead under 1%, BRAM overhead a little
         // above the raw bit count but still small (paper: 4.7%).
         let r = report();
-        assert!(r.lut_overhead_pct() < 1.0, "LUT overhead {}", r.lut_overhead_pct());
-        assert!(r.bram_overhead_pct() > 1.0 && r.bram_overhead_pct() < 10.0,
-            "BRAM overhead {}", r.bram_overhead_pct());
+        assert!(
+            r.lut_overhead_pct() < 1.0,
+            "LUT overhead {}",
+            r.lut_overhead_pct()
+        );
+        assert!(
+            r.bram_overhead_pct() > 1.0 && r.bram_overhead_pct() < 10.0,
+            "BRAM overhead {}",
+            r.bram_overhead_pct()
+        );
         // LLC modifications dominate the cache logic (paper: >75% of it).
         assert!(r.rows[2].added_luts > r.rows[1].added_luts);
     }

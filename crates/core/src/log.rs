@@ -310,7 +310,11 @@ mod tests {
         m.state_mut().write_line(LineAddr::new(5), 300);
         let (applied, _) = log.recover(&mut m, EpochId(1), Cycle(0));
         assert_eq!(applied, 2);
-        assert_eq!(m.state().read_line(LineAddr::new(5)), 100, "oldest pre-image must win");
+        assert_eq!(
+            m.state().read_line(LineAddr::new(5)),
+            100,
+            "oldest pre-image must win"
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ impl IoBuffer {
     /// Panics if epochs are submitted out of order.
     pub fn submit(&mut self, id: u64, epoch: EpochId) {
         if let Some(last) = self.pending.back() {
-            assert!(epoch >= last.epoch, "I/O writes must be submitted in epoch order");
+            assert!(
+                epoch >= last.epoch,
+                "I/O writes must be submitted in epoch order"
+            );
         }
         self.pending.push_back(PendingIo { id, epoch });
     }

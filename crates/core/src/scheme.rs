@@ -1,5 +1,5 @@
-//! The PiCL consistency scheme: cache-driven logging + multi-undo logging
-//! + asynchronous cache scan, wired into the
+//! The PiCL consistency scheme: cache-driven logging, multi-undo logging,
+//! and the asynchronous cache scan, wired into the
 //! [`picl_cache::ConsistencyScheme`] interface.
 
 use picl_cache::{
@@ -49,10 +49,7 @@ impl Picl {
         let e = &cfg.epoch;
         Picl {
             epochs: EpochTracker::new(e.eid_bits),
-            buffer: UndoBuffer::new(
-                e.undo_buffer_entries,
-                BloomFilter::new(e.bloom_bits, 2),
-            ),
+            buffer: UndoBuffer::new(e.undo_buffer_entries, BloomFilter::new(e.bloom_bits, 2)),
             log: UndoLog::new(),
             allocator: LogAllocator::paper_default(),
             acs_gap: e.acs_gap,
@@ -119,7 +116,13 @@ impl Picl {
 
     /// One ACS pass: write back (in place) every dirty line tagged exactly
     /// `target`, snooping private copies, and make them clean.
-    fn acs_pass(&mut self, hier: &mut Hierarchy, mem: &mut Nvm, target: EpochId, now: Cycle) -> Cycle {
+    fn acs_pass(
+        &mut self,
+        hier: &mut Hierarchy,
+        mem: &mut Nvm,
+        target: EpochId,
+        now: Cycle,
+    ) -> Cycle {
         let mut t = now;
         for line in hier.take_lines_with_eid(target) {
             t = t.max(mem.write(now, line.addr, line.value, AccessClass::AcsWrite));

@@ -1,0 +1,377 @@
+//! The campaign runner: shards `(scheme × benchmark × crash point)`
+//! trials over a thread pool and folds the verdicts into a pass/fail
+//! matrix with per-scheme RPO and recovery-latency figures.
+//!
+//! Every benchmark gets its own point schedule (derived from the campaign
+//! seed and the benchmark's index), and all schemes face the *same*
+//! schedule on that benchmark — the differential part of the oracle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use picl_trace::spec::SpecBenchmark;
+
+use crate::oracle::{TrialOutcome, TrialSpec};
+use crate::point::{schedule, CrashPoint, ScheduleConfig};
+use crate::scheme::LabScheme;
+use crate::shrink::{shrink_failure, ShrunkFailure};
+
+/// Everything a campaign needs; two campaigns with equal configs produce
+/// identical reports.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Schemes to put under the crash gun.
+    pub schemes: Vec<LabScheme>,
+    /// Benchmark profiles to drive traces from.
+    pub benches: Vec<SpecBenchmark>,
+    /// Crash points per benchmark.
+    pub points: usize,
+    /// Campaign seed (drives both point schedules and trace generation).
+    pub seed: u64,
+    /// Run budget in retired instructions; crash points fall within it.
+    pub budget: u64,
+    /// Epoch length in instructions.
+    pub epoch_len: u64,
+    /// PiCL ACS gap.
+    pub acs_gap: u64,
+    /// Workload footprint scale.
+    pub footprint_scale: f64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Whether to bisect each failure down to a minimal reproducer.
+    pub shrink_failures: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            schemes: LabScheme::PROTECTED.to_vec(),
+            benches: vec![SpecBenchmark::Mcf, SpecBenchmark::Gcc, SpecBenchmark::Lbm],
+            points: 64,
+            seed: 1,
+            budget: 200_000,
+            epoch_len: 25_000,
+            acs_gap: 3,
+            // gcc's scaled footprint keeps the LLC under conflict pressure
+            // at this scale, so crash points land on real in-flight state.
+            footprint_scale: 0.05,
+            threads: 0,
+            shrink_failures: true,
+        }
+    }
+}
+
+/// One `(scheme, benchmark)` cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Scheme of this cell.
+    pub scheme: LabScheme,
+    /// Benchmark of this cell.
+    pub bench: SpecBenchmark,
+    /// Crash points that recovered correctly (or were exempt).
+    pub passed: usize,
+    /// Crash points tried.
+    pub total: usize,
+    /// Worst epochs-lost across the cell's trials.
+    pub max_epochs_lost: u64,
+    /// Mean epochs-lost across the cell's trials.
+    pub mean_epochs_lost: f64,
+    /// Mean recovery latency in cycles.
+    pub mean_recovery_cycles: f64,
+    /// Worst recovery latency in cycles.
+    pub max_recovery_cycles: u64,
+}
+
+/// A failing trial, with its (possibly shrunk) reproducer.
+#[derive(Debug, Clone)]
+pub struct CampaignFailure {
+    /// The failing spec as originally scheduled.
+    pub spec: TrialSpec,
+    /// The outcome at the scheduled instant.
+    pub outcome: TrialOutcome,
+    /// The minimized failure, when shrinking was enabled.
+    pub shrunk: Option<ShrunkFailure>,
+}
+
+impl CampaignFailure {
+    /// The best available one-line reproducer (shrunk when possible).
+    pub fn repro_command(&self) -> String {
+        match &self.shrunk {
+            Some(s) => s.repro_command(),
+            None => self.spec.repro_command(),
+        }
+    }
+}
+
+/// The folded result of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The config that produced this report (replayability).
+    pub config: CampaignConfig,
+    /// One cell per `(scheme, benchmark)` pair, scheme-major.
+    pub cells: Vec<CampaignCell>,
+    /// Every failing trial, with reproducers.
+    pub failures: Vec<CampaignFailure>,
+}
+
+impl CampaignReport {
+    /// Whether every trial in every cell passed.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The cell for `(scheme, bench)`, if it was part of the campaign.
+    pub fn cell(&self, scheme: LabScheme, bench: SpecBenchmark) -> Option<&CampaignCell> {
+        self.cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.bench == bench)
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "crash campaign: {} scheme(s) x {} benchmark(s) x {} point(s), seed {}",
+            self.config.schemes.len(),
+            self.config.benches.len(),
+            self.config.points,
+            self.config.seed
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:<8} {:>9} {:>8} {:>10} {:>12} {:>12}",
+            "scheme", "bench", "passed", "RPO.max", "RPO.mean", "rec.mean(cy)", "rec.max(cy)"
+        )?;
+        for cell in &self.cells {
+            let verdict = if cell.passed == cell.total {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            writeln!(
+                f,
+                "{:<12} {:<8} {:>5}/{:<3} {:>8} {:>10.2} {:>12.0} {:>12} {}",
+                cell.scheme.name(),
+                cell.bench.name(),
+                cell.passed,
+                cell.total,
+                cell.max_epochs_lost,
+                cell.mean_epochs_lost,
+                cell.mean_recovery_cycles,
+                cell.max_recovery_cycles,
+                verdict
+            )?;
+        }
+        if self.failures.is_empty() {
+            writeln!(f, "all crash points recovered consistently")?;
+        } else {
+            writeln!(f, "{} failing trial(s):", self.failures.len())?;
+            for failure in &self.failures {
+                writeln!(
+                    f,
+                    "  {} {} {}: {} mismatching line(s)",
+                    failure.spec.scheme.name(),
+                    failure.spec.bench.name(),
+                    failure.spec.point,
+                    failure.outcome.mismatch_count
+                )?;
+                writeln!(f, "    repro: {}", failure.repro_command())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full campaign, sharding trials over `config.threads` workers.
+///
+/// # Panics
+///
+/// Panics if the config has no schemes, benchmarks, or points, or if the
+/// derived system configuration is invalid.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    assert!(!config.schemes.is_empty(), "no schemes to test");
+    assert!(!config.benches.is_empty(), "no benchmarks to test");
+    assert!(config.points > 0, "no crash points to test");
+
+    // One schedule per benchmark, shared by every scheme on it.
+    let schedules: Vec<Vec<CrashPoint>> = config
+        .benches
+        .iter()
+        .enumerate()
+        .map(|(bi, _)| {
+            schedule(
+                config.seed.wrapping_add(bi as u64),
+                &ScheduleConfig {
+                    points: config.points,
+                    budget: config.budget,
+                    epoch_len: config.epoch_len,
+                    cores: 1,
+                },
+            )
+        })
+        .collect();
+
+    let mut specs = Vec::with_capacity(config.schemes.len() * config.benches.len() * config.points);
+    for &scheme in &config.schemes {
+        for (bi, &bench) in config.benches.iter().enumerate() {
+            for &point in &schedules[bi] {
+                specs.push(TrialSpec {
+                    scheme,
+                    bench,
+                    epoch_len: config.epoch_len,
+                    acs_gap: config.acs_gap,
+                    seed: config.seed,
+                    footprint_scale: config.footprint_scale,
+                    point,
+                });
+            }
+        }
+    }
+
+    let outcomes = run_sharded(&specs, config.threads);
+
+    // Fold trials into scheme-major cells.
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    for &scheme in &config.schemes {
+        for &bench in &config.benches {
+            let trials: Vec<(&TrialSpec, &TrialOutcome)> = specs
+                .iter()
+                .zip(&outcomes)
+                .filter(|(s, _)| s.scheme == scheme && s.bench == bench)
+                .collect();
+            let total = trials.len();
+            let expects = scheme.expects_consistency();
+            let mut passed = 0usize;
+            let mut rpo_sum = 0u64;
+            let mut rpo_max = 0u64;
+            let mut rec_sum = 0u64;
+            let mut rec_max = 0u64;
+            for &(spec, outcome) in &trials {
+                if outcome.passed(expects) {
+                    passed += 1;
+                } else {
+                    failures.push(CampaignFailure {
+                        spec: *spec,
+                        outcome: *outcome,
+                        shrunk: None,
+                    });
+                }
+                rpo_sum += outcome.epochs_lost;
+                rpo_max = rpo_max.max(outcome.epochs_lost);
+                rec_sum += outcome.recovery_cycles;
+                rec_max = rec_max.max(outcome.recovery_cycles);
+            }
+            cells.push(CampaignCell {
+                scheme,
+                bench,
+                passed,
+                total,
+                max_epochs_lost: rpo_max,
+                mean_epochs_lost: rpo_sum as f64 / total.max(1) as f64,
+                mean_recovery_cycles: rec_sum as f64 / total.max(1) as f64,
+                max_recovery_cycles: rec_max,
+            });
+        }
+    }
+
+    if config.shrink_failures {
+        for failure in &mut failures {
+            failure.shrunk = Some(shrink_failure(&failure.spec, failure.outcome));
+        }
+    }
+
+    CampaignReport {
+        config: config.clone(),
+        cells,
+        failures,
+    }
+}
+
+/// Executes every spec, sharding over a scoped thread pool. Results come
+/// back in spec order regardless of completion order.
+fn run_sharded(specs: &[TrialSpec], threads: usize) -> Vec<TrialOutcome> {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(specs.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<TrialOutcome>>> = Mutex::new(vec![None; specs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(idx) else { break };
+                let outcome = spec.execute();
+                results.lock().unwrap()[idx] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("worker completed every claimed trial"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picl_sim::SchemeKind;
+
+    fn small(schemes: Vec<LabScheme>) -> CampaignConfig {
+        CampaignConfig {
+            schemes,
+            benches: vec![SpecBenchmark::Mcf],
+            points: 6,
+            budget: 120_000,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = small(vec![LabScheme::Standard(SchemeKind::Picl)]);
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.all_passed(), b.all_passed());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.passed, cb.passed);
+            assert_eq!(ca.max_epochs_lost, cb.max_epochs_lost);
+            assert_eq!(ca.max_recovery_cycles, cb.max_recovery_cycles);
+        }
+    }
+
+    #[test]
+    fn protected_scheme_passes_small_campaign() {
+        let report = run_campaign(&small(vec![LabScheme::Standard(SchemeKind::Journaling)]));
+        assert!(report.all_passed(), "{report}");
+        let cell = report
+            .cell(
+                LabScheme::Standard(SchemeKind::Journaling),
+                SpecBenchmark::Mcf,
+            )
+            .unwrap();
+        assert_eq!(cell.passed, cell.total);
+        assert_eq!(cell.total, 6);
+    }
+
+    #[test]
+    fn single_threaded_matches_pooled() {
+        let mut cfg = small(vec![LabScheme::Standard(SchemeKind::Frm)]);
+        let pooled = run_campaign(&cfg);
+        cfg.threads = 1;
+        let serial = run_campaign(&cfg);
+        for (a, b) in pooled.cells.iter().zip(&serial.cells) {
+            assert_eq!(a.passed, b.passed);
+            assert_eq!(a.mean_recovery_cycles, b.mean_recovery_cycles);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Systematic crash-injection and differential recovery validation.
+//!
+//! The simulator can crash a machine (`Machine::crash`) and schemes can
+//! recover (`ConsistencyScheme::crash_recover`), but one crash at one
+//! instant proves little: crash-consistency bugs live at *specific*
+//! interleavings. This crate turns the single-crash primitive into a
+//! campaign engine:
+//!
+//! - [`point`] — the crash-point scheduler. Samples a replayable mix of
+//!   mid-epoch, boundary-aligned, and mid-flush-window instants from the
+//!   seeded [`picl_types::Rng`].
+//! - [`oracle`] — the differential oracle. Runs a scheme on a trace,
+//!   cuts power at a scheduled instant, recovers, and compares NVM
+//!   line-for-line against the golden epoch snapshot, recording
+//!   epochs-lost (the RPO) and recovery latency.
+//! - [`shrink`] — the shrinker. Bisects a failing trial down to the
+//!   minimal instruction budget that still reproduces it and emits a
+//!   one-line reproducer.
+//! - [`campaign`] — the runner. Shards `(scheme × benchmark × point)`
+//!   over a thread pool and folds verdicts into a pass/fail matrix.
+//!
+//! Every artifact is deterministic: a campaign replays from
+//! `(seed, config)`, a single trial from its reproducer line.
+
+pub mod campaign;
+pub mod oracle;
+pub mod point;
+pub mod scheme;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignCell, CampaignConfig, CampaignFailure, CampaignReport};
+pub use oracle::{TrialOutcome, TrialSpec};
+pub use point::{schedule, CrashPoint, ScheduleConfig};
+pub use scheme::LabScheme;
+pub use shrink::{shrink_failure, ShrunkFailure};

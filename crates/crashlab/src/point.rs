@@ -1,0 +1,181 @@
+//! The crash-point scheduler: enumerates/samples the instants a campaign
+//! pulls the plug at.
+//!
+//! Crash-consistency schemes fail at *specific* interleavings — mid-epoch
+//! at an arbitrary store, exactly at an epoch boundary, or inside the
+//! boundary flush window while the OS handler is checkpointing register
+//! files. A schedule therefore mixes three point classes instead of
+//! sampling uniformly: half the points land mid-epoch, a quarter exactly
+//! on boundary-aligned instruction counts, and a quarter inside the
+//! boundary window (partial core checkpoints). All sampling is driven by
+//! the seeded [`picl_types::Rng`], so a campaign is replayable from
+//! `(seed, config)` alone and any single point from its reproducer line.
+
+use picl_types::Rng;
+
+/// One crash instant, expressed in retired instructions so it is
+/// reproducible from the trace alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Power failure once `at` total instructions have retired.
+    MidEpoch {
+        /// Retired-instruction instant.
+        at: u64,
+    },
+    /// Power failure inside the epoch-boundary flush window after `at`
+    /// instructions: `cores_done` cores have checkpointed their register
+    /// files, the commit has not run.
+    MidBoundary {
+        /// Retired-instruction instant.
+        at: u64,
+        /// Cores whose boundary-handler stores completed before the cut.
+        cores_done: usize,
+    },
+}
+
+impl CrashPoint {
+    /// The retired-instruction instant of this point.
+    pub fn at(self) -> u64 {
+        match self {
+            CrashPoint::MidEpoch { at } | CrashPoint::MidBoundary { at, .. } => at,
+        }
+    }
+
+    /// The partial-checkpoint count (`None` for plain mid-epoch points).
+    pub fn cores_done(self) -> Option<usize> {
+        match self {
+            CrashPoint::MidEpoch { .. } => None,
+            CrashPoint::MidBoundary { cores_done, .. } => Some(cores_done),
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashPoint::MidEpoch { at } => write!(f, "@{at}"),
+            CrashPoint::MidBoundary { at, cores_done } => {
+                write!(f, "@{at}+boundary[{cores_done}]")
+            }
+        }
+    }
+}
+
+/// Timeline parameters the scheduler samples within.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleConfig {
+    /// Points to generate.
+    pub points: usize,
+    /// Run budget in total retired instructions; points fall in `[1, budget]`.
+    pub budget: u64,
+    /// Configured epoch length (instructions per core).
+    pub epoch_len: u64,
+    /// Core count (the boundary fires every `epoch_len * cores` retired
+    /// instructions, and bounds partial-checkpoint counts).
+    pub cores: usize,
+}
+
+/// Samples a replayable schedule of `cfg.points` crash instants.
+///
+/// # Panics
+///
+/// Panics if `budget`, `epoch_len`, or `cores` is zero.
+pub fn schedule(seed: u64, cfg: &ScheduleConfig) -> Vec<CrashPoint> {
+    assert!(cfg.budget > 0, "empty timeline");
+    assert!(cfg.epoch_len > 0 && cfg.cores > 0, "degenerate epoch span");
+    let mut rng = Rng::new(seed);
+    let span = cfg.epoch_len.saturating_mul(cfg.cores as u64);
+    let whole_epochs = (cfg.budget / span).max(1);
+    (0..cfg.points)
+        .map(|i| match i % 4 {
+            // Exactly at a boundary-aligned instant: the epoch timer fires
+            // within the step that reaches this count.
+            1 => CrashPoint::MidEpoch {
+                at: span * rng.range(1, whole_epochs + 1),
+            },
+            // Inside the boundary flush window, with a partial checkpoint.
+            3 => CrashPoint::MidBoundary {
+                at: span * rng.range(1, whole_epochs + 1),
+                cores_done: rng.below(cfg.cores as u64 + 1) as usize,
+            },
+            // Mid-epoch, anywhere on the timeline.
+            _ => CrashPoint::MidEpoch {
+                at: rng.range(1, cfg.budget + 1),
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ScheduleConfig {
+        ScheduleConfig {
+            points: 64,
+            budget: 200_000,
+            epoch_len: 25_000,
+            cores: 1,
+        }
+    }
+
+    #[test]
+    fn schedule_is_replayable() {
+        assert_eq!(schedule(1, &cfg()), schedule(1, &cfg()));
+        assert_ne!(schedule(1, &cfg()), schedule(2, &cfg()));
+    }
+
+    #[test]
+    fn points_stay_on_the_timeline() {
+        for p in schedule(3, &cfg()) {
+            assert!(p.at() >= 1 && p.at() <= 200_000, "{p}");
+            if let Some(done) = p.cores_done() {
+                assert!(done <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_all_three_classes() {
+        let points = schedule(5, &cfg());
+        let boundary_aligned = points
+            .iter()
+            .filter(|p| matches!(p, CrashPoint::MidEpoch { at } if at % 25_000 == 0))
+            .count();
+        let mid_boundary = points.iter().filter(|p| p.cores_done().is_some()).count();
+        let mid_epoch = points.len() - boundary_aligned - mid_boundary;
+        assert!(boundary_aligned >= 8, "{boundary_aligned} boundary-aligned");
+        assert!(mid_boundary >= 8, "{mid_boundary} mid-boundary");
+        assert!(mid_epoch >= 16, "{mid_epoch} mid-epoch");
+    }
+
+    #[test]
+    fn short_timelines_still_schedule() {
+        let tight = ScheduleConfig {
+            points: 16,
+            budget: 10_000,
+            epoch_len: 25_000,
+            cores: 1,
+        };
+        for p in schedule(7, &tight) {
+            // Boundary-aligned points may exceed the budget (the run just
+            // ends at its natural end); mid-epoch ones must not.
+            if p.cores_done().is_none() && p.at() <= 10_000 {
+                assert!(p.at() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CrashPoint::MidEpoch { at: 5 }.to_string(), "@5");
+        assert_eq!(
+            CrashPoint::MidBoundary {
+                at: 5,
+                cores_done: 2
+            }
+            .to_string(),
+            "@5+boundary[2]"
+        );
+    }
+}

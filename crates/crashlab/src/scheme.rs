@@ -1,0 +1,174 @@
+//! The scheme axis of a campaign: every protected scheme, the unprotected
+//! baseline as a negative control, and a deliberately sabotaged scheme
+//! that validates the oracle itself.
+
+use picl_cache::{
+    BoundaryOutcome, ConsistencyScheme, EvictRoute, EvictionEvent, Hierarchy, RecoveryOutcome,
+    SchemeStats, StoreDirective, StoreEvent,
+};
+use picl_nvm::Nvm;
+use picl_sim::SchemeKind;
+use picl_types::{Cycle, EpochId, LineAddr, SystemConfig};
+
+/// A scheme a campaign can put under the crash gun.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabScheme {
+    /// One of the six evaluated schemes.
+    Standard(SchemeKind),
+    /// FRM with its recovery pass sabotaged: undo entries are written
+    /// during execution but *never applied* after the crash. Memory is
+    /// left holding uncommitted in-place updates, so a sound oracle must
+    /// flag every crash under write pressure. Exists to prove the
+    /// campaign's consistency check is not vacuous.
+    BrokenNoUndo,
+}
+
+impl LabScheme {
+    /// The five protected schemes (what `--schemes all` means; `Ideal`
+    /// is unprotected and only useful as a negative control).
+    pub const PROTECTED: [LabScheme; 5] = [
+        LabScheme::Standard(SchemeKind::Journaling),
+        LabScheme::Standard(SchemeKind::Shadow),
+        LabScheme::Standard(SchemeKind::Frm),
+        LabScheme::Standard(SchemeKind::ThyNvm),
+        LabScheme::Standard(SchemeKind::Picl),
+    ];
+
+    /// Instantiates the scheme for `cfg`.
+    pub fn build(self, cfg: &SystemConfig) -> Box<dyn ConsistencyScheme + Send> {
+        match self {
+            LabScheme::Standard(kind) => kind.build(cfg),
+            LabScheme::BrokenNoUndo => Box::new(NoUndoRecovery {
+                inner: SchemeKind::Frm.build(cfg),
+            }),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LabScheme::Standard(kind) => kind.name(),
+            LabScheme::BrokenNoUndo => "broken-noundo",
+        }
+    }
+
+    /// Whether a crash at any instant must recover exactly. False only for
+    /// the unprotected baseline; the sabotaged scheme *claims* protection
+    /// (it is FRM), so it is judged — and caught — under the protected
+    /// contract.
+    pub fn expects_consistency(self) -> bool {
+        !matches!(self, LabScheme::Standard(SchemeKind::Ideal))
+    }
+
+    /// Parses a scheme name as given on the command line.
+    pub fn parse(name: &str) -> Option<LabScheme> {
+        if name.eq_ignore_ascii_case("broken-noundo") || name.eq_ignore_ascii_case("broken") {
+            return Some(LabScheme::BrokenNoUndo);
+        }
+        SchemeKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+            .map(LabScheme::Standard)
+    }
+}
+
+impl std::fmt::Display for LabScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// FRM with recovery sabotaged: delegates the entire execution path (undo
+/// logging, stalls, commits) but skips undo application on crash, merely
+/// *claiming* the inner scheme's persisted epoch.
+struct NoUndoRecovery {
+    inner: Box<dyn ConsistencyScheme + Send>,
+}
+
+impl ConsistencyScheme for NoUndoRecovery {
+    fn name(&self) -> &'static str {
+        "broken-noundo"
+    }
+    fn system_eid(&self) -> EpochId {
+        self.inner.system_eid()
+    }
+    fn persisted_eid(&self) -> EpochId {
+        self.inner.persisted_eid()
+    }
+    fn on_store(&mut self, ev: &StoreEvent, mem: &mut Nvm, now: Cycle) -> StoreDirective {
+        self.inner.on_store(ev, mem, now)
+    }
+    fn on_dirty_eviction(&mut self, ev: &EvictionEvent, mem: &mut Nvm, now: Cycle) -> EvictRoute {
+        self.inner.on_dirty_eviction(ev, mem, now)
+    }
+    fn forward_read(&mut self, addr: LineAddr, mem: &mut Nvm, now: Cycle) -> Option<(u64, Cycle)> {
+        self.inner.forward_read(addr, mem, now)
+    }
+    fn wants_early_commit(&self) -> bool {
+        self.inner.wants_early_commit()
+    }
+    fn on_epoch_boundary(
+        &mut self,
+        hier: &mut Hierarchy,
+        mem: &mut Nvm,
+        now: Cycle,
+    ) -> BoundaryOutcome {
+        self.inner.on_epoch_boundary(hier, mem, now)
+    }
+    fn crash_recover(&mut self, _mem: &mut Nvm, now: Cycle) -> RecoveryOutcome {
+        // The sabotage: claim the checkpoint without patching memory.
+        RecoveryOutcome {
+            recovered_to: self.inner.persisted_eid(),
+            entries_applied: 0,
+            completed_at: now,
+        }
+    }
+    fn stats(&self) -> SchemeStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_every_name() {
+        for scheme in LabScheme::PROTECTED {
+            assert_eq!(LabScheme::parse(scheme.name()), Some(scheme));
+        }
+        assert_eq!(LabScheme::parse("broken"), Some(LabScheme::BrokenNoUndo));
+        assert_eq!(
+            LabScheme::parse("ideal"),
+            Some(LabScheme::Standard(SchemeKind::Ideal))
+        );
+        assert_eq!(LabScheme::parse("bogus"), None);
+    }
+
+    #[test]
+    fn consistency_expectations() {
+        for scheme in LabScheme::PROTECTED {
+            assert!(scheme.expects_consistency(), "{scheme}");
+        }
+        assert!(
+            LabScheme::BrokenNoUndo.expects_consistency(),
+            "the sabotaged scheme must be judged under the protected contract"
+        );
+        assert!(!LabScheme::Standard(SchemeKind::Ideal).expects_consistency());
+    }
+
+    #[test]
+    fn broken_scheme_builds_and_claims_without_patching() {
+        use picl_types::config::NvmConfig;
+        use picl_types::time::ClockDomain;
+
+        let cfg = SystemConfig::paper_single_core();
+        let mut scheme = LabScheme::BrokenNoUndo.build(&cfg);
+        assert_eq!(scheme.name(), "broken-noundo");
+        let mut mem = Nvm::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000));
+        let before = mem.state().clone();
+        let outcome = scheme.crash_recover(&mut mem, Cycle(10));
+        assert_eq!(outcome.entries_applied, 0);
+        assert!(before.diff(mem.state()).is_empty(), "memory was patched");
+    }
+}

@@ -1,0 +1,131 @@
+//! The shrinker: binary-searches the minimal instruction budget that
+//! still reproduces a consistency failure.
+//!
+//! Crash trials are monotone in a useful-enough way for bisection: a
+//! scheme that loses data by instant `t` usually also loses it at many
+//! earlier instants once the first uncommitted in-place write lands.
+//! Bisection therefore finds *a* minimal failing instant in
+//! `O(log budget)` trials. When the failure is not monotone the search
+//! still ends at a verified-failing instant (never a passing one), just
+//! not necessarily the global minimum — which is all a reproducer needs.
+
+use crate::oracle::{TrialOutcome, TrialSpec};
+
+/// A shrunk failure: the smallest crash instant bisection could verify.
+#[derive(Debug, Clone)]
+pub struct ShrunkFailure {
+    /// The failing spec, crash instant minimized.
+    pub spec: TrialSpec,
+    /// The outcome at the minimized instant.
+    pub outcome: TrialOutcome,
+    /// Trials executed during the search (including the final verify).
+    pub trials: usize,
+}
+
+impl ShrunkFailure {
+    /// The one-line reproducer for the minimized failure.
+    pub fn repro_command(&self) -> String {
+        self.spec.repro_command()
+    }
+}
+
+/// Minimizes the crash instant of a known-failing `spec`.
+///
+/// `spec` must already fail (the caller observed it); if it somehow
+/// passes on re-execution the original spec and outcome are returned
+/// unshrunk so the report never cites a non-reproducing line.
+pub fn shrink_failure(spec: &TrialSpec, observed: TrialOutcome) -> ShrunkFailure {
+    let fails = |s: &TrialSpec| {
+        let outcome = s.execute();
+        let failed = !outcome.passed(true);
+        (failed, outcome)
+    };
+
+    let mut trials = 0usize;
+    let mut best_at = spec.point.at();
+    let mut best_outcome = observed;
+
+    // Invariant: `best_at` fails. Search [lo, best_at) for a smaller
+    // failing instant.
+    let mut lo = 1u64;
+    let mut hi = best_at;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let candidate = spec.with_crash_at(mid);
+        trials += 1;
+        let (failed, outcome) = fails(&candidate);
+        if failed {
+            best_at = mid;
+            best_outcome = outcome;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    // Re-verify the final instant so the emitted reproducer is known-good
+    // even if the failure region was non-contiguous.
+    let final_spec = spec.with_crash_at(best_at);
+    trials += 1;
+    let (failed, outcome) = fails(&final_spec);
+    if failed {
+        ShrunkFailure {
+            spec: final_spec,
+            outcome,
+            trials,
+        }
+    } else {
+        ShrunkFailure {
+            spec: *spec,
+            outcome: best_outcome,
+            trials,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::CrashPoint;
+    use crate::scheme::LabScheme;
+    use picl_sim::SchemeKind;
+    use picl_trace::spec::SpecBenchmark;
+
+    fn broken_spec(at: u64) -> TrialSpec {
+        TrialSpec {
+            scheme: LabScheme::BrokenNoUndo,
+            bench: SpecBenchmark::Gcc,
+            epoch_len: 25_000,
+            acs_gap: 3,
+            seed: 3,
+            footprint_scale: 0.05,
+            point: CrashPoint::MidEpoch { at },
+        }
+    }
+
+    #[test]
+    fn shrinks_broken_scheme_to_smaller_instant() {
+        let spec = broken_spec(150_000);
+        let observed = spec.execute();
+        assert!(!observed.passed(true), "precondition: spec must fail");
+        let shrunk = shrink_failure(&spec, observed);
+        assert!(shrunk.spec.point.at() <= 150_000);
+        assert!(!shrunk.outcome.passed(true), "shrunk instant must fail");
+        assert!(shrunk.trials <= 20, "bisection budget: {}", shrunk.trials);
+        assert!(shrunk.repro_command().contains("--crash-at"));
+    }
+
+    #[test]
+    fn passing_spec_is_returned_unshrunk() {
+        // A protected scheme never fails, so every probe passes and the
+        // search walks lo up to the original instant; the final verify
+        // then fails-to-fail and we fall back to the original spec.
+        let spec = TrialSpec {
+            scheme: LabScheme::Standard(SchemeKind::Picl),
+            ..broken_spec(40_000)
+        };
+        let observed = spec.execute();
+        let shrunk = shrink_failure(&spec, observed);
+        assert_eq!(shrunk.spec.point.at(), 40_000);
+    }
+}

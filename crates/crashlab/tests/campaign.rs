@@ -1,0 +1,85 @@
+//! End-to-end campaign validation: protected schemes survive a sampled
+//! campaign, and a deliberately sabotaged scheme is caught and shrunk to
+//! a one-line reproducer.
+
+use picl_crashlab::{run_campaign, CampaignConfig, LabScheme};
+use picl_sim::SchemeKind;
+use picl_trace::spec::SpecBenchmark;
+
+fn base_config() -> CampaignConfig {
+    CampaignConfig {
+        schemes: Vec::new(),
+        benches: vec![SpecBenchmark::Mcf, SpecBenchmark::Gcc],
+        points: 8,
+        budget: 150_000,
+        shrink_failures: false,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn protected_schemes_survive_campaign() {
+    let config = CampaignConfig {
+        schemes: LabScheme::PROTECTED.to_vec(),
+        ..base_config()
+    };
+    let report = run_campaign(&config);
+    assert!(report.all_passed(), "{report}");
+    assert_eq!(
+        report.cells.len(),
+        LabScheme::PROTECTED.len() * config.benches.len()
+    );
+    // PiCL should never lose more than its ACS window of epochs.
+    for bench in &config.benches {
+        let cell = report
+            .cell(LabScheme::Standard(SchemeKind::Picl), *bench)
+            .unwrap();
+        assert!(
+            cell.max_epochs_lost <= config.acs_gap + 1,
+            "PiCL RPO {} exceeds its ACS window on {}",
+            cell.max_epochs_lost,
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn sabotaged_scheme_is_caught_and_shrunk() {
+    // FRM rides along as the control: same benchmark, same crash points,
+    // same execution path — only the recovery pass differs.
+    let config = CampaignConfig {
+        schemes: vec![
+            LabScheme::Standard(SchemeKind::Frm),
+            LabScheme::BrokenNoUndo,
+        ],
+        benches: vec![SpecBenchmark::Gcc],
+        shrink_failures: true,
+        ..base_config()
+    };
+    let report = run_campaign(&config);
+    assert!(!report.all_passed(), "sabotage went undetected:\n{report}");
+
+    let frm = report
+        .cell(LabScheme::Standard(SchemeKind::Frm), SpecBenchmark::Gcc)
+        .unwrap();
+    assert_eq!(frm.passed, frm.total, "control scheme must pass:\n{report}");
+
+    let broken = report
+        .cell(LabScheme::BrokenNoUndo, SpecBenchmark::Gcc)
+        .unwrap();
+    assert!(broken.passed < broken.total, "{report}");
+
+    // Every failure is attributed to the sabotaged scheme and carries a
+    // shrunk, verified-failing reproducer.
+    assert!(!report.failures.is_empty());
+    for failure in &report.failures {
+        assert_eq!(failure.spec.scheme, LabScheme::BrokenNoUndo);
+        let shrunk = failure.shrunk.as_ref().expect("shrinking was enabled");
+        assert!(shrunk.spec.point.at() <= failure.spec.point.at());
+        assert!(!shrunk.outcome.passed(true), "reproducer must still fail");
+        let repro = failure.repro_command();
+        assert!(repro.starts_with("picl crashlab"), "{repro}");
+        assert!(repro.contains("--schemes broken-noundo"), "{repro}");
+        assert!(repro.contains("--crash-at"), "{repro}");
+    }
+}

@@ -1,0 +1,328 @@
+//! A vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements exactly what `benches/micro.rs` uses: [`Criterion`],
+//! [`BenchmarkGroup`] (`throughput`, `sample_size`, `bench_function`,
+//! `finish`), [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`Throughput`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock loop: one untimed warm-up call to
+//! size the iteration count toward a ~100 ms budget, then `sample_size`
+//! timed samples; the report prints the per-iteration mean, min, and
+//! (when a throughput was declared) elements or bytes per second. There
+//! is no outlier analysis, no comparison to saved baselines, and no HTML
+//! output — it exists so `cargo bench` gives useful numbers in a hermetic
+//! build environment.
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches`
+//! does), every routine is run exactly once, untimed, so benches act as
+//! smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// Per-sample iteration sizing hint (accepted for API compatibility; the
+/// shim times whole samples either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many iterations per setup (cheap input).
+    SmallInput,
+    /// Few iterations per setup (expensive input).
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted for API compatibility;
+    /// only `--test` is honored, via [`Criterion::default`]).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures one routine and prints its report line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+            return self;
+        }
+        let (mean, min) = bencher.summarize();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:>12}/s", format_rate(n as f64 / (mean * 1e-9)))
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:>10}B/s", format_rate(n as f64 / (mean * 1e-9)))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<28} mean {:>12} min {:>12}{}",
+            self.name,
+            id,
+            format_ns(mean),
+            format_ns(min),
+            rate
+        );
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the shim prints as it
+    /// goes, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    /// (total duration, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        let iters = Self::calibrate(|| {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            start.elapsed()
+        });
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let iters = Self::calibrate(|| {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            start.elapsed()
+        });
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+
+    /// One warm-up call sizes per-sample iteration counts so each sample
+    /// takes roughly `BUDGET / sample_size`.
+    fn calibrate(warmup: impl FnOnce() -> Duration) -> u64 {
+        const SAMPLE_BUDGET: Duration = Duration::from_millis(5);
+        let once = warmup().max(Duration::from_nanos(1));
+        (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64
+    }
+
+    /// (mean ns/iter, min ns/iter) over all samples.
+    fn summarize(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut total_ns = 0.0;
+        let mut total_iters = 0.0;
+        for &(dur, iters) in &self.samples {
+            let per = dur.as_nanos() as f64 / iters as f64;
+            min = min.min(per);
+            total_ns += dur.as_nanos() as f64;
+            total_iters += iters as f64;
+        }
+        if total_iters == 0.0 {
+            (0.0, 0.0)
+        } else {
+            (total_ns / total_iters, min)
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+        };
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2).throughput(Throughput::Elements(1));
+        group.bench_function("counter", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+        };
+        let mut total = 0u64;
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 3u64, |v| total += v, BatchSize::SmallInput)
+        });
+        assert!(total > 0);
+        assert_eq!(total % 3, 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            test_mode: true,
+        };
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("us"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+        assert!(format_ns(2.3e9).contains(" s"));
+        assert!(format_rate(5.0e9).contains('G'));
+        assert!(format_rate(5.0e6).contains('M'));
+        assert!(format_rate(5.0e3).contains('K'));
+        assert!(format_rate(5.0) == "5.0");
+    }
+}

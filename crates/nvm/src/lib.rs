@@ -68,7 +68,9 @@ impl Nvm {
 
     /// Writes a line in place: updates contents, returns completion cycle.
     pub fn write(&mut self, now: Cycle, line: LineAddr, value: u64, class: AccessClass) -> Cycle {
-        let done = self.timing.access(now, &MemRequest::line_write(line, class));
+        let done = self
+            .timing
+            .access(now, &MemRequest::line_write(line, class));
         self.state.write_line(line, value);
         done
     }
@@ -78,13 +80,27 @@ impl Nvm {
     /// operation per the paper's Fig. 12 accounting. The caller is
     /// responsible for any functional contents (log payloads live in the
     /// scheme's durable log model).
-    pub fn write_bulk(&mut self, now: Cycle, base: LineAddr, bytes: u64, class: AccessClass) -> Cycle {
-        self.timing.access(now, &MemRequest::bulk_write(base, bytes, class))
+    pub fn write_bulk(
+        &mut self,
+        now: Cycle,
+        base: LineAddr,
+        bytes: u64,
+        class: AccessClass,
+    ) -> Cycle {
+        self.timing
+            .access(now, &MemRequest::bulk_write(base, bytes, class))
     }
 
     /// Issues a bulk sequential read (recovery log scans).
-    pub fn read_bulk(&mut self, now: Cycle, base: LineAddr, bytes: u64, class: AccessClass) -> Cycle {
-        self.timing.access(now, &MemRequest::bulk_read(base, bytes, class))
+    pub fn read_bulk(
+        &mut self,
+        now: Cycle,
+        base: LineAddr,
+        bytes: u64,
+        class: AccessClass,
+    ) -> Cycle {
+        self.timing
+            .access(now, &MemRequest::bulk_read(base, bytes, class))
     }
 
     /// Timing-only view (row-buffer state, occupancy, statistics).

@@ -100,7 +100,10 @@ impl AccessClass {
 
     /// Stable index of this class into dense statistics arrays.
     pub(crate) fn index(self) -> usize {
-        Self::all().iter().position(|c| *c == self).expect("class listed in all()")
+        Self::all()
+            .iter()
+            .position(|c| *c == self)
+            .expect("class listed in all()")
     }
 }
 
@@ -213,12 +216,30 @@ mod tests {
 
     #[test]
     fn category_mapping_matches_figure_12() {
-        assert_eq!(AccessClass::UndoLogBulk.category(), TrafficCategory::SequentialLogging);
-        assert_eq!(AccessClass::CowPageCopy.category(), TrafficCategory::SequentialLogging);
-        assert_eq!(AccessClass::UndoPreimageRead.category(), TrafficCategory::RandomLogging);
-        assert_eq!(AccessClass::RedoLogWrite.category(), TrafficCategory::RandomLogging);
-        assert_eq!(AccessClass::AcsWrite.category(), TrafficCategory::RandomLogging);
-        assert_eq!(AccessClass::WriteBack.category(), TrafficCategory::WriteBack);
+        assert_eq!(
+            AccessClass::UndoLogBulk.category(),
+            TrafficCategory::SequentialLogging
+        );
+        assert_eq!(
+            AccessClass::CowPageCopy.category(),
+            TrafficCategory::SequentialLogging
+        );
+        assert_eq!(
+            AccessClass::UndoPreimageRead.category(),
+            TrafficCategory::RandomLogging
+        );
+        assert_eq!(
+            AccessClass::RedoLogWrite.category(),
+            TrafficCategory::RandomLogging
+        );
+        assert_eq!(
+            AccessClass::AcsWrite.category(),
+            TrafficCategory::RandomLogging
+        );
+        assert_eq!(
+            AccessClass::WriteBack.category(),
+            TrafficCategory::WriteBack
+        );
         assert_eq!(AccessClass::DemandRead.category(), TrafficCategory::Demand);
     }
 

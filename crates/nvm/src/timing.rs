@@ -409,7 +409,10 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.ops_in_category(TrafficCategory::SequentialLogging), 1);
         assert_eq!(s.ops_in_category(TrafficCategory::RandomLogging), 1);
-        assert_eq!(s.bytes_in_category(TrafficCategory::SequentialLogging), 2048);
+        assert_eq!(
+            s.bytes_in_category(TrafficCategory::SequentialLogging),
+            2048
+        );
         assert_eq!(s.total_ops(), 2);
     }
 

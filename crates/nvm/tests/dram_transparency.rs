@@ -65,7 +65,12 @@ fn writes_always_reach_nvm() {
     // Write the same line repeatedly: every write must be an NVM op
     // (write-through), not absorbed by DRAM.
     for i in 0..50u64 {
-        mem.write(Cycle(i * 10_000), LineAddr::new(7), i, AccessClass::WriteBack);
+        mem.write(
+            Cycle(i * 10_000),
+            LineAddr::new(7),
+            i,
+            AccessClass::WriteBack,
+        );
     }
     assert_eq!(mem.stats().ops(AccessClass::WriteBack), 50);
     assert_eq!(mem.state().read_line(LineAddr::new(7)), 49);

@@ -16,14 +16,14 @@ struct ReqSpec {
 }
 
 fn req_strategy() -> impl Strategy<Value = ReqSpec> {
-    ((0u64..4096), any::<bool>(), any::<bool>(), (0u64..2000)).prop_map(|(line, write, bulk, gap)| {
-        ReqSpec {
+    ((0u64..4096), any::<bool>(), any::<bool>(), (0u64..2000)).prop_map(
+        |(line, write, bulk, gap)| ReqSpec {
             line,
             write,
             bulk,
             gap,
-        }
-    })
+        },
+    )
 }
 
 fn build(spec: &ReqSpec) -> MemRequest {

@@ -1,0 +1,73 @@
+//! The `any::<T>()` entry point: full-domain generation for primitives.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::rng::TestRng;
+use crate::strategy::Any;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Clone + Debug {
+    /// Draws a uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// A strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Uniform over scalar values, skipping the surrogate gap.
+        loop {
+            if let Some(c) = char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn bool_hits_both_values() {
+        let mut rng = TestRng::new(3);
+        let s = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(s.pick(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn ints_generate() {
+        let mut rng = TestRng::new(4);
+        let _: u64 = any::<u64>().pick(&mut rng);
+        let _: u32 = any::<u32>().pick(&mut rng);
+        let _: i64 = any::<i64>().pick(&mut rng);
+        let _: char = any::<char>().pick(&mut rng);
+    }
+}

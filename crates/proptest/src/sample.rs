@@ -1,0 +1,39 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use std::fmt::Debug;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Chooses uniformly among the given items.
+pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select needs at least one item");
+    Select { items }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_only_given_items() {
+        let s = select(vec![3u8, 5, 7]);
+        let mut rng = TestRng::new(6);
+        for _ in 0..100 {
+            assert!([3, 5, 7].contains(&s.pick(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Strategies: composable recipes for generating test inputs.
+//!
+//! A [`Strategy`] deterministically turns RNG bits into a value. Unlike
+//! upstream proptest there is no shrinking lattice: a [`ValueTree`] is just
+//! the generated value.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::TestRng;
+use crate::test_runner::TestRunner;
+
+/// A generated value (upstream: a node in the shrink lattice; here: just
+/// the value itself).
+pub trait ValueTree {
+    /// The type produced.
+    type Value;
+    /// The value this tree currently represents.
+    fn current(&self) -> Self::Value;
+}
+
+/// The concrete [`ValueTree`] all shim strategies produce.
+#[derive(Debug, Clone)]
+pub struct Holder<T>(pub T);
+
+impl<T: Clone> ValueTree for Holder<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value: Clone + Debug;
+
+    /// Draws one value from `rng`.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Draws one value using a runner's RNG (upstream-compatible entry
+    /// point; infallible here, the `Result` mirrors upstream's signature).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Holder<Self::Value>, String> {
+        Ok(Holder(self.pick(runner.rng())))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn pick(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.pick(rng))
+    }
+}
+
+/// Object-safe strategy facade, so [`Union`] (and `prop_oneof!`) can mix
+/// differently-typed strategies that produce one value type.
+pub trait DynStrategy<V> {
+    /// Draws one value.
+    fn pick_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn pick_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.pick(rng)
+    }
+}
+
+/// Uniform choice among strategies (the `prop_oneof!` backend).
+pub struct Union<V> {
+    options: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; `options` must be non-empty.
+    pub fn new(options: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<V: Clone + Debug> Strategy for Union<V> {
+    type Value = V;
+    fn pick(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].pick_dyn(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(width) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as u64).wrapping_sub(lo as u64);
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(width + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against rounding up to the (excluded) endpoint.
+        v.min(self.end - f64::EPSILON * self.end.abs().max(1.0))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn pick(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+        v.min(self.end - f32::EPSILON * self.end.abs().max(1.0))
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.pick(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// Strategy for any [`crate::arbitrary::Arbitrary`] type; see
+/// [`crate::arbitrary::any`].
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3u64..17).pick(&mut r);
+            assert!((3..17).contains(&v));
+            let w = (4u32..=16).pick(&mut r);
+            assert!((4..=16).contains(&w));
+            let f = (0.25f64..0.75).pick(&mut r);
+            assert!((0.25..0.75).contains(&f));
+            let i = (-5i32..5).pick(&mut r);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut r = rng();
+        let _ = (0u64..=u64::MAX).pick(&mut r);
+        let _ = (0u8..=u8::MAX).pick(&mut r);
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut r = rng();
+        let s = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            assert_eq!(s.pick(&mut r) % 2, 0);
+        }
+        assert_eq!(Just(7u8).pick(&mut r), 7);
+    }
+
+    #[test]
+    fn union_covers_all_options() {
+        let u: Union<u64> = Union::new(vec![Box::new(Just(1u64)), Box::new(Just(2u64))]);
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.pick(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = rng();
+        let (a, b, c) = ((0u64..4), (0usize..2), Just(true)).pick(&mut r);
+        assert!(a < 4 && b < 2 && c);
+    }
+
+    #[test]
+    fn new_tree_current_roundtrips() {
+        let mut runner = TestRunner::deterministic();
+        let v = (0u64..100).new_tree(&mut runner).unwrap().current();
+        assert!(v < 100);
+    }
+}

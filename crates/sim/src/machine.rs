@@ -13,7 +13,6 @@
 //! recovered — the end-to-end crash-consistency check the paper's FPGA
 //! prototype performed with micro-benchmarks (§V).
 
-
 use picl::os::boundary_handler_line;
 use picl_cache::hierarchy::AccessType;
 use picl_cache::{ConsistencyScheme, Hierarchy};
@@ -43,6 +42,8 @@ pub struct CrashReport {
     /// snapshot of the recovered epoch; `None` if snapshots were disabled
     /// or the epoch was never snapshotted.
     pub consistent: Option<bool>,
+    /// Total number of mismatching lines (the sample below is capped).
+    pub mismatch_count: usize,
     /// Mismatching lines (up to 16, for diagnostics).
     pub mismatches: Vec<LineAddr>,
 }
@@ -235,7 +236,9 @@ impl Machine {
         }
 
         let now = self.now();
-        let outcome = self.scheme.on_epoch_boundary(&mut self.hier, &mut self.mem, now);
+        let outcome = self
+            .scheme
+            .on_epoch_boundary(&mut self.hier, &mut self.mem, now);
         if let Some(stall) = outcome.stall_until {
             // Stop-the-world: every core resumes after the flush.
             for core in &mut self.cores {
@@ -243,7 +246,8 @@ impl Machine {
             }
         }
         if self.keep_snapshots {
-            self.snapshots.insert(outcome.committed, self.logical.snapshot());
+            self.snapshots
+                .insert(outcome.committed, self.logical.snapshot());
         }
         self.instr_since_boundary = 0;
     }
@@ -263,17 +267,22 @@ impl Machine {
         self.hier.invalidate_all();
         let outcome = self.scheme.crash_recover(&mut self.mem, now);
 
-        let (consistent, mismatches) = match self.snapshots.get(&outcome.recovered_to) {
-            Some(golden) => {
-                let diffs: Vec<LineAddr> = golden
-                    .diff(self.mem.state())
-                    .into_iter()
-                    .filter(|l| l.raw() < WORKLOAD_LINE_LIMIT)
-                    .collect();
-                (Some(diffs.is_empty()), diffs.into_iter().take(16).collect())
-            }
-            None => (None, Vec::new()),
-        };
+        let (consistent, mismatch_count, mismatches) =
+            match self.snapshots.get(&outcome.recovered_to) {
+                Some(golden) => {
+                    let diffs: Vec<LineAddr> = golden
+                        .diff(self.mem.state())
+                        .into_iter()
+                        .filter(|l| l.raw() < WORKLOAD_LINE_LIMIT)
+                        .collect();
+                    (
+                        Some(diffs.is_empty()),
+                        diffs.len(),
+                        diffs.into_iter().take(16).collect(),
+                    )
+                }
+                None => (None, 0, Vec::new()),
+            };
         // Execution resumes from the recovered checkpoint: the logical
         // reference image rewinds to that snapshot, and snapshots of the
         // rolled-back timeline are dropped (their epoch numbers will be
@@ -286,8 +295,46 @@ impl Machine {
         CrashReport {
             outcome,
             consistent,
+            mismatch_count,
             mismatches,
         }
+    }
+
+    /// Runs until at least `total_instructions` have retired across all
+    /// cores (the crash-at-instant hook: overshoot is bounded by one trace
+    /// event, so a crash point is reproducible from the instruction
+    /// count alone). Returns the actual total retired.
+    pub fn run_until(&mut self, total_instructions: u64) -> u64 {
+        let mut total = self.instructions();
+        while total < total_instructions && self.step(u64::MAX) {
+            total = self.instructions();
+        }
+        total
+    }
+
+    /// Injects a power failure *inside* the epoch-boundary flush window:
+    /// the OS boundary handler has checkpointed the register files of the
+    /// first `cores_done` cores (issuing their cacheable stores), but the
+    /// commit itself — `on_epoch_boundary`, where prior-work schemes drain
+    /// the cache and PiCL bumps `SystemEID` — has not happened. This is
+    /// the mid-flush interleaving that point crash checks miss.
+    pub fn crash_mid_boundary(&mut self, cores_done: usize) -> CrashReport {
+        for i in 0..cores_done.min(self.cores.len()) {
+            let line = boundary_handler_line(CoreId(i));
+            let token = self.next_token();
+            self.logical.write_line(line, token);
+            let at = self.cores[i].clock;
+            self.hier.access(
+                CoreId(i),
+                line,
+                AccessType::Store { new_value: token },
+                self.scheme.as_mut(),
+                &mut self.mem,
+                at,
+            );
+            self.cores[i].clock += 1u64;
+        }
+        self.crash()
     }
 
     /// Produces the run report.
@@ -414,6 +461,69 @@ mod tests {
         let mut m = machine(SchemeKind::Frm);
         m.run(2000); // crosses at least one boundary
         assert!(m.report().stall_cycles > 0, "FRM must stall at commits");
+    }
+
+    #[test]
+    fn run_until_stops_at_instant() {
+        let mut m = machine(SchemeKind::Picl);
+        let total = m.run_until(4321);
+        assert!(total >= 4321, "stopped early at {total}");
+        // Overshoot is bounded by one trace event (gap + the access).
+        assert!(total < 4321 + 300, "overshot to {total}");
+        assert_eq!(m.instructions(), total);
+    }
+
+    #[test]
+    fn run_until_is_deterministic() {
+        let mut a = machine(SchemeKind::Picl);
+        let mut b = machine(SchemeKind::Picl);
+        assert_eq!(a.run_until(7777), b.run_until(7777));
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn mid_boundary_crash_is_consistent_for_protected_schemes() {
+        for kind in [
+            SchemeKind::Picl,
+            SchemeKind::Frm,
+            SchemeKind::Journaling,
+            SchemeKind::Shadow,
+            SchemeKind::ThyNvm,
+        ] {
+            let mut m = machine(kind);
+            m.run_until(10_500);
+            let crash = m.crash_mid_boundary(1);
+            assert_eq!(
+                crash.consistent,
+                Some(true),
+                "{kind:?} mid-boundary recovery mismatched at {:?}",
+                crash.mismatches
+            );
+        }
+    }
+
+    #[test]
+    fn mismatch_count_reports_full_total() {
+        // The unprotected baseline corrupts many lines under eviction
+        // pressure; the capped sample must not hide the real total.
+        let mut cfg = SystemConfig::paper_single_core();
+        cfg.epoch.epoch_len_instructions = 30_000;
+        let mut m = crate::runner::Simulation::builder(cfg)
+            .scheme(SchemeKind::Ideal)
+            .workload(&[picl_trace::spec::SpecBenchmark::Mcf])
+            .footprint_scale(0.02)
+            .seed(7)
+            .keep_snapshots(true)
+            .into_machine()
+            .unwrap();
+        m.run(200_000);
+        let crash = m.crash();
+        assert_eq!(crash.consistent, Some(false));
+        assert!(crash.mismatch_count >= crash.mismatches.len());
+        assert!(crash.mismatches.len() <= 16);
+        if crash.mismatch_count > 16 {
+            assert_eq!(crash.mismatches.len(), 16);
+        }
     }
 
     #[test]

@@ -121,7 +121,11 @@ impl WorkloadSpec {
     }
 
     /// Builds the per-core trace sources, each in a private address space.
-    pub fn build_traces(&self, seed: u64, footprint_scale: f64) -> Vec<Box<dyn TraceSource + Send>> {
+    pub fn build_traces(
+        &self,
+        seed: u64,
+        footprint_scale: f64,
+    ) -> Vec<Box<dyn TraceSource + Send>> {
         self.benches
             .iter()
             .enumerate()
@@ -367,7 +371,6 @@ mod tests {
     fn traces_live_in_disjoint_address_spaces() {
         let spec = WorkloadSpec::per_core("t", vec![SpecBenchmark::Gamess, SpecBenchmark::Gamess]);
         let mut traces = spec.build_traces(1, 0.01);
-        use picl_trace::TraceSource;
         let a = traces[0].next_event().addr.raw();
         let b = traces[1].next_event().addr.raw();
         assert!(b >= CORE_ADDRESS_STRIDE);

@@ -1,0 +1,78 @@
+//! Property tests for crash-at-instant recovery: PiCL must recover to a
+//! consistent committed image no matter where on the timeline the plug is
+//! pulled — at a sampled mid-epoch instant or inside the boundary flush
+//! window after a partial register-file checkpoint.
+
+use proptest::prelude::*;
+
+use picl_sim::{Machine, SchemeKind, Simulation, WorkloadSpec};
+use picl_trace::spec::SpecBenchmark;
+use picl_types::SystemConfig;
+
+fn build(bench: SpecBenchmark, seed: u64) -> Machine {
+    let mut cfg = SystemConfig::paper_single_core();
+    cfg.epoch.epoch_len_instructions = 25_000;
+    Simulation::builder(cfg)
+        .scheme(SchemeKind::Picl)
+        .workload_spec(WorkloadSpec::single(bench))
+        .seed(seed)
+        .footprint_scale(0.05)
+        .keep_snapshots(true)
+        .into_machine()
+        .expect("valid configuration")
+}
+
+fn bench_strategy() -> impl Strategy<Value = SpecBenchmark> {
+    prop_oneof![
+        Just(SpecBenchmark::Gcc),
+        Just(SpecBenchmark::Mcf),
+        Just(SpecBenchmark::Bzip2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crash PiCL at an arbitrary sampled retired-instruction count: the
+    /// recovered NVM image must match the golden snapshot of the epoch the
+    /// scheme rolls back to, with zero mismatching lines.
+    #[test]
+    fn picl_recovers_consistently_at_any_instant(
+        at in 1_000u64..180_000,
+        seed in any::<u64>(),
+        bench in bench_strategy(),
+    ) {
+        let mut m = build(bench, seed);
+        let ran = m.run_until(at);
+        prop_assert!(ran >= at || ran == m.instructions());
+        let report = m.crash();
+        prop_assert_eq!(
+            report.consistent,
+            Some(true),
+            "inconsistent at {} on {:?} (seed {}): {} mismatching lines",
+            at, bench, seed, report.mismatch_count
+        );
+        prop_assert_eq!(report.mismatch_count, 0);
+        prop_assert!(report.mismatches.is_empty());
+    }
+
+    /// Crash inside the epoch-boundary flush window, after the OS handler
+    /// has checkpointed some (possibly zero) register files: recovery must
+    /// still land on a committed image.
+    #[test]
+    fn picl_recovers_after_partial_boundary_checkpoint(
+        epochs in 1u64..6,
+        cores_done in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let mut m = build(SpecBenchmark::Gcc, seed);
+        m.run_until(epochs * 25_000);
+        let report = m.crash_mid_boundary(cores_done);
+        prop_assert_eq!(
+            report.consistent,
+            Some(true),
+            "inconsistent after boundary[{}] at epoch {} (seed {}): {} mismatching lines",
+            cores_done, epochs, seed, report.mismatch_count
+        );
+    }
+}

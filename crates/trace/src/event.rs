@@ -70,7 +70,10 @@ impl ScriptedSource {
     ///
     /// Panics if `events` is empty.
     pub fn new(label: impl Into<String>, events: Vec<TraceEvent>) -> Self {
-        assert!(!events.is_empty(), "scripted source needs at least one event");
+        assert!(
+            !events.is_empty(),
+            "scripted source needs at least one event"
+        );
         ScriptedSource {
             label: label.into(),
             events,

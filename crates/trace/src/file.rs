@@ -90,7 +90,10 @@ impl std::fmt::Display for ParseTraceError {
         match self {
             ParseTraceError::BadMagic => write!(f, "not a PICLTRC1 trace file"),
             ParseTraceError::Truncated { expected, found } => {
-                write!(f, "trace truncated: header promises {expected} records, found {found}")
+                write!(
+                    f,
+                    "trace truncated: header promises {expected} records, found {found}"
+                )
             }
             ParseTraceError::BadKind(k) => write!(f, "invalid access kind byte {k:#x}"),
         }

@@ -31,7 +31,10 @@ impl GenParams {
     /// is outside `[0, 1]`, or the intensity is zero or above 1000.
     pub fn new(footprint_bytes: u64, store_fraction: f64, accesses_per_kilo_instr: u32) -> Self {
         assert!(footprint_bytes >= LINE_BYTES, "footprint below one line");
-        assert!((0.0..=1.0).contains(&store_fraction), "store fraction outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&store_fraction),
+            "store fraction outside [0,1]"
+        );
         assert!(
             (1..=1000).contains(&accesses_per_kilo_instr),
             "intensity must be 1..=1000 per kilo-instruction"
@@ -400,7 +403,9 @@ mod tests {
             3,
         );
         let mut g = g;
-        let regions: Vec<bool> = (0..9).map(|_| g.next_event().addr.raw() >= 1 << 30).collect();
+        let regions: Vec<bool> = (0..9)
+            .map(|_| g.next_event().addr.raw() >= 1 << 30)
+            .collect();
         assert_eq!(
             regions,
             vec![false, false, false, true, true, true, false, false, false]

@@ -361,7 +361,10 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(SpecBenchmark::from_name("mcf"), Some(SpecBenchmark::Mcf));
         assert_eq!(SpecBenchmark::from_name("MCF"), Some(SpecBenchmark::Mcf));
-        assert_eq!(SpecBenchmark::from_name("cactusADM"), Some(SpecBenchmark::CactusADM));
+        assert_eq!(
+            SpecBenchmark::from_name("cactusADM"),
+            Some(SpecBenchmark::CactusADM)
+        );
         assert_eq!(SpecBenchmark::from_name("nope"), None);
         let parsed: SpecBenchmark = "lbm".parse().unwrap();
         assert_eq!(parsed, SpecBenchmark::Lbm);
@@ -372,8 +375,16 @@ mod tests {
     fn profiles_are_sane() {
         for b in SpecBenchmark::ALL {
             let p = b.profile();
-            assert!(p.accesses_per_kilo_instr >= 50 && p.accesses_per_kilo_instr <= 400, "{}", p.name);
-            assert!(p.store_fraction > 0.0 && p.store_fraction < 0.6, "{}", p.name);
+            assert!(
+                p.accesses_per_kilo_instr >= 50 && p.accesses_per_kilo_instr <= 400,
+                "{}",
+                p.name
+            );
+            assert!(
+                p.store_fraction > 0.0 && p.store_fraction < 0.6,
+                "{}",
+                p.name
+            );
             let mix = p.seq_fraction + p.hot_fraction;
             assert!(mix <= 1.0, "{} mix {mix}", p.name);
             assert!(p.footprint_bytes >= MIB, "{}", p.name);

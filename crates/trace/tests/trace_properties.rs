@@ -84,7 +84,11 @@ proptest! {
 /// count for repeat factors above one.
 #[test]
 fn seq_repeats_reduce_distinct_lines() {
-    for bench in [SpecBenchmark::Libquantum, SpecBenchmark::Lbm, SpecBenchmark::Hmmer] {
+    for bench in [
+        SpecBenchmark::Libquantum,
+        SpecBenchmark::Lbm,
+        SpecBenchmark::Hmmer,
+    ] {
         let profile = bench.profile();
         assert!(profile.seq_repeats > 1, "{}", profile.name);
         let mut gen = bench.trace(3);

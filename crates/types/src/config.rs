@@ -59,8 +59,14 @@ impl CacheConfig {
         if self.ways == 0 || self.size_bytes == 0 {
             return Err(ConfigError::new(what, "size and ways must be nonzero"));
         }
-        if self.size_bytes % (LINE_BYTES * self.ways as u64) != 0 {
-            return Err(ConfigError::new(what, "size must divide into ways of 64 B lines"));
+        if !self
+            .size_bytes
+            .is_multiple_of(LINE_BYTES * self.ways as u64)
+        {
+            return Err(ConfigError::new(
+                what,
+                "size must divide into ways of 64 B lines",
+            ));
         }
         if !self.sets().is_power_of_two() {
             return Err(ConfigError::new(what, "set count must be a power of two"));
@@ -156,7 +162,10 @@ impl NvmConfig {
             return Err(ConfigError::new("nvm", "bank count must be nonzero"));
         }
         if self.row_buffer_bytes < LINE_BYTES {
-            return Err(ConfigError::new("nvm", "row buffer must hold at least one line"));
+            return Err(ConfigError::new(
+                "nvm",
+                "row buffer must hold at least one line",
+            ));
         }
         if self.link_millibytes_per_cycle == 0 {
             return Err(ConfigError::new("nvm", "link bandwidth must be nonzero"));
@@ -206,17 +215,29 @@ impl EpochConfig {
             return Err(ConfigError::new("epoch", "epoch length must be nonzero"));
         }
         if self.undo_buffer_entries == 0 {
-            return Err(ConfigError::new("epoch", "undo buffer must hold at least one entry"));
+            return Err(ConfigError::new(
+                "epoch",
+                "undo buffer must hold at least one entry",
+            ));
         }
         if self.bloom_bits == 0 || !self.bloom_bits.is_power_of_two() {
-            return Err(ConfigError::new("epoch", "bloom bits must be a nonzero power of two"));
+            return Err(ConfigError::new(
+                "epoch",
+                "bloom bits must be a nonzero power of two",
+            ));
         }
         if !(1..=16).contains(&self.eid_bits) {
-            return Err(ConfigError::new("epoch", "EID tag width must be 1..=16 bits"));
+            return Err(ConfigError::new(
+                "epoch",
+                "EID tag width must be 1..=16 bits",
+            ));
         }
         // Live window: persisting epoch .. SystemEID, spread = acs_gap + 1.
         if self.acs_gap + 2 >= (1u64 << self.eid_bits) {
-            return Err(ConfigError::new("epoch", "ACS gap too large for EID tag width"));
+            return Err(ConfigError::new(
+                "epoch",
+                "ACS gap too large for EID tag width",
+            ));
         }
         Ok(())
     }
@@ -253,10 +274,16 @@ impl TableConfig {
     /// Returns [`ConfigError`] if entries do not divide evenly into ways.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.ways == 0 || self.entries == 0 {
-            return Err(ConfigError::new("table", "entries and ways must be nonzero"));
+            return Err(ConfigError::new(
+                "table",
+                "entries and ways must be nonzero",
+            ));
         }
-        if self.entries % self.ways != 0 {
-            return Err(ConfigError::new("table", "entries must divide evenly into ways"));
+        if !self.entries.is_multiple_of(self.ways) {
+            return Err(ConfigError::new(
+                "table",
+                "entries must divide evenly into ways",
+            ));
         }
         Ok(())
     }
@@ -330,7 +357,10 @@ impl SystemConfig {
             return Err(ConfigError::new("system", "core count must be nonzero"));
         }
         if self.clock_mhz == 0 {
-            return Err(ConfigError::new("system", "clock frequency must be nonzero"));
+            return Err(ConfigError::new(
+                "system",
+                "clock frequency must be nonzero",
+            ));
         }
         self.l1.validate("l1")?;
         self.l2.validate("l2")?;
@@ -368,7 +398,11 @@ impl ConfigError {
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid {} configuration: {}", self.component, self.reason)
+        write!(
+            f,
+            "invalid {} configuration: {}",
+            self.component, self.reason
+        )
     }
 }
 

@@ -85,6 +85,10 @@ mod tests {
             h.write_u64(i);
             low_bits.insert(h.finish() & 0xFF);
         }
-        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+        assert!(
+            low_bits.len() > 128,
+            "only {} distinct low bytes",
+            low_bits.len()
+        );
     }
 }

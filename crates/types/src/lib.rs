@@ -31,13 +31,15 @@
 
 pub mod addr;
 pub mod config;
-pub mod hash;
 pub mod epoch;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use addr::{Address, LineAddr, PageAddr, SubBlockAddr, LINE_BYTES, PAGE_BYTES, SUB_BLOCK_BYTES};
+pub use addr::{
+    Address, LineAddr, PageAddr, SubBlockAddr, LINE_BYTES, PAGE_BYTES, SUB_BLOCK_BYTES,
+};
 pub use config::SystemConfig;
 pub use epoch::EpochId;
 pub use rng::Rng;

@@ -31,10 +31,7 @@ impl Rng {
 
     /// Returns the next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -254,7 +251,10 @@ mod tests {
             }
         }
         // Top 1% of items should receive far more than 1% of draws.
-        assert!(hot as f64 / DRAWS as f64 > 0.2, "hot fraction {hot}/{DRAWS}");
+        assert!(
+            hot as f64 / DRAWS as f64 > 0.2,
+            "hot fraction {hot}/{DRAWS}"
+        );
         assert!(z.zeta2() > 1.0);
         assert_eq!(z.population(), 1000);
         assert!((z.theta() - 0.9).abs() < 1e-12);

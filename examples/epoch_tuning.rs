@@ -62,7 +62,10 @@ fn main() {
     for (id, epoch) in [(1u64, 2u64), (2, 2), (3, 4), (4, 5)] {
         io.submit(id, EpochId(epoch));
     }
-    println!("  submitted 4 I/O writes across epochs 2..5; persisted = 1 → pending {}", io.pending());
+    println!(
+        "  submitted 4 I/O writes across epochs 2..5; persisted = 1 → pending {}",
+        io.pending()
+    );
     let released = io.release_persisted(EpochId(2));
     println!(
         "  epoch 2 persists → released {:?}, pending {}",

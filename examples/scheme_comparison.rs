@@ -46,7 +46,9 @@ fn main() {
             report.commits,
             report.forced_commits,
             report.stall_cycles,
-            report.nvm.ops_in_category(TrafficCategory::SequentialLogging),
+            report
+                .nvm
+                .ops_in_category(TrafficCategory::SequentialLogging),
             report.nvm.ops_in_category(TrafficCategory::RandomLogging),
         );
     }

@@ -24,11 +24,11 @@ fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
 
 fn bench_strategy() -> impl Strategy<Value = SpecBenchmark> {
     prop_oneof![
-        Just(SpecBenchmark::Mcf),       // scattered writes
-        Just(SpecBenchmark::Lbm),       // streaming writes
-        Just(SpecBenchmark::Gamess),    // cache-resident
-        Just(SpecBenchmark::Gcc),       // mixed
-        Just(SpecBenchmark::Libquantum) // sequential
+        Just(SpecBenchmark::Mcf),        // scattered writes
+        Just(SpecBenchmark::Lbm),        // streaming writes
+        Just(SpecBenchmark::Gamess),     // cache-resident
+        Just(SpecBenchmark::Gcc),        // mixed
+        Just(SpecBenchmark::Libquantum)  // sequential
     ]
 }
 

@@ -12,7 +12,12 @@ fn quick_cfg(epoch: u64) -> SystemConfig {
     cfg
 }
 
-fn run(scheme: SchemeKind, bench: SpecBenchmark, epoch: u64, budget: u64) -> picl_repro::sim::RunReport {
+fn run(
+    scheme: SchemeKind,
+    bench: SpecBenchmark,
+    epoch: u64,
+    budget: u64,
+) -> picl_repro::sim::RunReport {
     Simulation::builder(quick_cfg(epoch))
         .scheme(scheme)
         .workload(&[bench])
@@ -38,7 +43,10 @@ fn picl_beats_prior_work_on_memory_bound_workload() {
     let journaling_overhead = journaling.normalized_to(&ideal);
 
     assert!(picl_overhead < 1.10, "PiCL overhead {picl_overhead}");
-    assert!(frm_overhead > picl_overhead + 0.05, "FRM {frm_overhead} vs PiCL {picl_overhead}");
+    assert!(
+        frm_overhead > picl_overhead + 0.05,
+        "FRM {frm_overhead} vs PiCL {picl_overhead}"
+    );
     assert!(
         journaling_overhead > picl_overhead + 0.2,
         "Journaling {journaling_overhead} vs PiCL {picl_overhead}"
@@ -114,7 +122,12 @@ fn page_granularity_tradeoff() {
     let budget = 9_000_000;
     // Streaming: libquantum walks lines sequentially; one page entry
     // covers 64 lines, so Shadow needs far fewer forced commits.
-    let j_stream = run(SchemeKind::Journaling, SpecBenchmark::Libquantum, epoch, budget);
+    let j_stream = run(
+        SchemeKind::Journaling,
+        SpecBenchmark::Libquantum,
+        epoch,
+        budget,
+    );
     let s_stream = run(SchemeKind::Shadow, SpecBenchmark::Libquantum, epoch, budget);
     assert!(
         s_stream.forced_commits < j_stream.forced_commits,
@@ -133,7 +146,10 @@ fn end_to_end_determinism() {
     let b = run(SchemeKind::Picl, SpecBenchmark::Gcc, 1_000_000, 2_000_000);
     assert_eq!(a.total_cycles, b.total_cycles);
     assert_eq!(a.instructions, b.instructions);
-    assert_eq!(a.scheme_stats.log_bytes_written, b.scheme_stats.log_bytes_written);
+    assert_eq!(
+        a.scheme_stats.log_bytes_written,
+        b.scheme_stats.log_bytes_written
+    );
     assert_eq!(a.nvm.total_ops(), b.nvm.total_ops());
 }
 
@@ -165,7 +181,12 @@ fn multicore_mix_preserves_ordering() {
 fn long_epoch_targets_collapse_for_redo_schemes() {
     let epoch = 20_000_000; // "long" relative to the write set
     let budget = 20_000_000;
-    let j = run(SchemeKind::Journaling, SpecBenchmark::Omnetpp, epoch, budget);
+    let j = run(
+        SchemeKind::Journaling,
+        SpecBenchmark::Omnetpp,
+        epoch,
+        budget,
+    );
     let p = run(SchemeKind::Picl, SpecBenchmark::Omnetpp, epoch, budget);
     assert!(
         j.observed_epoch_len() < epoch as f64 / 4.0,

@@ -17,6 +17,7 @@ use picl_cache::{
     SchemeStats, StoreDirective, StoreEvent,
 };
 use picl_nvm::{AccessClass, Nvm};
+use picl_telemetry::{EventKind, Telemetry};
 use picl_types::{stats::Counter, Cycle, EpochId};
 
 use picl::epoch::EpochTracker;
@@ -30,6 +31,7 @@ pub struct Frm {
     log: UndoLog,
     commits: Counter,
     stall_cycles: Counter,
+    telemetry: Telemetry,
 }
 
 impl Frm {
@@ -43,6 +45,7 @@ impl Frm {
             log: UndoLog::new(),
             commits: Counter::new(),
             stall_cycles: Counter::new(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -119,6 +122,11 @@ impl ConsistencyScheme for Frm {
         self.log.garbage_collect(committed);
         self.commits.incr();
         self.stall_cycles.add(t.saturating_since(now).raw());
+        self.telemetry
+            .record(now, None, EventKind::EpochCommit { eid: committed });
+        // Single-undo: the epoch is durable the moment the flush lands.
+        self.telemetry
+            .record(t, None, EventKind::EpochPersist { eid: committed });
         BoundaryOutcome {
             committed,
             stall_until: Some(t),
@@ -151,6 +159,14 @@ impl ConsistencyScheme for Frm {
             buffer_flushes_forced: 0,
             stall_cycles: self.stall_cycles.get(),
         }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        vec![("log_bytes_live", self.log.stats().bytes_live as f64)]
     }
 }
 

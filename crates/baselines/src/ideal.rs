@@ -11,6 +11,7 @@ use picl_cache::{
     SchemeStats, StoreDirective, StoreEvent,
 };
 use picl_nvm::Nvm;
+use picl_telemetry::{EventKind, Telemetry};
 use picl_types::{stats::Counter, Cycle, EpochId};
 
 /// The unprotected baseline.
@@ -18,6 +19,7 @@ use picl_types::{stats::Counter, Cycle, EpochId};
 pub struct IdealNvm {
     system: EpochId,
     commits: Counter,
+    telemetry: Telemetry,
 }
 
 impl IdealNvm {
@@ -26,6 +28,7 @@ impl IdealNvm {
         IdealNvm {
             system: EpochId(1),
             commits: Counter::new(),
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -52,10 +55,12 @@ impl ConsistencyScheme for IdealNvm {
         EvictRoute::InPlace
     }
 
-    fn on_epoch_boundary(&mut self, _: &mut Hierarchy, _: &mut Nvm, _: Cycle) -> BoundaryOutcome {
+    fn on_epoch_boundary(&mut self, _: &mut Hierarchy, _: &mut Nvm, now: Cycle) -> BoundaryOutcome {
         let committed = self.system;
         self.system = self.system.next();
         self.commits.incr();
+        self.telemetry
+            .record(now, None, EventKind::EpochCommit { eid: committed });
         BoundaryOutcome {
             committed,
             stall_until: None,
@@ -77,6 +82,10 @@ impl ConsistencyScheme for IdealNvm {
             commits: self.commits.get(),
             ..SchemeStats::default()
         }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 }
 

@@ -20,6 +20,7 @@ use picl_cache::{
     SchemeStats, SetAssocCache, StoreDirective, StoreEvent,
 };
 use picl_nvm::{AccessClass, Nvm};
+use picl_telemetry::{EventKind, Telemetry};
 use picl_types::{config::TableConfig, stats::Counter, Cycle, EpochId, LineAddr};
 
 use picl::epoch::EpochTracker;
@@ -47,6 +48,7 @@ pub struct Journaling {
     redo_entries: Counter,
     redo_bytes: Counter,
     stall_cycles: Counter,
+    telemetry: Telemetry,
 }
 
 impl Journaling {
@@ -65,6 +67,7 @@ impl Journaling {
             redo_entries: Counter::new(),
             redo_bytes: Counter::new(),
             stall_cycles: Counter::new(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -173,6 +176,10 @@ impl ConsistencyScheme for Journaling {
         self.epochs.persist(committed);
         self.commits.incr();
         self.stall_cycles.add(t.saturating_since(now).raw());
+        self.telemetry
+            .record(now, None, EventKind::EpochCommit { eid: committed });
+        self.telemetry
+            .record(t, None, EventKind::EpochPersist { eid: committed });
         // Overflow during the flush itself was drained above; the epoch
         // that just committed needs no further forced commit.
         self.early_commit = false;
@@ -209,6 +216,14 @@ impl ConsistencyScheme for Journaling {
             buffer_flushes_forced: 0,
             stall_cycles: self.stall_cycles.get(),
         }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        vec![("redo_table_occupancy", self.table.len() as f64)]
     }
 }
 

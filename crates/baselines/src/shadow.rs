@@ -24,6 +24,7 @@ use picl_cache::{
     SchemeStats, SetAssocCache, StoreDirective, StoreEvent,
 };
 use picl_nvm::{AccessClass, Nvm};
+use picl_telemetry::{EventKind, Telemetry};
 use picl_types::{
     config::TableConfig, stats::Counter, Cycle, EpochId, LineAddr, PageAddr, PAGE_BYTES,
 };
@@ -61,6 +62,7 @@ pub struct ShadowPaging {
     page_writebacks: Counter,
     stall_cycles: Counter,
     shadow_bytes: Counter,
+    telemetry: Telemetry,
 }
 
 impl ShadowPaging {
@@ -78,6 +80,7 @@ impl ShadowPaging {
             page_writebacks: Counter::new(),
             stall_cycles: Counter::new(),
             shadow_bytes: Counter::new(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -242,6 +245,10 @@ impl ConsistencyScheme for ShadowPaging {
         self.epochs.persist(committed);
         self.commits.incr();
         self.stall_cycles.add(t.saturating_since(now).raw());
+        self.telemetry
+            .record(now, None, EventKind::EpochCommit { eid: committed });
+        self.telemetry
+            .record(t, None, EventKind::EpochPersist { eid: committed });
         // Overflow during the flush itself was drained above; the epoch
         // that just committed needs no further forced commit.
         self.early_commit = false;
@@ -277,6 +284,14 @@ impl ConsistencyScheme for ShadowPaging {
             buffer_flushes_forced: 0,
             stall_cycles: self.stall_cycles.get(),
         }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        vec![("shadow_table_occupancy", self.table.len() as f64)]
     }
 }
 

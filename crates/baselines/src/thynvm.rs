@@ -16,6 +16,7 @@ use picl_cache::{
     SchemeStats, SetAssocCache, StoreDirective, StoreEvent,
 };
 use picl_nvm::{AccessClass, Nvm};
+use picl_telemetry::{EventKind, Telemetry};
 use picl_types::{
     config::TableConfig, stats::Counter, Cycle, EpochId, LineAddr, PageAddr, PAGE_BYTES,
 };
@@ -52,6 +53,7 @@ pub struct ThyNvm {
     redo_entries: Counter,
     redo_bytes: Counter,
     stall_cycles: Counter,
+    telemetry: Telemetry,
 }
 
 impl ThyNvm {
@@ -71,6 +73,7 @@ impl ThyNvm {
             redo_entries: Counter::new(),
             redo_bytes: Counter::new(),
             stall_cycles: Counter::new(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -293,6 +296,10 @@ impl ConsistencyScheme for ThyNvm {
         self.epochs.persist(committed);
         self.commits.incr();
         self.stall_cycles.add(stall_end.saturating_since(now).raw());
+        self.telemetry
+            .record(now, None, EventKind::EpochCommit { eid: committed });
+        self.telemetry
+            .record(stall_end, None, EventKind::EpochPersist { eid: committed });
         // Overflow during the flush itself was drained above; the epoch
         // that just committed needs no further forced commit.
         self.early_commit = false;
@@ -345,6 +352,17 @@ impl ConsistencyScheme for ThyNvm {
             buffer_flushes_forced: 0,
             stall_cycles: self.stall_cycles.get(),
         }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("block_table_occupancy", self.blocks.len() as f64),
+            ("page_table_occupancy", self.pages.len() as f64),
+        ]
     }
 }
 

@@ -217,6 +217,40 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    // The zero-overhead-when-off claim: identical PiCL runs with the
+    // recorder detached vs attached.
+    group.throughput(Throughput::Elements(200_000));
+    for enabled in [false, true] {
+        let label = if enabled { "on" } else { "off" };
+        group.bench_function(format!("bzip2_200k_picl_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SystemConfig::paper_single_core();
+                    cfg.epoch.epoch_len_instructions = 100_000;
+                    let scheme = SchemeKind::Picl.build(&cfg);
+                    let trace: Box<dyn TraceSource + Send> =
+                        Box::new(SpecBenchmark::Bzip2.trace(7));
+                    let mut machine = Machine::new(cfg, scheme, vec![trace], "bzip2", false);
+                    let telemetry = enabled.then(|| machine.enable_telemetry(64 * 1024, 10_000));
+                    (machine, telemetry)
+                },
+                |(mut machine, telemetry)| {
+                    machine.run(200_000);
+                    black_box(machine.instructions());
+                    if let Some(t) = telemetry {
+                        black_box(t.snapshot().events.len());
+                    }
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_bloom,
@@ -225,6 +259,7 @@ criterion_group!(
     bench_hierarchy,
     bench_recovery,
     bench_trace_generation,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -15,6 +15,7 @@
 //! held) and on every dirty line leaving the LLC toward memory.
 
 use picl_nvm::{AccessClass, Nvm};
+use picl_telemetry::{EventKind, Telemetry};
 use picl_types::{config::SystemConfig, stats::Counter, CoreId, Cycle, EpochId, LineAddr};
 
 use crate::line::{CacheLineMeta, FlushLine};
@@ -99,6 +100,7 @@ pub struct Hierarchy {
     l2_lat: Cycle,
     llc_lat: Cycle,
     stats: HierarchyStats,
+    telemetry: Telemetry,
 }
 
 impl Hierarchy {
@@ -123,7 +125,13 @@ impl Hierarchy {
             l2_lat: cfg.l2.latency,
             llc_lat: cfg.llc_per_core.latency,
             stats: HierarchyStats::default(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Routes hierarchy events (dirty write-backs) to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of cores.
@@ -306,6 +314,8 @@ impl Hierarchy {
         };
         if meta.dirty {
             self.stats.dirty_evictions.incr();
+            self.telemetry
+                .record(now, None, EventKind::DirtyWriteback { addr });
             let ev = EvictionEvent {
                 addr,
                 value: meta.value,

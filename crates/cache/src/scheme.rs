@@ -16,6 +16,7 @@
 //!   memory back to the last persisted checkpoint.
 
 use picl_nvm::Nvm;
+use picl_telemetry::Telemetry;
 use picl_types::{Cycle, EpochId, LineAddr};
 
 use crate::hierarchy::Hierarchy;
@@ -167,6 +168,21 @@ pub trait ConsistencyScheme {
 
     /// Counters for reports.
     fn stats(&self) -> SchemeStats;
+
+    /// Hands the scheme a telemetry handle so it can record its internal
+    /// events (epoch commits, undo drains, ACS passes, …). The default
+    /// discards the handle; schemes without interesting internals need not
+    /// implement it.
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        let _ = telemetry;
+    }
+
+    /// Instantaneous gauges the periodic sampler should snapshot, as
+    /// `(series name, value)` pairs (e.g. undo-buffer fill, live log
+    /// bytes). The default reports nothing.
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +246,8 @@ mod tests {
             .forward_read(LineAddr::new(0), &mut mem, Cycle(0))
             .is_none());
         assert_eq!(boxed.persisted_eid(), EpochId::ZERO);
+        boxed.attach_telemetry(Telemetry::off());
+        assert!(boxed.telemetry_gauges().is_empty());
     }
 
     #[test]

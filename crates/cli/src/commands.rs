@@ -3,6 +3,9 @@
 use picl_crashlab::{run_campaign, CampaignConfig, CrashPoint, LabScheme, TrialSpec};
 use picl_nvm::TrafficCategory;
 use picl_sim::{Machine, RunReport, SchemeKind, Simulation, WorkloadSpec};
+use picl_telemetry::export::{chrome_trace_to_string, jsonl_to_string, series_csv_to_string};
+use picl_telemetry::json::{validate_json, validate_jsonl};
+use picl_telemetry::TelemetrySnapshot;
 use picl_trace::file::{write_trace, RecordedTrace};
 use picl_trace::spec::SpecBenchmark;
 use picl_trace::TraceSource;
@@ -20,6 +23,7 @@ commands:
   compare     run every scheme on one workload, normalized to Ideal
   crash       run, pull the plug, recover, and verify consistency
   crashlab    crash-injection campaign: schemes x benchmarks x crash points
+  trace       run with telemetry on and export the recording
   sweep       sweep a PiCL parameter (acs-gap | buffer | bloom | epoch)
   record      capture a synthetic workload to a trace file
   replay      simulate from a recorded trace file
@@ -34,6 +38,14 @@ common flags:
   --acs-gap N           PiCL ACS-gap (default 3)
   --seed N              experiment seed (default 42)
   --footprint-scale F   scale workload footprints (default 1.0)
+  --telemetry PREFIX    (run, crashlab repro) also export the recording
+
+trace flags (plus the common flags above):
+  --out PREFIX          output prefix (required); writes PREFIX.trace.json
+                        (Chrome/Perfetto), PREFIX.events.jsonl, and
+                        PREFIX.series.csv
+  --sample-interval N   gauge sampling period in cycles (default 10k)
+  --ring N              per-core event-ring capacity (default 64k)
 
 crashlab flags:
   --schemes LIST        all | comma list (adds broken-noundo; default all)
@@ -43,7 +55,12 @@ crashlab flags:
   --threads N           worker threads (default: all cores)
   --crash-at N          replay one crash at instruction N instead
   --boundary-cores N    with --crash-at: crash mid-flush after N checkpoints
+  --telemetry PREFIX    with --crash-at: export the trial's recording
 ";
+
+/// Simulated core clock in MHz; cycle timestamps convert to Chrome-trace
+/// microseconds by dividing by this.
+const CLOCK_MHZ: f64 = 2000.0;
 
 /// Runs the parsed command.
 ///
@@ -56,6 +73,7 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
         "compare" => cmd_compare(args),
         "crash" => cmd_crash(args),
         "crashlab" => cmd_crashlab(args),
+        "trace" => cmd_trace(args),
         "sweep" => cmd_sweep(args),
         "record" => cmd_record(args),
         "replay" => cmd_replay(args),
@@ -122,18 +140,97 @@ fn print_report(report: &RunReport) {
     );
 }
 
+/// Default per-core event-ring capacity (events).
+const DEFAULT_RING: u64 = 64 * 1024;
+/// Default gauge sampling period (cycles).
+const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
+
+/// Writes the three telemetry exports under `prefix` and re-parses each
+/// one, so a corrupt file fails the command instead of a later viewer.
+fn export_telemetry(prefix: &str, snap: &TelemetrySnapshot) -> Result<(), ArgError> {
+    let write = |path: String, contents: &str| {
+        std::fs::write(&path, contents)
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))
+            .map(|()| path)
+    };
+
+    let chrome = chrome_trace_to_string(snap, CLOCK_MHZ);
+    validate_json(&chrome).map_err(|e| ArgError(format!("Chrome trace invalid: {e}")))?;
+    let chrome_path = write(format!("{prefix}.trace.json"), &chrome)?;
+
+    let jsonl = jsonl_to_string(snap);
+    let lines =
+        validate_jsonl(&jsonl).map_err(|e| ArgError(format!("JSONL stream invalid: {e}")))?;
+    let jsonl_path = write(format!("{prefix}.events.jsonl"), &jsonl)?;
+
+    let csv = series_csv_to_string(snap);
+    let csv_path = write(format!("{prefix}.series.csv"), &csv)?;
+
+    println!(
+        "telemetry: {} events ({} dropped) -> {chrome_path}, {lines} lines -> {jsonl_path}, \
+         {} series -> {csv_path}",
+        snap.events.len(),
+        snap.dropped,
+        snap.series.len()
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(COMMON_FLAGS)?;
-    let report = Simulation::builder(config_from(args)?)
+    let mut flags = COMMON_FLAGS.to_vec();
+    flags.push("telemetry");
+    args.expect_only(&flags)?;
+    let sim = Simulation::builder(config_from(args)?)
         .scheme(parse_scheme(args.get_or("scheme", "picl"))?)
         .workload(&[parse_bench(args.get_or("bench", "bzip2"))?])
         .instructions_per_core(args.count_or("instructions", 10_000_000)?)
         .seed(args.count_or("seed", 42)?)
-        .footprint_scale(args.float_or("footprint-scale", 1.0)?)
-        .run()
-        .map_err(|e| ArgError(e.to_string()))?;
-    print_report(&report);
+        .footprint_scale(args.float_or("footprint-scale", 1.0)?);
+    let budget = args.count_or("instructions", 10_000_000)?;
+    match args.get("telemetry") {
+        None => {
+            let report = sim.run().map_err(|e| ArgError(e.to_string()))?;
+            print_report(&report);
+        }
+        Some(prefix) => {
+            let prefix = prefix.to_owned();
+            let mut machine = sim.into_machine().map_err(|e| ArgError(e.to_string()))?;
+            let telemetry =
+                machine.enable_telemetry(DEFAULT_RING as usize, DEFAULT_SAMPLE_INTERVAL);
+            machine.run(budget);
+            print_report(&machine.report());
+            export_telemetry(&prefix, &telemetry.snapshot())?;
+        }
+    }
     Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), ArgError> {
+    let mut flags = COMMON_FLAGS.to_vec();
+    flags.extend(["out", "sample-interval", "ring"]);
+    args.expect_only(&flags)?;
+    let prefix = args
+        .get("out")
+        .ok_or_else(|| ArgError("trace needs --out PREFIX".into()))?
+        .to_owned();
+    let ring = args.count_or("ring", DEFAULT_RING)? as usize;
+    let interval = args.count_or("sample-interval", DEFAULT_SAMPLE_INTERVAL)?;
+    if ring == 0 || interval == 0 {
+        return Err(ArgError(
+            "--ring and --sample-interval must be nonzero".into(),
+        ));
+    }
+    let mut machine = Simulation::builder(config_from(args)?)
+        .scheme(parse_scheme(args.get_or("scheme", "picl"))?)
+        .workload(&[parse_bench(args.get_or("bench", "bzip2"))?])
+        .seed(args.count_or("seed", 42)?)
+        .footprint_scale(args.float_or("footprint-scale", 1.0)?)
+        .into_machine()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let telemetry = machine.enable_telemetry(ring, interval);
+    machine.run(args.count_or("instructions", 10_000_000)?);
+    print_report(&machine.report());
+    export_telemetry(&prefix, &telemetry.snapshot())
 }
 
 fn cmd_compare(args: &Args) -> Result<(), ArgError> {
@@ -247,6 +344,7 @@ fn cmd_crashlab(args: &Args) -> Result<(), ArgError> {
         "threads",
         "crash-at",
         "boundary-cores",
+        "telemetry",
     ])?;
     let schemes = parse_lab_schemes(args.get_or("schemes", "all"))?;
     let benches: Vec<SpecBenchmark> = args
@@ -274,6 +372,13 @@ fn cmd_crashlab(args: &Args) -> Result<(), ArgError> {
             "--boundary-cores only applies in repro mode; pass --crash-at too".into(),
         ));
     }
+    if args.get("telemetry").is_some() && args.get("crash-at").is_none() {
+        return Err(ArgError(
+            "--telemetry only applies in repro mode (campaigns run thousands of \
+             trials); pass --crash-at too"
+                .into(),
+        ));
+    }
 
     // Repro mode: replay one crash point (the format `repro_command` emits).
     if let Some(at) = args.get("crash-at") {
@@ -287,6 +392,8 @@ fn cmd_crashlab(args: &Args) -> Result<(), ArgError> {
         } else {
             CrashPoint::MidEpoch { at }
         };
+        let telemetry_prefix = args.get("telemetry");
+        let single_trial = config.schemes.len() == 1 && config.benches.len() == 1;
         let mut failures = 0usize;
         for &scheme in &config.schemes {
             for &bench in &config.benches {
@@ -299,7 +406,20 @@ fn cmd_crashlab(args: &Args) -> Result<(), ArgError> {
                     footprint_scale: config.footprint_scale,
                     point,
                 };
-                let outcome = spec.execute();
+                let outcome = match telemetry_prefix {
+                    None => spec.execute(),
+                    Some(prefix) => {
+                        let (outcome, snap) =
+                            spec.execute_traced(DEFAULT_RING as usize, DEFAULT_SAMPLE_INTERVAL);
+                        let prefix = if single_trial {
+                            prefix.to_owned()
+                        } else {
+                            format!("{prefix}.{}.{}", scheme.name(), bench.name())
+                        };
+                        export_telemetry(&prefix, &snap)?;
+                        outcome
+                    }
+                };
                 let verdict = if outcome.passed(scheme.expects_consistency()) {
                     "ok"
                 } else {
@@ -608,6 +728,108 @@ mod tests {
         )
         .unwrap();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_command_writes_all_three_exports() {
+        let dir = std::env::temp_dir().join("picl_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("t").to_str().unwrap().to_owned();
+        dispatch(
+            &Args::parse([
+                "trace",
+                "--bench",
+                "gcc",
+                "--instructions",
+                "150k",
+                "--epoch",
+                "50k",
+                "--footprint-scale",
+                "0.05",
+                "--out",
+                &prefix,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        for suffix in [".trace.json", ".events.jsonl", ".series.csv"] {
+            let path = format!("{prefix}{suffix}");
+            let contents = std::fs::read_to_string(&path).expect(&path);
+            assert!(!contents.is_empty(), "{path} is empty");
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn trace_requires_out_prefix() {
+        let args = Args::parse(["trace", "--bench", "gcc"]).unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+    }
+
+    #[test]
+    fn run_with_telemetry_exports() {
+        let dir = std::env::temp_dir().join("picl_cli_run_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("r").to_str().unwrap().to_owned();
+        dispatch(
+            &Args::parse([
+                "run",
+                "--bench",
+                "gcc",
+                "--instructions",
+                "150k",
+                "--epoch",
+                "50k",
+                "--footprint-scale",
+                "0.05",
+                "--telemetry",
+                &prefix,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let chrome = std::fs::read_to_string(format!("{prefix}.trace.json")).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        for suffix in [".trace.json", ".events.jsonl", ".series.csv"] {
+            std::fs::remove_file(format!("{prefix}{suffix}")).ok();
+        }
+    }
+
+    #[test]
+    fn crashlab_telemetry_requires_repro_mode() {
+        let args = Args::parse(["crashlab", "--telemetry", "/tmp/x"]).unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("--crash-at"), "{err}");
+    }
+
+    #[test]
+    fn crashlab_repro_with_telemetry_exports() {
+        let dir = std::env::temp_dir().join("picl_cli_crashlab_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("c").to_str().unwrap().to_owned();
+        dispatch(
+            &Args::parse([
+                "crashlab",
+                "--schemes",
+                "picl",
+                "--bench",
+                "gcc",
+                "--crash-at",
+                "90k",
+                "--seed",
+                "1",
+                "--telemetry",
+                &prefix,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let jsonl = std::fs::read_to_string(format!("{prefix}.events.jsonl")).unwrap();
+        assert!(jsonl.contains("crash_injected"), "crash must be recorded");
+        for suffix in [".trace.json", ".events.jsonl", ".series.csv"] {
+            std::fs::remove_file(format!("{prefix}{suffix}")).ok();
+        }
     }
 
     #[test]

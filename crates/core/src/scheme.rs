@@ -7,7 +7,10 @@ use picl_cache::{
     SchemeStats, StoreDirective, StoreEvent,
 };
 use picl_nvm::{AccessClass, Nvm};
+use picl_telemetry::{EventKind, Telemetry};
 use picl_types::{config::SystemConfig, stats::Counter, Cycle, EpochId};
+
+use crate::undo::ENTRY_BYTES;
 
 use crate::bloom::BloomFilter;
 use crate::buffer::UndoBuffer;
@@ -40,6 +43,7 @@ pub struct Picl {
     acs_writes: Counter,
     undo_entries: Counter,
     os_interrupts: Counter,
+    telemetry: Telemetry,
 }
 
 impl Picl {
@@ -58,6 +62,7 @@ impl Picl {
             acs_writes: Counter::new(),
             undo_entries: Counter::new(),
             os_interrupts: Counter::new(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -88,11 +93,21 @@ impl Picl {
 
     /// Flushes the on-chip undo buffer to the durable log as one bulk
     /// sequential write; returns when it completes (or `now` if empty).
-    fn flush_buffer(&mut self, mem: &mut Nvm, now: Cycle) -> Cycle {
+    /// `forced` marks drains triggered by a bloom-filter hit on eviction.
+    fn flush_buffer(&mut self, mem: &mut Nvm, now: Cycle, forced: bool) -> Cycle {
         if self.buffer.is_empty() {
             return now;
         }
         let entries = self.buffer.drain();
+        self.telemetry.record(
+            now,
+            None,
+            EventKind::UndoDrain {
+                entries: entries.len() as u64,
+                bytes: entries.len() as u64 * ENTRY_BYTES,
+                forced,
+            },
+        );
         let done = self.log.append_flush(entries, mem, now);
         self.os_interrupts
             .add(self.allocator.ensure(self.log.stats().bytes_live));
@@ -104,13 +119,15 @@ impl Picl {
     /// released early. Returns the newly persisted epoch, if any.
     pub fn bulk_acs(&mut self, hier: &mut Hierarchy, mem: &mut Nvm, now: Cycle) -> Option<EpochId> {
         let committed = self.epochs.committed()?;
-        let mut t = self.flush_buffer(mem, now);
+        let mut t = self.flush_buffer(mem, now, false);
         let first = self.epochs.persisted().next();
         for e in first.raw()..=committed.raw() {
             t = self.acs_pass(hier, mem, EpochId(e), t);
         }
         self.epochs.persist(committed);
         self.log.garbage_collect(committed);
+        self.telemetry
+            .record(t, None, EventKind::EpochPersist { eid: committed });
         Some(committed)
     }
 
@@ -124,10 +141,23 @@ impl Picl {
         now: Cycle,
     ) -> Cycle {
         let mut t = now;
+        let mut lines = 0u64;
         for line in hier.take_lines_with_eid(target) {
             t = t.max(mem.write(now, line.addr, line.value, AccessClass::AcsWrite));
             self.acs_writes.incr();
+            lines += 1;
+            self.telemetry
+                .record(now, None, EventKind::AcsLineWriteback { addr: line.addr });
         }
+        self.telemetry.record(
+            t,
+            None,
+            EventKind::AcsScan {
+                target,
+                lines,
+                started: now,
+            },
+        );
         t
     }
 }
@@ -163,7 +193,7 @@ impl ConsistencyScheme for Picl {
         let entry = UndoEntry::new(ev.addr, ev.old_value, valid_from, sys);
         self.undo_entries.incr();
         if self.buffer.push(entry) {
-            self.flush_buffer(mem, now);
+            self.flush_buffer(mem, now, false);
         }
         StoreDirective { new_eid: Some(sys) }
     }
@@ -172,9 +202,18 @@ impl ConsistencyScheme for Picl {
     /// volatile in the on-chip buffer must flush the buffer first (§III-B's
     /// bloom-filter ordering check).
     fn on_dirty_eviction(&mut self, ev: &EvictionEvent, mem: &mut Nvm, now: Cycle) -> EvictRoute {
-        if self.buffer.eviction_conflicts(ev.addr) {
+        let conflict = self.buffer.eviction_conflicts(ev.addr);
+        self.telemetry.record(
+            now,
+            None,
+            EventKind::BloomCheck {
+                addr: ev.addr,
+                hit: conflict,
+            },
+        );
+        if conflict {
             self.forced_buffer_flushes.incr();
-            self.flush_buffer(mem, now);
+            self.flush_buffer(mem, now, true);
         }
         debug_assert!(
             !self.buffer.holds_entry_for(ev.addr),
@@ -196,19 +235,23 @@ impl ConsistencyScheme for Picl {
     ) -> BoundaryOutcome {
         let committed = self.epochs.commit();
         self.commits.incr();
+        self.telemetry
+            .record(now, None, EventKind::EpochCommit { eid: committed });
 
         // Conservative per-§IV-A: flush the undo buffer on every ACS so
         // entries covering the persisting epoch are durable first.
-        let t = self.flush_buffer(mem, now);
+        let t = self.flush_buffer(mem, now, false);
 
         if committed.raw() > self.acs_gap {
             let target = EpochId(committed.raw() - self.acs_gap);
             // After a bulk ACS or a crash recovery, persistence may already
             // be ahead of the trailing target; skip until it catches up.
             if target > self.epochs.persisted() {
-                self.acs_pass(hier, mem, target, t);
+                let done = self.acs_pass(hier, mem, target, t);
                 self.epochs.persist(target);
                 self.log.garbage_collect(target);
+                self.telemetry
+                    .record(done, None, EventKind::EpochPersist { eid: target });
             }
         }
 
@@ -246,6 +289,17 @@ impl ConsistencyScheme for Picl {
             buffer_flushes_forced: self.forced_buffer_flushes.get(),
             stall_cycles: 0,
         }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("undo_buffer_fill", self.buffer.len() as f64),
+            ("log_bytes_live", self.log.stats().bytes_live as f64),
+        ]
     }
 }
 
@@ -399,6 +453,28 @@ mod tests {
         let persisted = p.bulk_acs(&mut hier, &mut m, Cycle(100)).unwrap();
         assert_eq!(persisted, EpochId(4));
         assert_eq!(p.persisted_eid(), EpochId(4));
+    }
+
+    #[test]
+    fn telemetry_captures_commits_drains_and_scans() {
+        let (mut p, mut m) = rig();
+        let mut hier = Hierarchy::new(&SystemConfig::paper_single_core());
+        let t = Telemetry::new(1, 4096);
+        p.attach_telemetry(t.clone());
+        p.on_store(&store_ev(1, 10, None), &mut m, Cycle(0));
+        for i in 0..5u64 {
+            p.on_epoch_boundary(&mut hier, &mut m, Cycle((i + 1) * 100));
+        }
+        let snap = t.snapshot();
+        let count = |name: &str| snap.events.iter().filter(|e| e.kind.name() == name).count();
+        assert_eq!(count("epoch_commit"), 5);
+        assert!(count("undo_drain") >= 1, "boundary flush drains the buffer");
+        // Gap 3: epochs 1 and 2 persisted, each via one ACS pass.
+        assert_eq!(count("epoch_persist"), 2);
+        assert_eq!(count("acs_scan"), 2);
+        // Gauges report buffer fill and live log bytes.
+        let names: Vec<&str> = p.telemetry_gauges().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["undo_buffer_fill", "log_bytes_live"]);
     }
 
     #[test]

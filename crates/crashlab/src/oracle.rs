@@ -9,6 +9,7 @@
 //! *differential* rather than anecdotal.
 
 use picl_sim::{Machine, WorkloadSpec};
+use picl_telemetry::TelemetrySnapshot;
 use picl_trace::spec::SpecBenchmark;
 use picl_types::SystemConfig;
 
@@ -91,6 +92,24 @@ impl TrialSpec {
     /// and compare against the golden epoch snapshot.
     pub fn execute(&self) -> TrialOutcome {
         let mut machine = self.build_machine();
+        self.run_to_verdict(&mut machine)
+    }
+
+    /// Like [`TrialSpec::execute`], but with telemetry on: returns the
+    /// verdict plus the full event/series recording of the run, the crash,
+    /// and the recovery (the `picl crashlab … --telemetry` path).
+    pub fn execute_traced(
+        &self,
+        ring_capacity: usize,
+        sample_interval: u64,
+    ) -> (TrialOutcome, TelemetrySnapshot) {
+        let mut machine = self.build_machine();
+        let telemetry = machine.enable_telemetry(ring_capacity, sample_interval);
+        let outcome = self.run_to_verdict(&mut machine);
+        (outcome, telemetry.snapshot())
+    }
+
+    fn run_to_verdict(&self, machine: &mut Machine) -> TrialOutcome {
         let instructions_run = machine.run_until(self.point.at());
         let committed = machine.scheme().system_eid().raw().saturating_sub(1);
         let crash_now = machine.now();
@@ -190,6 +209,25 @@ mod tests {
         assert_eq!(a.consistent, b.consistent);
         assert_eq!(a.recovered_to, b.recovered_to);
         assert_eq!(a.recovery_cycles, b.recovery_cycles);
+    }
+
+    #[test]
+    fn traced_trial_matches_untraced_verdict() {
+        use picl_telemetry::EventKind;
+        let s = spec(LabScheme::Standard(SchemeKind::Picl), 90_000);
+        let plain = s.execute();
+        let (traced, snap) = s.execute_traced(1 << 16, 5_000);
+        assert_eq!(plain.consistent, traced.consistent);
+        assert_eq!(plain.recovered_to, traced.recovered_to);
+        assert_eq!(plain.recovery_cycles, traced.recovery_cycles);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CrashInjected)));
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RecoveryDone { .. })));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub use request::{AccessClass, MemRequest, RequestKind, TrafficCategory};
 pub use state::MainMemory;
 pub use timing::{NvmStats, NvmTiming};
 
+use picl_telemetry::{EventKind, Telemetry};
 use picl_types::time::ClockDomain;
 use picl_types::{config::NvmConfig, Cycle, LineAddr};
 
@@ -49,6 +50,7 @@ use picl_types::{config::NvmConfig, Cycle, LineAddr};
 pub struct Nvm {
     timing: NvmTiming,
     state: MainMemory,
+    telemetry: Telemetry,
 }
 
 impl Nvm {
@@ -57,12 +59,33 @@ impl Nvm {
         Nvm {
             timing: NvmTiming::new(cfg, clock),
             state: MainMemory::new(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Routes request events (enqueue-to-completion spans) to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    #[inline]
+    fn trace_access(&self, now: Cycle, class: AccessClass, write: bool, bytes: u64, done: Cycle) {
+        self.telemetry.record(
+            now,
+            None,
+            EventKind::NvmAccess {
+                class: class.name(),
+                write,
+                bytes,
+                done,
+            },
+        );
     }
 
     /// Reads a line: returns its value and the cycle the data is available.
     pub fn read(&mut self, now: Cycle, line: LineAddr, class: AccessClass) -> (u64, Cycle) {
         let done = self.timing.access(now, &MemRequest::line_read(line, class));
+        self.trace_access(now, class, false, picl_types::LINE_BYTES, done);
         (self.state.read_line(line), done)
     }
 
@@ -71,6 +94,7 @@ impl Nvm {
         let done = self
             .timing
             .access(now, &MemRequest::line_write(line, class));
+        self.trace_access(now, class, true, picl_types::LINE_BYTES, done);
         self.state.write_line(line, value);
         done
     }
@@ -87,8 +111,11 @@ impl Nvm {
         bytes: u64,
         class: AccessClass,
     ) -> Cycle {
-        self.timing
-            .access(now, &MemRequest::bulk_write(base, bytes, class))
+        let done = self
+            .timing
+            .access(now, &MemRequest::bulk_write(base, bytes, class));
+        self.trace_access(now, class, true, bytes, done);
+        done
     }
 
     /// Issues a bulk sequential read (recovery log scans).
@@ -99,8 +126,11 @@ impl Nvm {
         bytes: u64,
         class: AccessClass,
     ) -> Cycle {
-        self.timing
-            .access(now, &MemRequest::bulk_read(base, bytes, class))
+        let done = self
+            .timing
+            .access(now, &MemRequest::bulk_read(base, bytes, class));
+        self.trace_access(now, class, false, bytes, done);
+        done
     }
 
     /// Timing-only view (row-buffer state, occupancy, statistics).

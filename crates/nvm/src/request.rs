@@ -105,11 +105,10 @@ impl AccessClass {
             .position(|c| *c == self)
             .expect("class listed in all()")
     }
-}
 
-impl std::fmt::Display for AccessClass {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
+    /// Stable display name (also used as the telemetry event label).
+    pub fn name(self) -> &'static str {
+        match self {
             AccessClass::DemandRead => "demand-read",
             AccessClass::WriteBack => "write-back",
             AccessClass::AcsWrite => "acs-write",
@@ -125,8 +124,13 @@ impl std::fmt::Display for AccessClass {
             AccessClass::RecoveryLogRead => "recovery-log-read",
             AccessClass::RecoveryPatchWrite => "recovery-patch-write",
             AccessClass::OsCheckpointWrite => "os-checkpoint-write",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl std::fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -14,7 +14,11 @@
 //!    logging overhead becomes execution-time overhead.
 
 use picl_types::time::ClockDomain;
-use picl_types::{config::NvmConfig, stats::Counter, Cycle};
+use picl_types::{
+    config::NvmConfig,
+    stats::{Counter, Histogram},
+    Cycle,
+};
 
 use crate::dram_buffer::DramBuffer;
 use crate::request::{AccessClass, MemRequest, RequestKind, TrafficCategory};
@@ -103,6 +107,7 @@ impl NvmTiming {
                 RequestKind::Read => {}
             }
         }
+        self.stats.queue_depth.record(self.queue_depth(now));
         let base_byte = req.line.base().raw();
         let first_row = self.row_of(base_byte);
         let last_row = self.row_of(base_byte + req.bytes.saturating_sub(1));
@@ -154,6 +159,13 @@ impl NvmTiming {
         self.stats = NvmStats::new();
     }
 
+    /// Number of device resources (banks plus the shared link) still busy
+    /// at `now` — the instantaneous queue depth an arriving request sees.
+    pub fn queue_depth(&self, now: Cycle) -> u64 {
+        let busy_banks = self.banks.iter().filter(|b| b.free_at > now).count() as u64;
+        busy_banks + u64::from(self.link_free_at > now)
+    }
+
     /// The earliest cycle at which the device is completely idle.
     pub fn drained_at(&self) -> Cycle {
         self.banks
@@ -174,6 +186,9 @@ pub struct NvmStats {
     pub row_misses: Counter,
     /// Sum of request service times (queueing included), in cycles.
     pub service_cycles: Counter,
+    /// Distribution of the queue depth (busy banks + link) each arriving
+    /// request observed.
+    pub queue_depth: Histogram,
 }
 
 impl NvmStats {
@@ -186,6 +201,7 @@ impl NvmStats {
             row_hits: Counter::new(),
             row_misses: Counter::new(),
             service_cycles: Counter::new(),
+            queue_depth: Histogram::new(),
         }
     }
 
@@ -239,6 +255,7 @@ impl NvmStats {
         self.row_hits.add(other.row_hits.get());
         self.row_misses.add(other.row_misses.get());
         self.service_cycles.add(other.service_cycles.get());
+        self.queue_depth.merge(&other.queue_depth);
     }
 }
 
@@ -414,6 +431,30 @@ mod tests {
             2048
         );
         assert_eq!(s.total_ops(), 2);
+    }
+
+    #[test]
+    fn queue_depth_histogram_sees_busy_resources() {
+        let mut t = timing();
+        assert_eq!(t.queue_depth(Cycle(0)), 0);
+        let d1 = t.access(
+            Cycle(0),
+            &MemRequest::line_read(LineAddr::new(0), AccessClass::DemandRead),
+        );
+        // While the first request occupies its bank and the link, a second
+        // arrival observes a nonzero depth.
+        assert!(t.queue_depth(Cycle(1)) >= 1);
+        t.access(
+            Cycle(1),
+            &MemRequest::line_read(LineAddr::new(32), AccessClass::DemandRead),
+        );
+        assert_eq!(t.queue_depth(d1.max(t.drained_at())), 0);
+        let h = &t.stats().queue_depth;
+        assert_eq!(h.count(), 2);
+        // The first arrival saw an idle device (bucket 0), the second a
+        // busy one.
+        assert!(h.nonzero_buckets().any(|(bound, n)| bound == 0 && n == 1));
+        assert!(h.max().unwrap() >= 1);
     }
 
     #[test]

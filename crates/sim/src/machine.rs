@@ -17,6 +17,7 @@ use picl::os::boundary_handler_line;
 use picl_cache::hierarchy::AccessType;
 use picl_cache::{ConsistencyScheme, Hierarchy};
 use picl_nvm::{MainMemory, Nvm};
+use picl_telemetry::{EventKind, Sampler, Telemetry};
 use picl_trace::{AccessKind, TraceSource};
 use picl_types::{CoreId, Cycle, EpochId, LineAddr, SystemConfig};
 
@@ -61,6 +62,8 @@ pub struct Machine {
     token: u64,
     instr_since_boundary: u64,
     workload_label: String,
+    telemetry: Telemetry,
+    sampler: Option<Sampler>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -111,7 +114,52 @@ impl Machine {
             token: 0,
             instr_since_boundary: 0,
             workload_label: workload_label.into(),
+            telemetry: Telemetry::off(),
+            sampler: None,
             cfg,
+        }
+    }
+
+    /// Turns tracing on: events from the scheme, the hierarchy, and the
+    /// NVM flow into per-core rings of `ring_capacity` events each, and
+    /// gauges (undo-buffer fill, NVM queue depth, LLC dirty-line census,
+    /// open-epoch count) are sampled every `sample_interval` cycles.
+    ///
+    /// Returns a handle the caller snapshots to drain the recording.
+    pub fn enable_telemetry(&mut self, ring_capacity: usize, sample_interval: u64) -> Telemetry {
+        let telemetry = Telemetry::new(self.cores.len(), ring_capacity);
+        self.hier.set_telemetry(telemetry.clone());
+        self.mem.set_telemetry(telemetry.clone());
+        self.scheme.attach_telemetry(telemetry.clone());
+        telemetry.record(
+            self.now(),
+            None,
+            EventKind::EpochBegin {
+                eid: self.scheme.system_eid(),
+            },
+        );
+        self.sampler = Some(Sampler::new(sample_interval));
+        self.telemetry = telemetry.clone();
+        telemetry
+    }
+
+    /// Snapshots every gauge into the recorder's time series.
+    fn sample_gauges(&self, now: Cycle) {
+        self.telemetry.sample(
+            "nvm_queue_depth",
+            now,
+            self.mem.timing().queue_depth(now) as f64,
+        );
+        self.telemetry
+            .sample("llc_dirty_lines", now, self.hier.dirty_line_count() as f64);
+        let open = self
+            .scheme
+            .system_eid()
+            .raw()
+            .saturating_sub(self.scheme.persisted_eid().raw());
+        self.telemetry.sample("open_epochs", now, open as f64);
+        for (name, value) in self.scheme.telemetry_gauges() {
+            self.telemetry.sample(name, now, value);
         }
     }
 
@@ -212,6 +260,13 @@ impl Machine {
         if self.scheme.wants_early_commit() || self.instr_since_boundary >= epoch_budget {
             self.epoch_boundary();
         }
+
+        if let Some(sampler) = &mut self.sampler {
+            let now = self.cores[idx].clock;
+            if sampler.due(now) {
+                self.sample_gauges(now);
+            }
+        }
         true
     }
 
@@ -240,11 +295,22 @@ impl Machine {
             .scheme
             .on_epoch_boundary(&mut self.hier, &mut self.mem, now);
         if let Some(stall) = outcome.stall_until {
+            if stall > now {
+                self.telemetry
+                    .record(now, None, EventKind::BoundaryStall { until: stall });
+            }
             // Stop-the-world: every core resumes after the flush.
             for core in &mut self.cores {
                 core.clock = core.clock.max(stall);
             }
         }
+        self.telemetry.record(
+            outcome.stall_until.unwrap_or(now).max(now),
+            None,
+            EventKind::EpochBegin {
+                eid: self.scheme.system_eid(),
+            },
+        );
         if self.keep_snapshots {
             self.snapshots
                 .insert(outcome.committed, self.logical.snapshot());
@@ -264,8 +330,18 @@ impl Machine {
     /// line-for-line against the golden image of the recovered epoch.
     pub fn crash(&mut self) -> CrashReport {
         let now = self.now();
+        self.telemetry.record(now, None, EventKind::CrashInjected);
         self.hier.invalidate_all();
+        self.telemetry.record(now, None, EventKind::RecoveryStart);
         let outcome = self.scheme.crash_recover(&mut self.mem, now);
+        self.telemetry.record(
+            outcome.completed_at,
+            None,
+            EventKind::RecoveryDone {
+                recovered_to: outcome.recovered_to,
+                entries: outcome.entries_applied,
+            },
+        );
 
         let (consistent, mismatch_count, mismatches) =
             match self.snapshots.get(&outcome.recovered_to) {

@@ -90,7 +90,8 @@ impl std::fmt::Display for RunReport {
             "  log: {} entries, {} written",
             self.scheme_stats.log_entries,
             picl_types::stats::format_bytes(self.scheme_stats.log_bytes_written)
-        )
+        )?;
+        writeln!(f, "  NVM queue depth: {}", self.nvm.queue_depth)
     }
 }
 

@@ -1,0 +1,234 @@
+//! The typed event vocabulary.
+//!
+//! Every instrumented point in the simulator records one [`EventKind`]
+//! stamped with a cycle timestamp and an optional originating core. Kinds
+//! are closed (an enum, not strings) so recording is allocation-free and
+//! exporters can route each kind to a stable track.
+
+use picl_types::{CoreId, Cycle, EpochId, LineAddr};
+
+/// What happened. Spans that have a duration (ACS scans, NVM requests,
+/// stop-the-world stalls) carry both endpoints in one event so the ring
+/// never holds half a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A new epoch started executing (the first event of every trace, and
+    /// one per epoch boundary thereafter).
+    EpochBegin {
+        /// The epoch now executing.
+        eid: EpochId,
+    },
+    /// The executing epoch committed at a boundary.
+    EpochCommit {
+        /// The epoch that committed.
+        eid: EpochId,
+    },
+    /// An epoch became durable (recoverable after power loss).
+    EpochPersist {
+        /// The epoch that persisted.
+        eid: EpochId,
+    },
+    /// Execution stalled for a synchronous flush at an epoch boundary.
+    BoundaryStall {
+        /// Cycle at which execution resumed.
+        until: Cycle,
+    },
+    /// The on-chip undo buffer drained to the durable log.
+    UndoDrain {
+        /// Entries flushed.
+        entries: u64,
+        /// Bytes of the bulk sequential write.
+        bytes: u64,
+        /// Whether a bloom-filter hit on an eviction forced the drain.
+        forced: bool,
+    },
+    /// A dirty eviction probed the undo buffer's bloom filter.
+    BloomCheck {
+        /// Line being evicted.
+        addr: LineAddr,
+        /// Whether the probe reported a (possible) conflict.
+        hit: bool,
+    },
+    /// One asynchronous cache-scan pass completed.
+    AcsScan {
+        /// The epoch the pass persisted.
+        target: EpochId,
+        /// Dirty lines written back by the pass.
+        lines: u64,
+        /// Cycle the pass started.
+        started: Cycle,
+    },
+    /// The ACS wrote one line in place.
+    AcsLineWriteback {
+        /// The line written.
+        addr: LineAddr,
+    },
+    /// A dirty line left the LLC toward memory.
+    DirtyWriteback {
+        /// The line evicted.
+        addr: LineAddr,
+    },
+    /// One NVM request, enqueue-to-completion.
+    NvmAccess {
+        /// Access-class label (`"demand-read"`, `"undo-log-bulk"`, …).
+        class: &'static str,
+        /// Whether this was a write.
+        write: bool,
+        /// Bytes transferred.
+        bytes: u64,
+        /// Cycle the request completed (dequeue); the event timestamp is
+        /// the enqueue cycle.
+        done: Cycle,
+    },
+    /// A power failure was injected.
+    CrashInjected,
+    /// Crash recovery started replaying durable state.
+    RecoveryStart,
+    /// Crash recovery finished.
+    RecoveryDone {
+        /// The checkpoint memory was restored to.
+        recovered_to: EpochId,
+        /// Log/table entries applied.
+        entries: u64,
+    },
+    /// Escape hatch for one-off numeric markers.
+    Marker {
+        /// Label (static so recording stays allocation-free).
+        name: &'static str,
+        /// Attached value.
+        value: u64,
+    },
+}
+
+/// Display tracks events are grouped onto (Chrome-trace `tid`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Track {
+    /// Epoch lifecycle: begin/commit/persist.
+    Epochs,
+    /// Undo-buffer activity: drains and bloom probes.
+    UndoBuffer,
+    /// Asynchronous cache scan.
+    Acs,
+    /// NVM request stream.
+    Nvm,
+    /// Cache-hierarchy write-backs.
+    Cache,
+    /// Stop-the-world stalls.
+    Stalls,
+    /// Crash/recovery phases.
+    Crash,
+}
+
+impl Track {
+    /// Stable numeric id for exporters.
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Epochs => 1,
+            Track::UndoBuffer => 2,
+            Track::Acs => 3,
+            Track::Nvm => 4,
+            Track::Cache => 5,
+            Track::Stalls => 6,
+            Track::Crash => 7,
+        }
+    }
+
+    /// Human-readable track label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Track::Epochs => "epochs",
+            Track::UndoBuffer => "undo-buffer",
+            Track::Acs => "acs",
+            Track::Nvm => "nvm",
+            Track::Cache => "cache",
+            Track::Stalls => "stalls",
+            Track::Crash => "crash",
+        }
+    }
+
+    /// Every track, in tid order.
+    pub fn all() -> [Track; 7] {
+        [
+            Track::Epochs,
+            Track::UndoBuffer,
+            Track::Acs,
+            Track::Nvm,
+            Track::Cache,
+            Track::Stalls,
+            Track::Crash,
+        ]
+    }
+}
+
+impl EventKind {
+    /// Stable snake_case name used by the JSONL exporter.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::EpochBegin { .. } => "epoch_begin",
+            EventKind::EpochCommit { .. } => "epoch_commit",
+            EventKind::EpochPersist { .. } => "epoch_persist",
+            EventKind::BoundaryStall { .. } => "boundary_stall",
+            EventKind::UndoDrain { .. } => "undo_drain",
+            EventKind::BloomCheck { .. } => "bloom_check",
+            EventKind::AcsScan { .. } => "acs_scan",
+            EventKind::AcsLineWriteback { .. } => "acs_line_writeback",
+            EventKind::DirtyWriteback { .. } => "dirty_writeback",
+            EventKind::NvmAccess { .. } => "nvm_access",
+            EventKind::CrashInjected => "crash_injected",
+            EventKind::RecoveryStart => "recovery_start",
+            EventKind::RecoveryDone { .. } => "recovery_done",
+            EventKind::Marker { .. } => "marker",
+        }
+    }
+
+    /// The display track this kind belongs to.
+    pub fn track(&self) -> Track {
+        match self {
+            EventKind::EpochBegin { .. }
+            | EventKind::EpochCommit { .. }
+            | EventKind::EpochPersist { .. } => Track::Epochs,
+            EventKind::UndoDrain { .. } | EventKind::BloomCheck { .. } => Track::UndoBuffer,
+            EventKind::AcsScan { .. } | EventKind::AcsLineWriteback { .. } => Track::Acs,
+            EventKind::NvmAccess { .. } => Track::Nvm,
+            EventKind::DirtyWriteback { .. } => Track::Cache,
+            EventKind::BoundaryStall { .. } => Track::Stalls,
+            EventKind::CrashInjected
+            | EventKind::RecoveryStart
+            | EventKind::RecoveryDone { .. } => Track::Crash,
+            EventKind::Marker { .. } => Track::Stalls,
+        }
+    }
+}
+
+/// One recorded event: timestamp, origin, payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Cycle at which the event occurred (for spans: the start).
+    pub at: Cycle,
+    /// Originating core, if the event is core-attributable.
+    pub core: Option<CoreId>,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_tracks_are_stable() {
+        let e = EventKind::EpochCommit { eid: EpochId(3) };
+        assert_eq!(e.name(), "epoch_commit");
+        assert_eq!(e.track(), Track::Epochs);
+        assert_eq!(Track::Epochs.tid(), 1);
+        assert_eq!(Track::Nvm.label(), "nvm");
+    }
+
+    #[test]
+    fn tids_are_unique() {
+        let mut tids: Vec<u64> = Track::all().iter().map(|t| t.tid()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), Track::all().len());
+    }
+}

@@ -1,0 +1,268 @@
+//! A minimal, dependency-free JSON syntax validator.
+//!
+//! The exporters hand-assemble JSON; this module lets tests, the `picl
+//! trace` command, and CI verify the output actually parses without pulling
+//! in a JSON crate. It checks syntax only (RFC 8259 grammar) — it does not
+//! build a value tree.
+
+/// Validates that `input` is exactly one well-formed JSON value.
+///
+/// Returns `Err` with a byte offset and description on the first syntax
+/// error.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+/// Validates newline-delimited JSON: every non-empty line must be one
+/// well-formed JSON value. Returns the number of valid lines.
+pub fn validate_jsonl(input: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn fail(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.expect_literal("true"),
+            Some(b'f') => self.expect_literal("false"),
+            Some(b'n') => self.expect_literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.fail("unexpected character")),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.bump(); // '{'
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.fail("expected object key string"));
+            }
+            self.string()?;
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                return Err(self.fail("expected `:`"));
+            }
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(self.fail("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.bump(); // '['
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => return Err(self.fail("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.bump(); // '"'
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            if !matches!(self.bump(), Some(b) if b.is_ascii_hexdigit()) {
+                                return Err(self.fail("bad \\u escape"));
+                            }
+                        }
+                    }
+                    _ => return Err(self.fail("bad escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.fail("raw control character in string")),
+                Some(_) => {}
+                None => return Err(self.fail("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.bump();
+            }
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return Err(self.fail("expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.fail("expected fraction digit"));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.fail("expected exponent digit"));
+            }
+            self.digits();
+        }
+        Ok(())
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+    }
+}
+
+/// Escapes `s` for embedding inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e3",
+            "0",
+            r#""str with \" escape""#,
+            r#"{"a":[1,2,{"b":null}],"c":"é"}"#,
+            "  [1, 2]  ",
+        ] {
+            assert!(validate_json(ok).is_ok(), "should accept: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            "nul",
+            "\"unterminated",
+            "[1] [2]",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate_json(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn jsonl_counts_lines_and_locates_errors() {
+        assert_eq!(validate_jsonl("{\"a\":1}\n\n{\"b\":2}\n"), Ok(2));
+        let err = validate_jsonl("{\"a\":1}\nnope\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "got: {err}");
+    }
+
+    #[test]
+    fn escape_round_trips_through_validator() {
+        let s = "weird \"chars\"\n\t\\ and \u{1} control";
+        let quoted = format!("\"{}\"", escape(s));
+        assert!(validate_json(&quoted).is_ok());
+    }
+}

@@ -1,0 +1,56 @@
+//! Zero-overhead-when-off tracing and time-series metrics for the PiCL
+//! simulator.
+//!
+//! # Design
+//!
+//! Instrumented components — the machine (in `picl-sim`), the cache
+//! hierarchy, the NVM model, and every consistency scheme — hold clones of
+//! one [`Telemetry`] handle. A disabled handle (the default) is a
+//! `None` behind one branch: recording compiles to an early return with no
+//! allocation, locking, or formatting, so instrumentation stays permanently
+//! in the hot paths and a normal run pays nothing measurable.
+//!
+//! When enabled, the handle fans events into fixed-capacity per-core rings
+//! ([`EventRing`]) that overwrite their oldest entries rather than grow,
+//! and periodic samplers ([`Sampler`]) snapshot gauges into named
+//! [`TimeSeries`]. A [`TelemetrySnapshot`] drains everything for export as:
+//!
+//! * a JSONL event stream ([`export::write_jsonl`]),
+//! * CSV time series ([`export::write_series_csv`]),
+//! * Chrome `trace_event` JSON ([`export::write_chrome_trace`]) that loads
+//!   in `chrome://tracing` and Perfetto, with epochs, the undo buffer, the
+//!   asynchronous cache scan, NVM traffic, write-backs, stalls, and
+//!   crash/recovery on distinct named tracks.
+//!
+//! # Example
+//!
+//! ```
+//! use picl_telemetry::{EventKind, Telemetry};
+//! use picl_types::{CoreId, Cycle, EpochId};
+//!
+//! let t = Telemetry::new(1, 1024);
+//! t.record(Cycle(0), None, EventKind::EpochBegin { eid: EpochId(1) });
+//! t.record(
+//!     Cycle(90),
+//!     Some(CoreId(0)),
+//!     EventKind::EpochCommit { eid: EpochId(1) },
+//! );
+//! t.sample("undo_fill", Cycle(50), 12.0);
+//!
+//! let snap = t.snapshot();
+//! assert_eq!(snap.events.len(), 2);
+//! let trace = picl_telemetry::export::chrome_trace_to_string(&snap, 2000.0);
+//! picl_telemetry::json::validate_json(&trace).unwrap();
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod recorder;
+pub mod ring;
+pub mod series;
+
+pub use event::{Event, EventKind, Track};
+pub use recorder::{Recorder, Telemetry, TelemetrySnapshot};
+pub use ring::EventRing;
+pub use series::{Sampler, SeriesSet, TimeSeries};

@@ -1,0 +1,198 @@
+//! The recording side: a cloneable [`Telemetry`] handle.
+//!
+//! Every instrumented component (machine, hierarchy, NVM, scheme) holds its
+//! own clone of the handle. A disabled handle is a single `None` — recording
+//! through it is one branch and no memory traffic, so instrumentation can
+//! stay unconditionally in the hot paths without costing a disabled run
+//! anything measurable. An enabled handle shares one [`Recorder`] that owns
+//! one event ring per core (plus a global lane for events with no core
+//! attribution) and the sampled time series.
+
+use std::sync::{Arc, Mutex};
+
+use picl_types::{CoreId, Cycle};
+
+use crate::event::{Event, EventKind};
+use crate::ring::EventRing;
+use crate::series::{SeriesSet, TimeSeries};
+
+/// Shared recording state behind an enabled handle.
+#[derive(Debug)]
+pub struct Recorder {
+    /// Lane 0 is the global ring; lanes `1..=cores` are per-core.
+    lanes: Vec<Mutex<EventRing>>,
+    series: Mutex<SeriesSet>,
+}
+
+impl Recorder {
+    fn new(cores: usize, ring_capacity: usize) -> Self {
+        Recorder {
+            lanes: (0..=cores)
+                .map(|_| Mutex::new(EventRing::new(ring_capacity)))
+                .collect(),
+            series: Mutex::new(SeriesSet::default()),
+        }
+    }
+
+    fn lane_for(&self, core: Option<CoreId>) -> &Mutex<EventRing> {
+        let idx = match core {
+            Some(c) if c.index() + 1 < self.lanes.len() => c.index() + 1,
+            _ => 0,
+        };
+        &self.lanes[idx]
+    }
+}
+
+/// Everything recorded so far, drained for export.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// All events, merged across lanes and sorted by timestamp.
+    pub events: Vec<Event>,
+    /// All sampled time series.
+    pub series: Vec<TimeSeries>,
+    /// Events lost to ring overwrites.
+    pub dropped: u64,
+}
+
+/// The handle instrumentation records through.
+///
+/// `Telemetry::default()` (or [`Telemetry::off`]) is disabled: recording is
+/// a no-op. [`Telemetry::new`] creates an enabled handle; clones share the
+/// same recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Recorder>>,
+}
+
+impl Telemetry {
+    /// A disabled handle (recording is a no-op).
+    pub fn off() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle for a `cores`-core machine, with one
+    /// `ring_capacity`-event ring per core plus a global lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_capacity` is zero.
+    pub fn new(cores: usize, ring_capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Recorder::new(cores, ring_capacity))),
+        }
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event; a no-op when disabled.
+    #[inline]
+    pub fn record(&self, at: Cycle, core: Option<CoreId>, kind: EventKind) {
+        let Some(rec) = &self.inner else { return };
+        rec.lane_for(core)
+            .lock()
+            .expect("telemetry lane poisoned")
+            .push(Event { at, core, kind });
+    }
+
+    /// Appends a point to the named time series; a no-op when disabled.
+    #[inline]
+    pub fn sample(&self, name: &'static str, at: Cycle, value: f64) {
+        let Some(rec) = &self.inner else { return };
+        rec.series
+            .lock()
+            .expect("telemetry series poisoned")
+            .sample(name, at, value);
+    }
+
+    /// Drains everything recorded so far into a snapshot. Returns an empty
+    /// snapshot when disabled. Recording may continue afterwards; a later
+    /// snapshot holds only events recorded since.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(rec) = &self.inner else {
+            return TelemetrySnapshot {
+                events: Vec::new(),
+                series: Vec::new(),
+                dropped: 0,
+            };
+        };
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for lane in &rec.lanes {
+            let mut lane = lane.lock().expect("telemetry lane poisoned");
+            dropped += lane.dropped();
+            events.extend(lane.drain());
+        }
+        events.sort_by_key(|e| e.at.raw());
+        let series = rec.series.lock().expect("telemetry series poisoned").take();
+        TelemetrySnapshot {
+            events,
+            series,
+            dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picl_types::EpochId;
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let t = Telemetry::off();
+        assert!(!t.is_enabled());
+        t.record(Cycle(1), None, EventKind::CrashInjected);
+        t.sample("x", Cycle(1), 1.0);
+        let snap = t.snapshot();
+        assert!(snap.events.is_empty());
+        assert!(snap.series.is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let t = Telemetry::new(2, 64);
+        let u = t.clone();
+        t.record(
+            Cycle(5),
+            Some(CoreId(0)),
+            EventKind::EpochCommit { eid: EpochId(1) },
+        );
+        u.record(
+            Cycle(3),
+            Some(CoreId(1)),
+            EventKind::EpochCommit { eid: EpochId(1) },
+        );
+        u.sample("fill", Cycle(4), 2.0);
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        // Merged snapshot is timestamp-sorted across lanes.
+        assert_eq!(snap.events[0].at, Cycle(3));
+        assert_eq!(snap.events[1].at, Cycle(5));
+        assert_eq!(snap.series.len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_cores_land_in_the_global_lane() {
+        let t = Telemetry::new(1, 4);
+        t.record(Cycle(1), Some(CoreId(7)), EventKind::CrashInjected);
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].core, Some(CoreId(7)));
+    }
+
+    #[test]
+    fn snapshot_drains_and_reports_drops() {
+        let t = Telemetry::new(0, 2);
+        for i in 0..5 {
+            t.record(Cycle(i), None, EventKind::CrashInjected);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.dropped, 3);
+        assert!(t.snapshot().events.is_empty(), "snapshot drains");
+    }
+}

@@ -1,0 +1,163 @@
+//! A fixed-capacity event ring.
+//!
+//! Each core (plus one global lane) records into its own ring so recording
+//! never reallocates and a runaway event source degrades gracefully: once
+//! full, the oldest events are overwritten and counted as dropped, keeping
+//! the *most recent* window — the part a trace viewer needs after an
+//! interesting incident.
+
+use crate::event::Event;
+
+/// A bounded FIFO of events that overwrites its oldest entry when full.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding up to `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if the ring is full.
+    pub fn push(&mut self, ev: Event) {
+        if self.len < self.capacity {
+            let slot = (self.head + self.len) % self.capacity;
+            if slot == self.buf.len() {
+                self.buf.push(ev);
+            } else {
+                self.buf[slot] = ev;
+            }
+            self.len += 1;
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Removes and returns all events, oldest first.
+    pub fn drain(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + i) % self.capacity]);
+        }
+        self.head = 0;
+        self.len = 0;
+        out
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum events held at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use picl_types::Cycle;
+
+    fn ev(t: u64) -> Event {
+        Event {
+            at: Cycle(t),
+            core: None,
+            kind: EventKind::Marker {
+                name: "t",
+                value: t,
+            },
+        }
+    }
+
+    fn times(events: &[Event]) -> Vec<u64> {
+        events.iter().map(|e| e.at.raw()).collect()
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order() {
+        let mut r = EventRing::new(8);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(times(&r.drain()), vec![0, 1, 2, 3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn wrap_around_keeps_most_recent_window() {
+        let mut r = EventRing::new(4);
+        for t in 0..10 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(times(&r.drain()), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn capacity_one_holds_latest() {
+        let mut r = EventRing::new(1);
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(times(&r.drain()), vec![3]);
+        // Reusable after drain.
+        r.push(ev(4));
+        assert_eq!(times(&r.drain()), vec![4]);
+    }
+
+    #[test]
+    fn push_after_wrap_and_drain_stays_ordered() {
+        let mut r = EventRing::new(3);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        assert_eq!(times(&r.drain()), vec![2, 3, 4]);
+        for t in 10..13 {
+            r.push(ev(t));
+        }
+        assert_eq!(times(&r.drain()), vec![10, 11, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = EventRing::new(0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Fixed-interval time series of sampled gauges.
+//!
+//! Periodic samplers snapshot instantaneous quantities — undo-buffer fill,
+//! NVM queue depth, LLC dirty-line census, open-epoch count — into named
+//! series that the CSV and Chrome-trace exporters turn into counter plots.
+
+use picl_types::stats::Gauge;
+use picl_types::Cycle;
+
+/// One named series of `(cycle, value)` samples.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Series name (CSV column / Chrome counter name).
+    pub name: &'static str,
+    /// Samples in recording order.
+    pub points: Vec<(Cycle, f64)>,
+    /// Running last/min/max summary of the sampled values.
+    pub gauge: Gauge,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new(name: &'static str) -> Self {
+        TimeSeries {
+            name,
+            points: Vec::new(),
+            gauge: Gauge::new(),
+        }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, at: Cycle, value: f64) {
+        self.points.push((at, value));
+        self.gauge.set(value);
+    }
+}
+
+/// The set of all series a recorder maintains, keyed by name.
+#[derive(Debug, Default)]
+pub struct SeriesSet {
+    series: Vec<TimeSeries>,
+}
+
+impl SeriesSet {
+    /// Appends a sample to the named series, creating it on first use.
+    pub fn sample(&mut self, name: &'static str, at: Cycle, value: f64) {
+        match self.series.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.push(at, value),
+            None => {
+                let mut s = TimeSeries::new(name);
+                s.push(at, value);
+                self.series.push(s);
+            }
+        }
+    }
+
+    /// Removes and returns all series.
+    pub fn take(&mut self) -> Vec<TimeSeries> {
+        std::mem::take(&mut self.series)
+    }
+
+    /// Read-only view of the series.
+    pub fn all(&self) -> &[TimeSeries] {
+        &self.series
+    }
+}
+
+/// Decides when the next periodic sample is due.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    interval: u64,
+    next_at: u64,
+}
+
+impl Sampler {
+    /// A sampler firing every `interval` cycles (first sample immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "sample interval must be nonzero");
+        Sampler {
+            interval,
+            next_at: 0,
+        }
+    }
+
+    /// Whether a sample is due at `now`; advances the schedule when it is.
+    pub fn due(&mut self, now: Cycle) -> bool {
+        if now.raw() >= self.next_at {
+            self.next_at = now.raw() + self.interval;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The configured interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulate_and_summarize() {
+        let mut set = SeriesSet::default();
+        set.sample("fill", Cycle(0), 3.0);
+        set.sample("fill", Cycle(10), 7.0);
+        set.sample("depth", Cycle(10), 1.0);
+        assert_eq!(set.all().len(), 2);
+        let fill = &set.all()[0];
+        assert_eq!(fill.name, "fill");
+        assert_eq!(fill.points, vec![(Cycle(0), 3.0), (Cycle(10), 7.0)]);
+        assert_eq!(fill.gauge.max(), Some(7.0));
+        assert_eq!(fill.gauge.last(), Some(7.0));
+        let taken = set.take();
+        assert_eq!(taken.len(), 2);
+        assert!(set.all().is_empty());
+    }
+
+    #[test]
+    fn sampler_fires_on_schedule() {
+        let mut s = Sampler::new(100);
+        assert!(s.due(Cycle(0)), "first sample is immediate");
+        assert!(!s.due(Cycle(50)));
+        assert!(s.due(Cycle(100)));
+        assert!(!s.due(Cycle(150)));
+        // Gaps longer than the interval fire once, then reschedule.
+        assert!(s.due(Cycle(1000)));
+        assert!(!s.due(Cycle(1050)));
+    }
+}

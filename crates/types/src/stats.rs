@@ -46,11 +46,248 @@ impl std::ops::AddAssign<u64> for Counter {
     }
 }
 
+/// A sampled instantaneous quantity (queue depth, buffer fill, …).
+///
+/// Unlike [`Counter`], a gauge can go up and down; it remembers the last
+/// value it was set to plus the running minimum and maximum. All accessors
+/// return `None` until the first [`set`](Gauge::set).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge {
+    last: f64,
+    min: f64,
+    max: f64,
+    samples: u64,
+}
+
+impl Gauge {
+    /// A gauge with no samples yet.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Records a new instantaneous value.
+    pub fn set(&mut self, value: f64) {
+        if self.samples == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+        }
+        self.last = value;
+        self.samples += 1;
+    }
+
+    /// The most recently set value.
+    pub fn last(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.last)
+    }
+
+    /// The smallest value ever set.
+    pub fn min(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.min)
+    }
+
+    /// The largest value ever set.
+    pub fn max(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.max)
+    }
+
+    /// How many times the gauge has been set.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl std::fmt::Display for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.last(), self.min(), self.max()) {
+            (Some(last), Some(min), Some(max)) => {
+                write!(f, "last {last:.2} (min {min:.2}, max {max:.2})")
+            }
+            _ => write!(f, "no samples"),
+        }
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: one for zero plus one per power
+/// of two up to `u64::MAX`.
+const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts exact zeros; bucket `i >= 1` counts values in
+/// `[2^(i-1), 2^i - 1]`, so the full `u64` range fits in 65 buckets with
+/// at most 2x relative error on [`percentile`](Histogram::percentile).
+/// The exact maximum and sum are tracked on the side, so
+/// [`max`](Histogram::max) and [`mean`](Histogram::mean) are precise.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i` (what
+    /// [`percentile`](Histogram::percentile) reports for samples landing
+    /// there).
+    fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// An upper bound on the `p`-th percentile (0.0–100.0): the bucket
+    /// bound below which at least `p` percent of samples fall. `None` if
+    /// empty. Accurate to the bucket width (a factor of two).
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs, in
+    /// ascending bound order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_bound(i), n))
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field(
+                "nonzero_buckets",
+                &self.nonzero_buckets().collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.mean(), self.percentile(99.0), self.max()) {
+            (Some(mean), Some(p99), Some(max)) => {
+                write!(
+                    f,
+                    "n={} mean={:.2} p99<={} max={}",
+                    self.count, mean, p99, max
+                )
+            }
+            _ => write!(f, "empty"),
+        }
+    }
+}
+
 /// Geometric mean of strictly positive values; the paper reports GMean for
 /// its normalized-execution figures.
 ///
-/// Returns `None` for an empty input or if any value is not finite and
-/// positive.
+/// Edge cases are handled as follows:
+///
+/// * an empty slice has no mean — returns `None`;
+/// * a single value is its own geometric mean (up to floating-point
+///   rounding through `ln`/`exp`);
+/// * any zero, negative, NaN, or infinite value poisons the whole input —
+///   returns `None` rather than a partial mean, so a bad normalization
+///   baseline can't silently skew a reported figure.
 pub fn geometric_mean(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
@@ -125,12 +362,119 @@ mod tests {
     }
 
     #[test]
+    fn gauge_tracks_last_min_max() {
+        let mut g = Gauge::new();
+        assert_eq!(g.last(), None);
+        assert_eq!(g.min(), None);
+        assert_eq!(g.max(), None);
+        assert_eq!(g.to_string(), "no samples");
+        g.set(4.0);
+        g.set(1.0);
+        g.set(3.0);
+        assert_eq!(g.last(), Some(3.0));
+        assert_eq!(g.min(), Some(1.0));
+        assert_eq!(g.max(), Some(4.0));
+        assert_eq!(g.samples(), 3);
+        assert_eq!(g.to_string(), "last 3.00 (min 1.00, max 4.00)");
+    }
+
+    #[test]
+    fn gauge_handles_negative_first_sample() {
+        let mut g = Gauge::new();
+        g.set(-2.0);
+        assert_eq!(g.min(), Some(-2.0));
+        assert_eq!(g.max(), Some(-2.0));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.to_string(), "empty");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1049);
+        assert_eq!(h.max(), Some(1024));
+        assert!((h.mean().unwrap() - 1049.0 / 8.0).abs() < 1e-12);
+        // 0 -> bucket 0; 1 -> [1,1]; 2,3 -> [2,3]; 4,7 -> [4,7]; 8 -> [8,15];
+        // 1024 -> [1024,2047].
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 1), (2047, 1)]
+        );
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000);
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(50.0), Some(1));
+        assert_eq!(h.percentile(99.0), Some(1));
+        // The top sample lands in bucket [512,1023]; the reported bound is
+        // clamped to the exact max.
+        assert_eq!(h.percentile(100.0), Some(1000));
+    }
+
+    #[test]
+    fn histogram_merge_combines_everything() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 106);
+        assert_eq!(a.max(), Some(100));
+    }
+
+    #[test]
+    fn histogram_extreme_values() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+    }
+
+    #[test]
     fn geomean() {
         let g = geometric_mean(&[1.0, 4.0]).unwrap();
         assert!((g - 2.0).abs() < 1e-12);
         assert!(geometric_mean(&[]).is_none());
         assert!(geometric_mean(&[1.0, 0.0]).is_none());
         assert!(geometric_mean(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn geomean_edge_cases() {
+        // A single value is its own geometric mean.
+        let g = geometric_mean(&[3.5]).unwrap();
+        assert!((g - 3.5).abs() < 1e-12);
+        // Any non-finite or non-positive value poisons the whole input.
+        assert!(geometric_mean(&[2.0, f64::INFINITY]).is_none());
+        assert!(geometric_mean(&[2.0, f64::NEG_INFINITY]).is_none());
+        assert!(geometric_mean(&[2.0, -1.0]).is_none());
+        // Values below and above one balance out.
+        let g = geometric_mean(&[0.5, 2.0]).unwrap();
+        assert!((g - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub struct Frm {
     commits: Counter,
     stall_cycles: Counter,
     telemetry: Telemetry,
+    /// Reused across boundary flushes (one drain per epoch commit).
+    flush_scratch: Vec<picl_cache::FlushLine>,
 }
 
 impl Frm {
@@ -46,6 +48,7 @@ impl Frm {
             commits: Counter::new(),
             stall_cycles: Counter::new(),
             telemetry: Telemetry::off(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -110,13 +113,16 @@ impl ConsistencyScheme for Frm {
         now: Cycle,
     ) -> BoundaryOutcome {
         let mut t = now;
-        for line in hier.take_dirty_lines() {
+        let mut scratch = std::mem::take(&mut self.flush_scratch);
+        hier.take_dirty_lines_into(&mut scratch);
+        for line in &scratch {
             // Per line: pre-image read, log append, in-place write chain;
             // distinct lines proceed concurrently across banks.
             let logged = self.read_log(line.addr, mem, now);
             let done = mem.write(logged, line.addr, line.value, AccessClass::WriteBack);
             t = t.max(done);
         }
+        self.flush_scratch = scratch;
         let committed = self.epochs.commit();
         self.epochs.persist(committed);
         self.log.garbage_collect(committed);

@@ -49,6 +49,8 @@ pub struct Journaling {
     redo_bytes: Counter,
     stall_cycles: Counter,
     telemetry: Telemetry,
+    /// Reused across boundary flushes (one drain per epoch commit).
+    flush_scratch: Vec<picl_cache::FlushLine>,
 }
 
 impl Journaling {
@@ -68,6 +70,7 @@ impl Journaling {
             redo_bytes: Counter::new(),
             stall_cycles: Counter::new(),
             telemetry: Telemetry::off(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -168,9 +171,12 @@ impl ConsistencyScheme for Journaling {
             self.early_commit = false;
         }
         let mut flushed = now;
-        for line in hier.take_dirty_lines() {
+        let mut scratch = std::mem::take(&mut self.flush_scratch);
+        hier.take_dirty_lines_into(&mut scratch);
+        for line in &scratch {
             flushed = flushed.max(self.absorb(line.addr, line.value, mem, now));
         }
+        self.flush_scratch = scratch;
         let t = self.apply_all(mem, flushed);
         let committed = self.epochs.commit();
         self.epochs.persist(committed);

@@ -63,6 +63,8 @@ pub struct ShadowPaging {
     stall_cycles: Counter,
     shadow_bytes: Counter,
     telemetry: Telemetry,
+    /// Reused across boundary flushes (one drain per epoch commit).
+    flush_scratch: Vec<picl_cache::FlushLine>,
 }
 
 impl ShadowPaging {
@@ -81,6 +83,7 @@ impl ShadowPaging {
             stall_cycles: Counter::new(),
             shadow_bytes: Counter::new(),
             telemetry: Telemetry::off(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -209,9 +212,12 @@ impl ConsistencyScheme for ShadowPaging {
             self.early_commit = false;
         }
         let mut flushed = now;
-        for line in hier.take_dirty_lines() {
+        let mut scratch = std::mem::take(&mut self.flush_scratch);
+        hier.take_dirty_lines_into(&mut scratch);
+        for line in &scratch {
             flushed = flushed.max(self.absorb(line.addr, line.value, mem, now));
         }
+        self.flush_scratch = scratch;
         // Page write-back of every dirtied page (concurrent across banks);
         // retain the entry.
         let dirty_pages: Vec<LineAddr> = self

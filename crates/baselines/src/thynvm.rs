@@ -54,6 +54,8 @@ pub struct ThyNvm {
     redo_bytes: Counter,
     stall_cycles: Counter,
     telemetry: Telemetry,
+    /// Reused across boundary flushes (one drain per epoch commit).
+    flush_scratch: Vec<picl_cache::FlushLine>,
 }
 
 impl ThyNvm {
@@ -74,6 +76,7 @@ impl ThyNvm {
             redo_bytes: Counter::new(),
             stall_cycles: Counter::new(),
             telemetry: Telemetry::off(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -285,9 +288,12 @@ impl ConsistencyScheme for ThyNvm {
         // work, not stall time.
         self.apply_committed(mem, now);
         let mut t = now;
-        for line in hier.take_dirty_lines() {
+        let mut scratch = std::mem::take(&mut self.flush_scratch);
+        hier.take_dirty_lines_into(&mut scratch);
+        for line in &scratch {
             t = t.max(self.absorb(line.addr, line.value, mem, now));
         }
+        self.flush_scratch = scratch;
         for (addr, value) in std::mem::take(&mut self.overflow) {
             t = t.max(mem.write(now, addr, value, AccessClass::RedoApplyWrite));
         }

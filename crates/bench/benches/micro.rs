@@ -14,7 +14,7 @@ use picl::log::UndoLog;
 use picl::undo::UndoEntry;
 use picl_cache::hierarchy::AccessType;
 use picl_cache::{Hierarchy, SetAssocCache};
-use picl_nvm::Nvm;
+use picl_nvm::{DeltaSnapshots, MainMemory, Nvm};
 use picl_sim::{Machine, SchemeKind};
 use picl_trace::spec::SpecBenchmark;
 use picl_trace::TraceSource;
@@ -143,6 +143,122 @@ fn bench_hierarchy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_acs_pass(c: &mut Criterion) {
+    // The ACS drain: collect every dirty line tagged with one EID. The
+    // epoch-index fast path is O(lines drained); the reference full scan
+    // is O(cache capacity) — the contrast is the point of this group.
+    let mut group = c.benchmark_group("acs_pass");
+    const TAGGED: u64 = 1024;
+    group.throughput(Throughput::Elements(TAGGED));
+    for reference in [false, true] {
+        let label = if reference {
+            "reference_scan"
+        } else {
+            "epoch_index"
+        };
+        group.bench_function(format!("drain_1024_tagged_{label}"), |b| {
+            let cfg = SystemConfig::paper_single_core();
+            let mut out = Vec::new();
+            b.iter_batched(
+                || {
+                    let mut hier = Hierarchy::new(&cfg);
+                    hier.set_reference_scan(reference);
+                    let mut scheme = SchemeKind::Picl.build(&cfg);
+                    let mut mem = nvm();
+                    for i in 0..TAGGED {
+                        hier.access(
+                            CoreId(0),
+                            LineAddr::new(i * 3),
+                            AccessType::Store { new_value: i + 1 },
+                            scheme.as_mut(),
+                            &mut mem,
+                            Cycle(i),
+                        );
+                    }
+                    hier
+                },
+                |mut hier| {
+                    hier.take_lines_with_eid_into(EpochId(1), &mut out);
+                    black_box(out.len());
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_llc_hit(c: &mut Criterion) {
+    // Steady-state loads over a working set larger than L1+L2 but smaller
+    // than the LLC: every access walks the full miss path into the LLC
+    // directory, recalls the line, and spills a victim back down.
+    let mut group = c.benchmark_group("llc_hit");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("load_recall", |b| {
+        let cfg = SystemConfig::paper_single_core();
+        let mut hier = Hierarchy::new(&cfg);
+        let mut scheme = SchemeKind::Ideal.build(&cfg);
+        let mut mem = nvm();
+        // 16 k lines: L1 holds 1 k, L2 8 k, LLC 32 k.
+        const RANGE: u64 = 16_384;
+        for i in 0..RANGE {
+            hier.access(
+                CoreId(0),
+                LineAddr::new(i),
+                AccessType::Load,
+                scheme.as_mut(),
+                &mut mem,
+                Cycle(i),
+            );
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(hier.access(
+                CoreId(0),
+                LineAddr::new(i % RANGE),
+                AccessType::Load,
+                scheme.as_mut(),
+                &mut mem,
+                Cycle(RANGE + i),
+            ));
+        });
+    });
+    group.finish();
+}
+
+fn bench_epoch_snapshot(c: &mut Criterion) {
+    // Epoch-commit snapshot cost over a 100k-line logical image with 1k
+    // lines dirtied per epoch: copy-on-write delta vs eager deep clone.
+    let mut group = c.benchmark_group("snapshot");
+    const FOOTPRINT: u64 = 100_000;
+    const DIRTY_PER_EPOCH: u64 = 1_000;
+    let mut logical = MainMemory::new();
+    for i in 0..FOOTPRINT {
+        logical.write_line(LineAddr::new(i), i + 1);
+    }
+    group.throughput(Throughput::Elements(DIRTY_PER_EPOCH));
+    group.bench_function("delta_commit_1k_dirty", |b| {
+        let mut snaps = DeltaSnapshots::new();
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            // Bound chain growth so long calibration runs stay in memory.
+            if epoch.is_multiple_of(256) {
+                snaps = DeltaSnapshots::new();
+            }
+            let delta: picl_types::hash::FastMap<LineAddr, u64> = (0..DIRTY_PER_EPOCH)
+                .map(|i| (LineAddr::new((epoch * 7 + i) % FOOTPRINT), epoch))
+                .collect();
+            snaps.commit(EpochId(epoch), delta);
+        });
+    });
+    group.bench_function("full_clone_100k_lines", |b| {
+        b.iter(|| black_box(logical.snapshot().touched_lines()));
+    });
+    group.finish();
+}
+
 fn bench_recovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("recovery");
     // Replay a 10k-entry multi-undo log.
@@ -257,6 +373,9 @@ criterion_group!(
     bench_undo_buffer,
     bench_cache_array,
     bench_hierarchy,
+    bench_acs_pass,
+    bench_llc_hit,
+    bench_epoch_snapshot,
     bench_recovery,
     bench_trace_generation,
     bench_end_to_end,

@@ -13,9 +13,35 @@
 //! Consistency-scheme hooks fire exactly where the paper's Figs. 7 and 8
 //! put them: on every store (with pre-store metadata, wherever the line is
 //! held) and on every dirty line leaving the LLC toward memory.
+//!
+//! # The epoch index
+//!
+//! The ACS pass ([`Hierarchy::take_lines_with_eid`]) and the baselines'
+//! synchronous flushes ([`Hierarchy::take_dirty_lines`]) used to walk every
+//! slot of every cache — O(capacity) per epoch regardless of how much work
+//! an epoch actually dirtied. The hierarchy now maintains a side-index of
+//! *candidate* dirty lines, bucketed by EID tag, plus O(1) dirty counters:
+//!
+//! * every store that dirties a clean line, or moves a line to a new EID
+//!   tag, appends the address to the bucket for its (new) tag;
+//! * bucket entries are never eagerly removed — a drained, evicted, or
+//!   re-tagged line simply leaves a *stale* candidate behind;
+//! * at drain time each candidate is located through the inclusive LLC
+//!   directory (O(1): its slot either holds the data or names the one
+//!   owning core) and taken only if its authoritative metadata still
+//!   matches the filter.
+//!
+//! The invariant that makes the fast path exact: **every dirty line tagged
+//! `e` is a candidate in bucket `e`, and every untagged dirty line is a
+//! candidate in the untagged bucket** — stale candidates are filtered, but
+//! no dirty line can hide outside its bucket. Drains emit lines sorted by
+//! address, so the NVM write order (and therefore every downstream timing)
+//! is identical between the fast path and the full-scan reference path
+//! ([`Hierarchy::set_reference_scan`]).
 
 use picl_nvm::{AccessClass, Nvm};
 use picl_telemetry::{EventKind, Telemetry};
+use picl_types::hash::FastMap;
 use picl_types::{config::SystemConfig, stats::Counter, CoreId, Cycle, EpochId, LineAddr};
 
 use crate::line::{CacheLineMeta, FlushLine};
@@ -66,7 +92,7 @@ pub enum AccessType {
 }
 
 /// Hit/miss/traffic counters for the hierarchy.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L1 hits.
     pub l1_hits: Counter,
@@ -101,6 +127,18 @@ pub struct Hierarchy {
     llc_lat: Cycle,
     stats: HierarchyStats,
     telemetry: Telemetry,
+    /// Candidate dirty lines per EID tag (lazily invalidated; see module
+    /// docs for the invariant).
+    epoch_index: FastMap<EpochId, Vec<LineAddr>>,
+    /// Candidate dirty lines with no EID tag.
+    untagged_dirty: Vec<LineAddr>,
+    /// Exact count of dirty lines anywhere in the hierarchy.
+    dirty_total: usize,
+    /// Exact count of dirty lines carrying an EID tag.
+    dirty_tagged: usize,
+    /// When set, drains and counts use brute-force full scans (the
+    /// pre-index behavior) instead of the epoch index.
+    reference_scan: bool,
 }
 
 impl Hierarchy {
@@ -126,12 +164,25 @@ impl Hierarchy {
             llc_lat: cfg.llc_per_core.latency,
             stats: HierarchyStats::default(),
             telemetry: Telemetry::off(),
+            epoch_index: FastMap::default(),
+            untagged_dirty: Vec::new(),
+            dirty_total: 0,
+            dirty_tagged: 0,
+            reference_scan: false,
         }
     }
 
     /// Routes hierarchy events (dirty write-backs) to `telemetry`.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Switches drains and dirty counts to brute-force full scans — the
+    /// differential reference for validating the epoch index. The index
+    /// and counters are still maintained, so a reference hierarchy stays
+    /// cheap to flip back.
+    pub fn set_reference_scan(&mut self, reference: bool) {
+        self.reference_scan = reference;
     }
 
     /// Number of cores.
@@ -170,9 +221,8 @@ impl Hierarchy {
         if self.l1[c].contains(addr) {
             self.stats.l1_hits.incr();
             if let AccessType::Store { new_value } = access {
-                let meta = self.l1[c].get(addr).expect("checked contains");
-                let mut m = *meta;
-                Self::do_store(&mut m, addr, new_value, scheme, mem, now);
+                let mut m = *self.l1[c].get(addr).expect("checked contains");
+                self.do_store(&mut m, addr, new_value, scheme, mem, now);
                 *self.l1[c].get(addr).expect("still resident") = m;
             } else {
                 self.l1[c].get(addr);
@@ -222,7 +272,7 @@ impl Hierarchy {
         };
 
         if let AccessType::Store { new_value } = access {
-            Self::do_store(&mut meta, addr, new_value, scheme, mem, now);
+            self.do_store(&mut meta, addr, new_value, scheme, mem, now);
         }
         self.fill_l1(core, addr, meta, scheme, mem, now);
 
@@ -230,8 +280,10 @@ impl Hierarchy {
     }
 
     /// Applies a store to a line's metadata, firing the scheme hook with
-    /// the pre-store state (Figs. 7/8 transitions).
+    /// the pre-store state (Figs. 7/8 transitions) and keeping the epoch
+    /// index coherent.
     fn do_store(
+        &mut self,
         meta: &mut CacheLineMeta,
         addr: LineAddr,
         new_value: u64,
@@ -246,11 +298,45 @@ impl Hierarchy {
             was_dirty: meta.dirty,
         };
         let directive = scheme.on_store(&ev, mem, now);
+        let was_dirty = meta.dirty;
+        let old_eid = meta.eid;
         meta.value = new_value;
         meta.dirty = true;
         if let Some(eid) = directive.new_eid {
             meta.eid = Some(eid);
         }
+
+        if !was_dirty {
+            self.dirty_total += 1;
+        }
+        if meta.eid.is_some() && !(was_dirty && old_eid.is_some()) {
+            self.dirty_tagged += 1;
+        }
+        // A line enters a bucket when it turns dirty or changes tag; a
+        // dirty line keeping its tag is already a candidate there.
+        if !was_dirty || meta.eid != old_eid {
+            match meta.eid {
+                Some(eid) => self.epoch_index.entry(eid).or_default().push(addr),
+                None => self.push_untagged(addr),
+            }
+        }
+    }
+
+    /// Appends an untagged dirty candidate, compacting the bucket when
+    /// stale entries dominate (schemes that never flush — Ideal — would
+    /// otherwise grow it with one stale entry per re-dirtied eviction).
+    fn push_untagged(&mut self, addr: LineAddr) {
+        // Compact BEFORE pushing: during `do_store` the stored line's
+        // metadata is a detached copy not yet written back to the arrays,
+        // so a post-push compaction would see it clean and drop it.
+        if self.untagged_dirty.len() > 64 && self.untagged_dirty.len() > 4 * self.dirty_total {
+            let mut keep = std::mem::take(&mut self.untagged_dirty);
+            keep.sort_unstable();
+            keep.dedup();
+            keep.retain(|&a| matches!(self.locate(a), Some(m) if m.dirty && m.eid.is_none()));
+            self.untagged_dirty = keep;
+        }
+        self.untagged_dirty.push(addr);
     }
 
     /// Installs a line into `core`'s L1, rippling victims down: L1 victim →
@@ -313,6 +399,12 @@ impl Hierarchy {
             }
         };
         if meta.dirty {
+            // The line leaves the hierarchy; its bucket candidate goes
+            // stale and is filtered at the next drain.
+            self.dirty_total -= 1;
+            if meta.eid.is_some() {
+                self.dirty_tagged -= 1;
+            }
             self.stats.dirty_evictions.incr();
             self.telemetry
                 .record(now, None, EventKind::DirtyWriteback { addr });
@@ -334,69 +426,217 @@ impl Hierarchy {
     /// cache flush of prior-work schemes; the caller writes the returned
     /// lines wherever its scheme requires.
     pub fn take_dirty_lines(&mut self) -> Vec<FlushLine> {
-        self.take_matching(|m| m.dirty)
+        let mut out = Vec::new();
+        self.take_dirty_lines_into(&mut out);
+        out
+    }
+
+    /// [`Hierarchy::take_dirty_lines`] into a caller-owned scratch vector
+    /// (cleared first), avoiding a fresh allocation per flush. Lines are
+    /// returned sorted by address.
+    pub fn take_dirty_lines_into(&mut self, out: &mut Vec<FlushLine>) {
+        out.clear();
+        if self.reference_scan {
+            self.take_matching_scan(|m| m.dirty, out);
+            self.epoch_index.clear();
+            self.untagged_dirty.clear();
+        } else {
+            let buckets: Vec<Vec<LineAddr>> =
+                self.epoch_index.drain().map(|(_, addrs)| addrs).collect();
+            for bucket in buckets {
+                self.drain_candidates(&bucket, None, out);
+            }
+            let untagged = std::mem::take(&mut self.untagged_dirty);
+            self.drain_candidates(&untagged, None, out);
+            debug_assert_eq!(self.dirty_total, 0, "dirty line missed by the epoch index");
+            debug_assert_eq!(self.dirty_tagged, 0, "tag count out of sync");
+        }
+        out.sort_unstable_by_key(|f| f.addr);
     }
 
     /// Extracts dirty lines tagged with exactly `eid`, marking them clean —
     /// the asynchronous cache scan (§III-C). Dirty private copies are
     /// snooped exactly as the paper describes.
     pub fn take_lines_with_eid(&mut self, eid: EpochId) -> Vec<FlushLine> {
-        self.take_matching(|m| m.dirty && m.eid == Some(eid))
+        let mut out = Vec::new();
+        self.take_lines_with_eid_into(eid, &mut out);
+        out
     }
 
-    fn take_matching(&mut self, pred: impl Fn(&CacheLineMeta) -> bool) -> Vec<FlushLine> {
+    /// [`Hierarchy::take_lines_with_eid`] into a caller-owned scratch
+    /// vector (cleared first). Lines are returned sorted by address.
+    pub fn take_lines_with_eid_into(&mut self, eid: EpochId, out: &mut Vec<FlushLine>) {
+        out.clear();
+        if self.reference_scan {
+            self.take_matching_scan(|m| m.dirty && m.eid == Some(eid), out);
+            self.epoch_index.remove(&eid);
+        } else if let Some(bucket) = self.epoch_index.remove(&eid) {
+            self.drain_candidates(&bucket, Some(eid), out);
+        }
+        out.sort_unstable_by_key(|f| f.addr);
+    }
+
+    /// Validates each candidate against its authoritative metadata and
+    /// grabs the survivors: locate through the inclusive LLC directory,
+    /// take if dirty (and tagged `filter`, when given), mark clean.
+    fn drain_candidates(
+        &mut self,
+        candidates: &[LineAddr],
+        filter: Option<EpochId>,
+        out: &mut Vec<FlushLine>,
+    ) {
+        for &addr in candidates {
+            let grabbed = match self.llc.peek_mut(addr) {
+                None => None,
+                Some(LlcSlot::Present(meta)) => try_grab(meta, addr, filter, out),
+                Some(LlcSlot::Owned(owner)) => {
+                    let o = owner.index();
+                    let meta = match self.l1[o].peek_mut(addr) {
+                        Some(m) => m,
+                        None => self.l2[o]
+                            .peek_mut(addr)
+                            .expect("owned line missing from owner's private caches"),
+                    };
+                    try_grab(meta, addr, filter, out)
+                }
+            };
+            if let Some(was_tagged) = grabbed {
+                self.dirty_total -= 1;
+                if was_tagged {
+                    self.dirty_tagged -= 1;
+                }
+            }
+        }
+    }
+
+    /// The brute-force drain: walk every slot of every cache (the
+    /// reference path the epoch index is checked against).
+    fn take_matching_scan(
+        &mut self,
+        pred: impl Fn(&CacheLineMeta) -> bool,
+        out: &mut Vec<FlushLine>,
+    ) {
+        let mut grabbed = 0usize;
+        let mut tagged = 0usize;
+        {
+            let mut grab = |addr: LineAddr, meta: &mut CacheLineMeta| {
+                if pred(meta) {
+                    out.push(FlushLine {
+                        addr,
+                        value: meta.value,
+                        eid: meta.eid,
+                    });
+                    grabbed += 1;
+                    if meta.eid.is_some() {
+                        tagged += 1;
+                    }
+                    meta.dirty = false;
+                    meta.eid = None;
+                }
+            };
+            for cache in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+                for (addr, meta) in cache.iter_mut() {
+                    grab(addr, meta);
+                }
+            }
+            for (addr, slot) in self.llc.iter_mut() {
+                if let LlcSlot::Present(meta) = slot {
+                    grab(addr, meta);
+                }
+            }
+        }
+        self.dirty_total -= grabbed;
+        self.dirty_tagged -= tagged;
+    }
+
+    /// Read-only full scan of every dirty line, sorted by address — the
+    /// oracle the index coherence proptests compare drains against.
+    pub fn reference_dirty_lines(&self) -> Vec<FlushLine> {
+        self.scan_matching(|m| m.dirty)
+    }
+
+    /// Read-only full scan of dirty lines tagged `eid`, sorted by address.
+    pub fn reference_lines_with_eid(&self, eid: EpochId) -> Vec<FlushLine> {
+        self.scan_matching(|m| m.dirty && m.eid == Some(eid))
+    }
+
+    fn scan_matching(&self, pred: impl Fn(&CacheLineMeta) -> bool) -> Vec<FlushLine> {
         let mut out = Vec::new();
-        let mut grab = |addr: LineAddr, meta: &mut CacheLineMeta| {
+        let mut scan = |addr: LineAddr, meta: &CacheLineMeta| {
             if pred(meta) {
                 out.push(FlushLine {
                     addr,
                     value: meta.value,
                     eid: meta.eid,
                 });
-                meta.dirty = false;
-                meta.eid = None;
             }
         };
-        for cache in self.l1.iter_mut().chain(self.l2.iter_mut()) {
-            for (addr, meta) in cache.iter_mut() {
-                grab(addr, meta);
+        for cache in self.l1.iter().chain(self.l2.iter()) {
+            for (addr, meta) in cache.iter() {
+                scan(addr, meta);
             }
         }
-        for (addr, slot) in self.llc.iter_mut() {
+        for (addr, slot) in self.llc.iter() {
             if let LlcSlot::Present(meta) = slot {
-                grab(addr, meta);
+                scan(addr, meta);
             }
         }
+        out.sort_unstable_by_key(|f| f.addr);
         out
     }
 
-    /// Number of dirty lines currently in the hierarchy.
+    /// Number of dirty lines currently in the hierarchy. O(1) from the
+    /// maintained counter; a full recount in reference mode.
     pub fn dirty_line_count(&self) -> usize {
+        if self.reference_scan {
+            self.recount(|m| m.dirty)
+        } else {
+            self.dirty_total
+        }
+    }
+
+    /// Number of dirty lines carrying an EID tag (the PiCL `lines_tagged`
+    /// gauge). O(1) from the maintained counter; a recount in reference
+    /// mode.
+    pub fn tagged_dirty_count(&self) -> usize {
+        if self.reference_scan {
+            self.recount(|m| m.dirty && m.eid.is_some())
+        } else {
+            self.dirty_tagged
+        }
+    }
+
+    fn recount(&self, pred: impl Fn(&CacheLineMeta) -> bool) -> usize {
         let private: usize = self
             .l1
             .iter()
             .chain(self.l2.iter())
-            .map(|c| c.iter().filter(|(_, m)| m.dirty).count())
+            .map(|c| c.iter().filter(|(_, m)| pred(m)).count())
             .sum();
         let llc = self
             .llc
             .iter()
-            .filter(|(_, s)| matches!(s, LlcSlot::Present(m) if m.dirty))
+            .filter(|(_, s)| matches!(s, LlcSlot::Present(m) if pred(m)))
             .count();
         private + llc
     }
 
-    /// The current cached value of `addr`, if resident anywhere.
-    pub fn cached_value(&self, addr: LineAddr) -> Option<u64> {
-        for cache in self.l1.iter().chain(self.l2.iter()) {
-            if let Some(meta) = cache.peek(addr) {
-                return Some(meta.value);
+    /// Authoritative metadata of `addr` if resident anywhere, located in
+    /// O(1) through the inclusive LLC directory.
+    fn locate(&self, addr: LineAddr) -> Option<&CacheLineMeta> {
+        match self.llc.peek(addr) {
+            None => None,
+            Some(LlcSlot::Present(meta)) => Some(meta),
+            Some(LlcSlot::Owned(owner)) => {
+                let o = owner.index();
+                self.l1[o].peek(addr).or_else(|| self.l2[o].peek(addr))
             }
         }
-        match self.llc.peek(addr) {
-            Some(LlcSlot::Present(meta)) => Some(meta.value),
-            _ => None,
-        }
+    }
+
+    /// The current cached value of `addr`, if resident anywhere.
+    pub fn cached_value(&self, addr: LineAddr) -> Option<u64> {
+        self.locate(addr).map(|m| m.value)
     }
 
     /// Simulates power loss: every volatile line disappears.
@@ -405,12 +645,44 @@ impl Hierarchy {
             cache.clear();
         }
         self.llc.clear();
+        self.epoch_index.clear();
+        self.untagged_dirty.clear();
+        self.dirty_total = 0;
+        self.dirty_tagged = 0;
     }
 
     /// Total lines resident in the LLC (data or directory slots).
     pub fn llc_len(&self) -> usize {
         self.llc.len()
     }
+}
+
+/// Takes `meta`'s line if it is dirty (and tagged `filter`, when given):
+/// pushes the flush record and marks the line clean. Returns whether the
+/// grabbed line carried a tag, `None` if it did not match.
+fn try_grab(
+    meta: &mut CacheLineMeta,
+    addr: LineAddr,
+    filter: Option<EpochId>,
+    out: &mut Vec<FlushLine>,
+) -> Option<bool> {
+    if !meta.dirty {
+        return None;
+    }
+    if let Some(eid) = filter {
+        if meta.eid != Some(eid) {
+            return None;
+        }
+    }
+    out.push(FlushLine {
+        addr,
+        value: meta.value,
+        eid: meta.eid,
+    });
+    let was_tagged = meta.eid.is_some();
+    meta.dirty = false;
+    meta.eid = None;
+    Some(was_tagged)
 }
 
 #[cfg(test)]
@@ -596,8 +868,7 @@ mod tests {
         let (mut h, mut s, mut m) = rig(1);
         store(&mut h, &mut s, &mut m, 0, 1, 11, 0);
         store(&mut h, &mut s, &mut m, 0, 2, 22, 1);
-        let mut flushed = h.take_dirty_lines();
-        flushed.sort_by_key(|f| f.addr);
+        let flushed = h.take_dirty_lines();
         assert_eq!(flushed.len(), 2);
         assert_eq!(flushed[0].value, 11);
         assert_eq!(flushed[1].value, 22);
@@ -623,6 +894,63 @@ mod tests {
     }
 
     #[test]
+    fn drains_are_sorted_by_address() {
+        let (mut h, mut s, mut m) = rig(1);
+        s.tag_with = Some(EpochId(1));
+        // Store in descending order; the drain must still come out sorted.
+        for i in (0..32u64).rev() {
+            store(&mut h, &mut s, &mut m, 0, i, i + 1, (32 - i) * 3);
+        }
+        let flushed = h.take_dirty_lines();
+        assert!(
+            flushed.windows(2).all(|w| w[0].addr < w[1].addr),
+            "flush order not sorted: {:?}",
+            flushed.iter().map(|f| f.addr).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fast_drain_matches_reference_scan() {
+        let seq: &[(u64, Option<u64>)] = &[
+            (1, Some(1)),
+            (2, Some(1)),
+            (3, Some(2)),
+            (1, Some(2)), // re-tag line 1: stale candidate left in bucket 1
+            (4, None),    // untagged dirty
+        ];
+        let run = |reference: bool| {
+            let (mut h, mut s, mut m) = rig(1);
+            h.set_reference_scan(reference);
+            for (i, &(line, tag)) in seq.iter().enumerate() {
+                s.tag_with = tag.map(EpochId);
+                store(&mut h, &mut s, &mut m, 0, line, line * 10, i as u64);
+            }
+            let e1 = h.take_lines_with_eid(EpochId(1));
+            let e2 = h.take_lines_with_eid(EpochId(2));
+            let rest = h.take_dirty_lines();
+            (e1, e2, rest)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn tagged_count_tracks_tags() {
+        let (mut h, mut s, mut m) = rig(1);
+        s.tag_with = None;
+        store(&mut h, &mut s, &mut m, 0, 1, 10, 0);
+        assert_eq!(h.dirty_line_count(), 1);
+        assert_eq!(h.tagged_dirty_count(), 0);
+        s.tag_with = Some(EpochId(3));
+        store(&mut h, &mut s, &mut m, 0, 1, 11, 1);
+        store(&mut h, &mut s, &mut m, 0, 2, 20, 2);
+        assert_eq!(h.dirty_line_count(), 2);
+        assert_eq!(h.tagged_dirty_count(), 2);
+        h.take_lines_with_eid(EpochId(3));
+        assert_eq!(h.tagged_dirty_count(), 0);
+        assert_eq!(h.dirty_line_count(), 0);
+    }
+
+    #[test]
     fn cross_core_recall_moves_ownership() {
         let (mut h, mut s, mut m) = rig(2);
         store(&mut h, &mut s, &mut m, 0, 7, 42, 0);
@@ -639,6 +967,21 @@ mod tests {
     }
 
     #[test]
+    fn recalled_line_still_drains_by_eid() {
+        // A candidate recorded while core 0 held the line must still be
+        // found after the line migrates to core 1's private caches.
+        let (mut h, mut s, mut m) = rig(2);
+        s.tag_with = Some(EpochId(5));
+        store(&mut h, &mut s, &mut m, 0, 7, 42, 0);
+        load(&mut h, &mut s, &mut m, 1, 7, 100);
+        let got = h.take_lines_with_eid(EpochId(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].addr, LineAddr::new(7));
+        assert_eq!(got[0].value, 42);
+        assert_eq!(h.dirty_line_count(), 0);
+    }
+
+    #[test]
     fn llc_eviction_back_invalidates_private_copy() {
         let (mut h, mut s, mut m) = rig(1);
         // Lines k·64 all map to LLC set 0 (64 sets), L1 set 0, L2 set 0.
@@ -650,6 +993,8 @@ mod tests {
         assert!(h.stats().back_invalidations.get() > 0);
         // Back-invalidated dirty lines were written in place.
         assert!(!s.evictions.is_empty());
+        // Evicted lines left the dirty census; residents remain.
+        assert_eq!(h.dirty_line_count(), h.reference_dirty_lines().len());
     }
 
     #[test]
@@ -661,6 +1006,7 @@ mod tests {
         assert_eq!(h.llc_len(), 0);
         assert_eq!(h.dirty_line_count(), 0);
         assert_eq!(h.cached_value(LineAddr::new(3)), None);
+        assert!(h.take_dirty_lines().is_empty());
     }
 
     #[test]
@@ -680,5 +1026,31 @@ mod tests {
         assert!(h.stats().clean_evictions.get() > 0);
         assert!(s.evictions.is_empty());
         assert_eq!(h.stats().dirty_evictions.get(), 0);
+    }
+
+    #[test]
+    fn eviction_pressure_keeps_census_exact() {
+        // Heavy conflict traffic (evictions, back-invalidations, stale
+        // candidates) must leave the O(1) census equal to a recount.
+        let (mut h, mut s, mut m) = rig(1);
+        for i in 0..3000u64 {
+            s.tag_with = (i % 3 != 0).then_some(EpochId(i / 500));
+            store(&mut h, &mut s, &mut m, 0, (i * 7) % 600, i + 1, i * 2);
+        }
+        assert_eq!(h.dirty_line_count(), h.reference_dirty_lines().len());
+        let tagged_ref = h
+            .reference_dirty_lines()
+            .iter()
+            .filter(|f| f.eid.is_some())
+            .count();
+        assert_eq!(h.tagged_dirty_count(), tagged_ref);
+        for e in 0..7 {
+            let want = h.reference_lines_with_eid(EpochId(e));
+            let got = h.take_lines_with_eid(EpochId(e));
+            assert_eq!(got, want, "ACS drain diverged for epoch {e}");
+        }
+        let want = h.reference_dirty_lines();
+        assert_eq!(h.take_dirty_lines(), want);
+        assert_eq!(h.dirty_line_count(), 0);
     }
 }

@@ -5,6 +5,11 @@
 //! (a directory-augmented payload), and the baselines' translation tables
 //! (address-mapping payloads) — the paper configures all of these as
 //! set-associative arrays.
+//!
+//! Storage is one contiguous arena of `sets × ways` slots with a fixed
+//! stride per set and a per-set occupancy bitmap, so a lookup touches one
+//! cache-resident word plus at most `ways` adjacent entries — no per-set
+//! allocations, no pointer chasing on the hit path.
 
 use picl_types::LineAddr;
 
@@ -18,8 +23,13 @@ struct Entry<T> {
 /// A set-associative, LRU-replaced map from [`LineAddr`] to `T`.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<T> {
-    sets: Vec<Vec<Entry<T>>>,
+    /// Contiguous slot arena; set `s` occupies `[s*ways, (s+1)*ways)`.
+    slots: Vec<Option<Entry<T>>>,
+    /// Per-set occupancy bitmap (bit `w` = slot `s*ways + w` occupied).
+    occ: Vec<u64>,
+    sets: usize,
     ways: usize,
+    len: usize,
     use_clock: u64,
 }
 
@@ -30,20 +40,27 @@ impl<T> SetAssocCache<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` or `ways` is zero.
+    /// Panics if `sets` or `ways` is zero, or if `ways` exceeds 64 (the
+    /// occupancy word width).
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0, "sets must be nonzero");
         assert!(ways > 0, "ways must be nonzero");
+        assert!(ways <= 64, "ways must fit the occupancy word");
+        let mut slots = Vec::new();
+        slots.resize_with(sets * ways, || None);
         SetAssocCache {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            slots,
+            occ: vec![0; sets],
+            sets,
             ways,
+            len: 0,
             use_clock: 0,
         }
     }
 
     /// Number of sets.
     pub fn set_count(&self) -> usize {
-        self.sets.len()
+        self.sets
     }
 
     /// Associativity.
@@ -53,21 +70,21 @@ impl<T> SetAssocCache<T> {
 
     /// Total line capacity.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.sets * self.ways
     }
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.len
     }
 
     /// Whether no lines are resident.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     fn set_index(&self, addr: LineAddr) -> usize {
-        let n = self.sets.len();
+        let n = self.sets;
         if n.is_power_of_two() {
             (addr.raw() as usize) & (n - 1)
         } else {
@@ -75,37 +92,53 @@ impl<T> SetAssocCache<T> {
         }
     }
 
+    /// Slot index of `addr` within its set's stride, if resident.
+    fn find(&self, addr: LineAddr) -> Option<usize> {
+        let si = self.set_index(addr);
+        let base = si * self.ways;
+        let mut occ = self.occ[si];
+        while occ != 0 {
+            let w = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let slot = base + w;
+            if self.slots[slot]
+                .as_ref()
+                .expect("occupancy bit set for empty slot")
+                .addr
+                == addr
+            {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
     /// Whether `addr` is resident (no LRU update).
     pub fn contains(&self, addr: LineAddr) -> bool {
-        let set = &self.sets[self.set_index(addr)];
-        set.iter().any(|e| e.addr == addr)
+        self.find(addr).is_some()
     }
 
     /// Looks up `addr`, updating recency. Returns the payload if resident.
     pub fn get(&mut self, addr: LineAddr) -> Option<&mut T> {
+        let slot = self.find(addr)?;
+        // The recency clock only advances on hits (and inserts): a miss
+        // must not age the resident lines it never touched.
         self.use_clock += 1;
-        let clock = self.use_clock;
-        let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        set.iter_mut().find(|e| e.addr == addr).map(|e| {
-            e.last_use = clock;
-            &mut e.payload
-        })
+        let e = self.slots[slot].as_mut().expect("found slot is occupied");
+        e.last_use = self.use_clock;
+        Some(&mut e.payload)
     }
 
     /// Looks up `addr` without updating recency.
     pub fn peek(&self, addr: LineAddr) -> Option<&T> {
-        let set = &self.sets[self.set_index(addr)];
-        set.iter().find(|e| e.addr == addr).map(|e| &e.payload)
+        let slot = self.find(addr)?;
+        Some(&self.slots[slot].as_ref().expect("occupied").payload)
     }
 
     /// Looks up `addr` mutably without updating recency.
     pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut T> {
-        let idx = self.set_index(addr);
-        self.sets[idx]
-            .iter_mut()
-            .find(|e| e.addr == addr)
-            .map(|e| &mut e.payload)
+        let slot = self.find(addr)?;
+        Some(&mut self.slots[slot].as_mut().expect("occupied").payload)
     }
 
     /// Inserts `addr` with `payload`, making it most-recently used.
@@ -116,56 +149,80 @@ impl<T> SetAssocCache<T> {
     pub fn insert(&mut self, addr: LineAddr, payload: T) -> Insertion<T> {
         self.use_clock += 1;
         let clock = self.use_clock;
-        let idx = self.set_index(addr);
-        let ways = self.ways;
-        let set = &mut self.sets[idx];
 
-        if let Some(e) = set.iter_mut().find(|e| e.addr == addr) {
+        if let Some(slot) = self.find(addr) {
+            let e = self.slots[slot].as_mut().expect("occupied");
             e.last_use = clock;
             let old = std::mem::replace(&mut e.payload, payload);
             return Insertion::Replaced(old);
         }
 
-        let mut victim = None;
-        if set.len() == ways {
-            let (vi, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_use)
-                .expect("full set is nonempty");
-            let e = set.swap_remove(vi);
-            victim = Some((e.addr, e.payload));
+        let si = self.set_index(addr);
+        let base = si * self.ways;
+        let free = !self.occ[si] & Self::way_mask(self.ways);
+        if free != 0 {
+            let w = free.trailing_zeros() as usize;
+            self.occ[si] |= 1 << w;
+            self.len += 1;
+            self.slots[base + w] = Some(Entry {
+                addr,
+                payload,
+                last_use: clock,
+            });
+            return Insertion::Fit;
         }
-        set.push(Entry {
-            addr,
-            payload,
-            last_use: clock,
-        });
-        match victim {
-            Some((a, p)) => Insertion::Evicted(a, p),
-            None => Insertion::Fit,
+
+        // Set full: evict the LRU way (use-clock values are unique, so the
+        // minimum is unambiguous).
+        let mut victim_w = 0;
+        let mut victim_use = u64::MAX;
+        for w in 0..self.ways {
+            let lu = self.slots[base + w].as_ref().expect("full set").last_use;
+            if lu < victim_use {
+                victim_use = lu;
+                victim_w = w;
+            }
         }
+        let victim = self.slots[base + victim_w]
+            .replace(Entry {
+                addr,
+                payload,
+                last_use: clock,
+            })
+            .expect("full set");
+        Insertion::Evicted(victim.addr, victim.payload)
     }
 
     /// Removes `addr`, returning its payload if it was resident.
     pub fn remove(&mut self, addr: LineAddr) -> Option<T> {
-        let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        let pos = set.iter().position(|e| e.addr == addr)?;
-        Some(set.swap_remove(pos).payload)
+        let slot = self.find(addr)?;
+        let si = slot / self.ways;
+        let w = slot % self.ways;
+        self.occ[si] &= !(1 << w);
+        self.len -= 1;
+        Some(self.slots[slot].take().expect("occupied").payload)
+    }
+
+    fn way_mask(ways: usize) -> u64 {
+        if ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << ways) - 1
+        }
     }
 
     /// Iterates over all resident `(addr, payload)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
-        self.sets.iter().flatten().map(|e| (e.addr, &e.payload))
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|e| (e.addr, &e.payload)))
     }
 
     /// Iterates mutably over all resident `(addr, payload)` pairs.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
-        self.sets
+        self.slots
             .iter_mut()
-            .flatten()
-            .map(|e| (e.addr, &mut e.payload))
+            .filter_map(|s| s.as_mut().map(|e| (e.addr, &mut e.payload)))
     }
 
     /// Removes every entry for which `pred` returns true, yielding them.
@@ -174,15 +231,17 @@ impl<T> SetAssocCache<T> {
         mut pred: impl FnMut(LineAddr, &T) -> bool,
     ) -> Vec<(LineAddr, T)> {
         let mut out = Vec::new();
-        for set in &mut self.sets {
-            let mut i = 0;
-            while i < set.len() {
-                if pred(set[i].addr, &set[i].payload) {
-                    let e = set.swap_remove(i);
-                    out.push((e.addr, e.payload));
-                } else {
-                    i += 1;
-                }
+        for slot in 0..self.slots.len() {
+            let matched = match &self.slots[slot] {
+                Some(e) => pred(e.addr, &e.payload),
+                None => false,
+            };
+            if matched {
+                let e = self.slots[slot].take().expect("checked occupied");
+                let si = slot / self.ways;
+                self.occ[si] &= !(1 << (slot % self.ways));
+                self.len -= 1;
+                out.push((e.addr, e.payload));
             }
         }
         out
@@ -190,21 +249,26 @@ impl<T> SetAssocCache<T> {
 
     /// Number of resident lines in the set that `addr` maps to.
     pub fn set_len(&self, addr: LineAddr) -> usize {
-        self.sets[self.set_index(addr)].len()
+        self.occ[self.set_index(addr)].count_ones() as usize
     }
 
     /// Iterates over the `(addr, payload)` pairs in the set `addr` maps to.
     pub fn set_entries(&self, addr: LineAddr) -> impl Iterator<Item = (LineAddr, &T)> {
-        self.sets[self.set_index(addr)]
+        let si = self.set_index(addr);
+        self.slots[si * self.ways..(si + 1) * self.ways]
             .iter()
-            .map(|e| (e.addr, &e.payload))
+            .filter_map(|s| s.as_ref().map(|e| (e.addr, &e.payload)))
     }
 
     /// Removes all entries.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        for slot in &mut self.slots {
+            *slot = None;
         }
+        for occ in &mut self.occ {
+            *occ = 0;
+        }
+        self.len = 0;
     }
 }
 
@@ -290,6 +354,29 @@ mod tests {
     }
 
     #[test]
+    fn missed_get_does_not_touch_lru() {
+        // Regression: `get` used to advance the use clock on misses. The
+        // clock bump itself never reordered residents, but the contract is
+        // that only hits and inserts age the set — pin it: after a storm
+        // of misses, the LRU victim must be exactly the line that was
+        // least-recently *hit*, as if the misses never happened.
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(addr(0), "zero");
+        c.insert(addr(1), "one");
+        c.get(addr(0)); // 1 is now LRU
+        let clock_before_storm = c.use_clock;
+        for miss in 100..1100 {
+            assert!(c.get(addr(miss)).is_none());
+        }
+        assert_eq!(
+            c.use_clock, clock_before_storm,
+            "misses must not advance the recency clock"
+        );
+        let victim = c.insert(addr(2), "two").into_victim().unwrap();
+        assert_eq!(victim.0, addr(1), "miss storm changed the LRU victim");
+    }
+
+    #[test]
     fn addresses_map_to_distinct_sets() {
         let mut c = SetAssocCache::new(4, 1);
         for i in 0..4 {
@@ -363,5 +450,23 @@ mod tests {
         *c.peek_mut(addr(0)).unwrap() = 99;
         let victim = c.insert(addr(2), 2).into_victim().unwrap();
         assert_eq!(victim, (addr(0), 99));
+    }
+
+    #[test]
+    fn full_set_reuses_freed_slots() {
+        let mut c = SetAssocCache::new(1, 3);
+        c.insert(addr(0), 0);
+        c.insert(addr(1), 1);
+        c.insert(addr(2), 2);
+        assert_eq!(c.set_len(addr(0)), 3);
+        c.remove(addr(1));
+        assert!(matches!(c.insert(addr(3), 3), Insertion::Fit));
+        assert_eq!(c.len(), 3);
+        let present: Vec<u64> = {
+            let mut v: Vec<u64> = c.set_entries(addr(0)).map(|(a, _)| a.raw()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(present, vec![0, 2, 3]);
     }
 }

@@ -1,0 +1,227 @@
+//! Property tests: the epoch-indexed dirty-line fast path against the
+//! brute-force full-scan reference.
+//!
+//! Random interleavings of tagged stores, loads (conflict pressure forces
+//! evictions and back-invalidations), ACS drains, full flushes, and
+//! crashes must leave the fast drains returning *exactly* the line set a
+//! full scan of every cache slot would, and the O(1) dirty counters equal
+//! to a recount.
+
+use proptest::prelude::*;
+
+use picl_cache::hierarchy::AccessType;
+use picl_cache::{
+    BoundaryOutcome, ConsistencyScheme, EvictRoute, EvictionEvent, Hierarchy, RecoveryOutcome,
+    SchemeStats, StoreDirective, StoreEvent,
+};
+use picl_nvm::Nvm;
+use picl_types::time::ClockDomain;
+use picl_types::{config::NvmConfig, CoreId, Cycle, EpochId, LineAddr, SystemConfig};
+
+/// In-place scheme that tags stores with a settable epoch (or leaves them
+/// untagged), standing in for PiCL's cache-driven logging.
+#[derive(Debug, Default)]
+struct Tagger {
+    tag_with: Option<EpochId>,
+}
+
+impl ConsistencyScheme for Tagger {
+    fn name(&self) -> &'static str {
+        "tagger"
+    }
+    fn system_eid(&self) -> EpochId {
+        EpochId(1)
+    }
+    fn persisted_eid(&self) -> EpochId {
+        EpochId::ZERO
+    }
+    fn on_store(&mut self, _: &StoreEvent, _: &mut Nvm, _: Cycle) -> StoreDirective {
+        StoreDirective {
+            new_eid: self.tag_with,
+        }
+    }
+    fn on_dirty_eviction(&mut self, _: &EvictionEvent, _: &mut Nvm, _: Cycle) -> EvictRoute {
+        EvictRoute::InPlace
+    }
+    fn on_epoch_boundary(&mut self, _: &mut Hierarchy, _: &mut Nvm, _: Cycle) -> BoundaryOutcome {
+        BoundaryOutcome {
+            committed: EpochId(1),
+            stall_until: None,
+        }
+    }
+    fn crash_recover(&mut self, _: &mut Nvm, now: Cycle) -> RecoveryOutcome {
+        RecoveryOutcome {
+            recovered_to: EpochId::ZERO,
+            entries_applied: 0,
+            completed_at: now,
+        }
+    }
+    fn stats(&self) -> SchemeStats {
+        SchemeStats::default()
+    }
+}
+
+fn tiny_cfg(cores: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_multicore(cores);
+    cfg.l1 = picl_types::config::CacheConfig::new(512, 2, Cycle(1));
+    cfg.l2 = picl_types::config::CacheConfig::new(2048, 4, Cycle(4));
+    cfg.llc_per_core = picl_types::config::CacheConfig::new(8192, 4, Cycle(30));
+    cfg
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Store on `core` to `line`, tagged `tag` (0 = untagged).
+    Store { core: usize, line: u64, tag: u64 },
+    /// Load on `core` from `line` (evictions, recalls, ownership moves).
+    Load { core: usize, line: u64 },
+    /// ACS pass for epoch `eid`: fast drain must equal the read-only
+    /// reference scan.
+    Acs { eid: u64 },
+    /// Synchronous full flush (the baselines' boundary drain).
+    FlushAll,
+    /// Power loss: all volatile state and the index disappear.
+    Crash,
+}
+
+fn op_strategy(cores: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => ((0..cores), (0u64..600), (0u64..4))
+            .prop_map(|(core, line, tag)| Op::Store { core, line, tag }),
+        3 => ((0..cores), (0u64..600)).prop_map(|(core, line)| Op::Load { core, line }),
+        2 => (0u64..4).prop_map(|eid| Op::Acs { eid }),
+        1 => Just(Op::FlushAll),
+        1 => Just(Op::Crash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fast drains return exactly the full-scan line set, and the O(1)
+    /// counters match recounts, at every drain point of any interleaving.
+    #[test]
+    fn epoch_index_matches_full_scan(
+        cores in proptest::sample::select(vec![1usize, 2, 4]),
+        ops in proptest::collection::vec(op_strategy(4), 1..500),
+    ) {
+        let cfg = tiny_cfg(cores);
+        let mut hier = Hierarchy::new(&cfg);
+        let mut scheme = Tagger::default();
+        let mut mem = Nvm::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000));
+
+        for (i, op) in ops.iter().enumerate() {
+            let now = Cycle(i as u64 * 10);
+            match *op {
+                Op::Store { core, line, tag } => {
+                    scheme.tag_with = (tag != 0).then_some(EpochId(tag));
+                    hier.access(
+                        CoreId(core % cores),
+                        LineAddr::new(line),
+                        AccessType::Store { new_value: i as u64 + 1 },
+                        &mut scheme,
+                        &mut mem,
+                        now,
+                    );
+                }
+                Op::Load { core, line } => {
+                    hier.access(
+                        CoreId(core % cores),
+                        LineAddr::new(line),
+                        AccessType::Load,
+                        &mut scheme,
+                        &mut mem,
+                        now,
+                    );
+                }
+                Op::Acs { eid } => {
+                    let want = hier.reference_lines_with_eid(EpochId(eid));
+                    let got = hier.take_lines_with_eid(EpochId(eid));
+                    prop_assert_eq!(got, want, "ACS drain diverged at op {}", i);
+                }
+                Op::FlushAll => {
+                    let want = hier.reference_dirty_lines();
+                    let got = hier.take_dirty_lines();
+                    prop_assert_eq!(got, want, "full flush diverged at op {}", i);
+                    prop_assert_eq!(hier.dirty_line_count(), 0);
+                }
+                Op::Crash => {
+                    hier.invalidate_all();
+                    prop_assert_eq!(hier.dirty_line_count(), 0);
+                    prop_assert!(hier.take_dirty_lines().is_empty());
+                }
+            }
+            // The O(1) census must agree with a recount at every step.
+            let reference = hier.reference_dirty_lines();
+            prop_assert_eq!(
+                hier.dirty_line_count(),
+                reference.len(),
+                "dirty count diverged at op {}", i
+            );
+            let tagged = reference.iter().filter(|f| f.eid.is_some()).count();
+            prop_assert_eq!(
+                hier.tagged_dirty_count(),
+                tagged,
+                "tagged count diverged at op {}", i
+            );
+        }
+
+        // Terminal drain: whatever remains must match the reference too.
+        let want = hier.reference_dirty_lines();
+        prop_assert_eq!(hier.take_dirty_lines(), want);
+        prop_assert_eq!(hier.dirty_line_count(), 0);
+    }
+
+    /// A hierarchy in reference-scan mode and one on the fast path fed the
+    /// same operations produce identical drains — the machinery `picl
+    /// bench` relies on for its differential check.
+    #[test]
+    fn reference_mode_is_equivalent(
+        ops in proptest::collection::vec(op_strategy(2), 1..300),
+    ) {
+        let cfg = tiny_cfg(2);
+        let mut fast = Hierarchy::new(&cfg);
+        let mut reference = Hierarchy::new(&cfg);
+        reference.set_reference_scan(true);
+        let mut scheme = Tagger::default();
+        let mut mem_a = Nvm::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000));
+        let mut mem_b = Nvm::new(NvmConfig::paper_nvm(), ClockDomain::from_mhz(2000));
+
+        for (i, op) in ops.iter().enumerate() {
+            let now = Cycle(i as u64 * 10);
+            match *op {
+                Op::Store { core, line, tag } => {
+                    scheme.tag_with = (tag != 0).then_some(EpochId(tag));
+                    let access = AccessType::Store { new_value: i as u64 + 1 };
+                    let a = fast.access(CoreId(core % 2), LineAddr::new(line), access,
+                        &mut scheme, &mut mem_a, now);
+                    let b = reference.access(CoreId(core % 2), LineAddr::new(line), access,
+                        &mut scheme, &mut mem_b, now);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Load { core, line } => {
+                    let a = fast.access(CoreId(core % 2), LineAddr::new(line), AccessType::Load,
+                        &mut scheme, &mut mem_a, now);
+                    let b = reference.access(CoreId(core % 2), LineAddr::new(line), AccessType::Load,
+                        &mut scheme, &mut mem_b, now);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Acs { eid } => {
+                    prop_assert_eq!(
+                        fast.take_lines_with_eid(EpochId(eid)),
+                        reference.take_lines_with_eid(EpochId(eid)),
+                        "ACS drains diverged at op {}", i
+                    );
+                }
+                Op::FlushAll => {
+                    prop_assert_eq!(fast.take_dirty_lines(), reference.take_dirty_lines());
+                }
+                Op::Crash => {
+                    fast.invalidate_all();
+                    reference.invalidate_all();
+                }
+            }
+            prop_assert_eq!(fast.dirty_line_count(), reference.dirty_line_count());
+        }
+    }
+}

@@ -6,6 +6,10 @@
 
 use std::collections::BTreeMap;
 
+/// Flags that take no value; writing `--quick` records `quick=true`
+/// (the `--quick=false` form still works).
+const BOOLEAN_FLAGS: &[&str] = &["quick"];
+
 /// A parsed command line: the subcommand and its flags.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
@@ -53,6 +57,8 @@ impl Args {
             };
             let (key, value) = if let Some((k, v)) = name.split_once('=') {
                 (k.to_owned(), v.to_owned())
+            } else if BOOLEAN_FLAGS.contains(&name) {
+                (name.to_owned(), "true".to_owned())
             } else {
                 let v = it
                     .next()
@@ -106,6 +112,11 @@ impl Args {
                 .parse()
                 .map_err(|_| ArgError(format!("--{name}: cannot parse {s:?} as a number"))),
         }
+    }
+
+    /// Whether a boolean flag is set (`--quick` or `--quick=true`).
+    pub fn is_set(&self, name: &str) -> bool {
+        matches!(self.get(name), Some("true" | "1" | "yes"))
     }
 
     /// Rejects unknown flags so typos fail loudly.
@@ -184,6 +195,16 @@ mod tests {
         assert!(err.to_string().contains("--bogus"));
         let ok = Args::parse(["run", "--bench", "mcf"]).unwrap();
         assert!(ok.expect_only(&["bench"]).is_ok());
+    }
+
+    #[test]
+    fn boolean_flags_need_no_value() {
+        let a = Args::parse(["bench", "--quick", "--out", "f.json"]).unwrap();
+        assert!(a.is_set("quick"));
+        assert_eq!(a.get("out"), Some("f.json"));
+        let b = Args::parse(["bench", "--quick=false"]).unwrap();
+        assert!(!b.is_set("quick"));
+        assert!(!Args::parse(["bench"]).unwrap().is_set("quick"));
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! `picl bench` — the wall-clock performance harness.
+//!
+//! Runs a pinned scheme×workload matrix twice per cell: once on the
+//! optimized fast paths (epoch-indexed drains, delta snapshots) and once
+//! on the unoptimized reference paths (full-scan drains, eager deep-clone
+//! snapshots), requiring the two [`RunReport`]s to be bit-identical — the
+//! differential safety net for every hot-path optimization. Reports
+//! events/sec (simulated instructions per wall-clock second), the
+//! fast-vs-reference speedup, and peak RSS, and emits the results as a
+//! `picl-bench-v1` JSON document so the repo carries a perf trajectory
+//! (`BENCH_3.json`).
+
+use std::time::Instant;
+
+use picl_sim::{RunReport, SchemeKind, Simulation, WorkloadSpec};
+use picl_telemetry::json::validate_json;
+use picl_trace::mixes::table_v_mixes;
+use picl_trace::spec::SpecBenchmark;
+use picl_types::SystemConfig;
+
+use crate::args::{ArgError, Args};
+
+/// Instructions per core for each quick-matrix cell (before `--scale`).
+const QUICK_INSTRUCTIONS: u64 = 1_000_000;
+/// Epoch length for the quick matrix: short enough that drains and
+/// snapshot commits — the optimized paths — dominate the reference run.
+const QUICK_EPOCH_LEN: u64 = 10_000;
+/// Instructions per core for the 8-core paper cell (before `--scale`).
+const PAPER_INSTRUCTIONS: u64 = 400_000;
+/// Epoch length for the paper cell.
+const PAPER_EPOCH_LEN: u64 = 1_000;
+/// A cell's fast-path events/sec may fall at most this far below the
+/// committed number before `--check` fails (aggregated geometric mean).
+const REGRESSION_FLOOR: f64 = 0.8;
+
+/// One measured matrix cell.
+struct CellResult {
+    label: String,
+    scheme: &'static str,
+    workload: String,
+    cores: usize,
+    instructions: u64,
+    /// Optimized-path events (instructions) per wall-clock second.
+    events_per_sec: f64,
+    /// Reference-path events per wall-clock second.
+    reference_events_per_sec: f64,
+}
+
+impl CellResult {
+    fn speedup(&self) -> f64 {
+        self.events_per_sec / self.reference_events_per_sec.max(1e-9)
+    }
+}
+
+fn scaled(n: u64, scale: f64, floor: u64) -> u64 {
+    ((n as f64 * scale) as u64).max(floor)
+}
+
+/// The quick matrix: every scheme on single-core gcc.
+fn quick_cells(scale: f64) -> Vec<(String, Simulation)> {
+    SchemeKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut cfg = SystemConfig::paper_single_core();
+            cfg.epoch.epoch_len_instructions = scaled(QUICK_EPOCH_LEN, scale, 1_000);
+            let sim = Simulation::builder(cfg)
+                .scheme(kind)
+                .workload(&[SpecBenchmark::Gcc])
+                .instructions_per_core(scaled(QUICK_INSTRUCTIONS, scale, 5_000))
+                .seed(42)
+                .footprint_scale(0.05)
+                .keep_snapshots(true);
+            (format!("{}/gcc x1", kind.name()), sim)
+        })
+        .collect()
+}
+
+/// The paper cell: PiCL on the W0 mix, 8 cores, 16 MB LLC, snapshots on —
+/// the configuration the ≥3× acceptance target is measured on.
+fn paper_cell(scale: f64) -> (String, Simulation) {
+    let mut cfg = SystemConfig::paper_multicore(8);
+    cfg.epoch.epoch_len_instructions = scaled(PAPER_EPOCH_LEN, scale, 1_000);
+    let sim = Simulation::builder(cfg)
+        .scheme(SchemeKind::Picl)
+        .workload_spec(WorkloadSpec::mix(&table_v_mixes()[0]))
+        .instructions_per_core(scaled(PAPER_INSTRUCTIONS, scale, 5_000))
+        .seed(42)
+        .footprint_scale(1.0)
+        .keep_snapshots(true);
+    ("PiCL/W0 x8 paper".to_owned(), sim)
+}
+
+/// Runs one cell on both paths, enforcing the differential check.
+fn run_cell(label: &str, sim: &Simulation) -> Result<CellResult, ArgError> {
+    let timed = |reference: bool| -> Result<(RunReport, f64), ArgError> {
+        let started = Instant::now();
+        let report = sim
+            .clone()
+            .reference_mode(reference)
+            .run()
+            .map_err(|e| ArgError(e.to_string()))?;
+        Ok((report, started.elapsed().as_secs_f64().max(1e-9)))
+    };
+    // Best-of-3 for the fast path: it is the number the `--check`
+    // regression gate compares, so squeeze out scheduler/allocator noise.
+    // (Runs are deterministic, so repeats produce the same report.)
+    let (fast, mut fast_secs) = timed(false)?;
+    for _ in 0..2 {
+        fast_secs = fast_secs.min(timed(false)?.1);
+    }
+    let (reference, reference_secs) = timed(true)?;
+    if fast != reference {
+        return Err(ArgError(format!(
+            "differential check failed: {label} reports diverge between the \
+             optimized and reference paths"
+        )));
+    }
+    Ok(CellResult {
+        label: label.to_owned(),
+        scheme: fast.scheme,
+        workload: fast.workload.clone(),
+        cores: fast.cores,
+        instructions: fast.instructions,
+        events_per_sec: fast.instructions as f64 / fast_secs,
+        reference_events_per_sec: fast.instructions as f64 / reference_secs,
+    })
+}
+
+/// Peak resident set size in kB (`VmHWM` from procfs; 0 if unavailable).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1)?.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the `picl-bench-v1` document.
+fn to_json(mode: &str, cells: &[CellResult], total_seconds: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"picl-bench-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"scheme\": \"{}\", \"workload\": \"{}\", \
+             \"cores\": {}, \"instructions\": {}, \"events_per_sec\": {:.1}, \
+             \"reference_events_per_sec\": {:.1}, \"speedup\": {:.3}, \
+             \"identical\": true}}{}\n",
+            escape(&cell.label),
+            escape(cell.scheme),
+            escape(&cell.workload),
+            cell.cores,
+            cell.instructions,
+            cell.events_per_sec,
+            cell.reference_events_per_sec,
+            cell.speedup(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"peak_rss_kb\": {},\n", peak_rss_kb()));
+    out.push_str(&format!("  \"total_seconds\": {total_seconds:.3}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls `(label, events_per_sec)` pairs out of a committed bench JSON.
+///
+/// A full JSON parser is overkill for the one document this command
+/// itself emits: each cell object puts `events_per_sec` right after its
+/// `label`, so a linear scan recovers the pairs.
+fn committed_cells(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"label\": \"") {
+        let after = &rest[pos + "\"label\": \"".len()..];
+        let Some(end) = after.find('"') else { break };
+        let label = after[..end].to_owned();
+        let tail = &after[end..];
+        if let Some(vpos) = tail.find("\"events_per_sec\": ") {
+            let digits = &tail[vpos + "\"events_per_sec\": ".len()..];
+            let number: String = digits
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+                .collect();
+            if let Ok(value) = number.parse::<f64>() {
+                out.push((label, value));
+            }
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// Fails if this run's events/sec regressed more than 20% (geometric mean
+/// over the cells both runs share) below the committed numbers in `path`.
+fn check_regression(path: &str, cells: &[CellResult]) -> Result<(), ArgError> {
+    let committed =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    validate_json(&committed).map_err(|e| ArgError(format!("{path} is not valid JSON: {e}")))?;
+    if !committed.contains("\"schema\": \"picl-bench-v1\"") {
+        return Err(ArgError(format!(
+            "{path} does not declare the picl-bench-v1 schema"
+        )));
+    }
+    let baseline = committed_cells(&committed);
+    let mut log_ratio_sum = 0.0;
+    let mut matched = 0usize;
+    for cell in cells {
+        let Some((_, base)) = baseline.iter().find(|(label, _)| *label == cell.label) else {
+            continue;
+        };
+        if *base > 0.0 {
+            log_ratio_sum += (cell.events_per_sec / base).ln();
+            matched += 1;
+        }
+    }
+    if matched == 0 {
+        return Err(ArgError(format!(
+            "{path} shares no cells with this run; cannot check for regressions"
+        )));
+    }
+    let geomean = (log_ratio_sum / matched as f64).exp();
+    if geomean < REGRESSION_FLOOR {
+        return Err(ArgError(format!(
+            "events/sec regressed: this run is {:.0}% of the committed numbers \
+             in {path} over {matched} cell(s) (floor {:.0}%)",
+            geomean * 100.0,
+            REGRESSION_FLOOR * 100.0
+        )));
+    }
+    println!(
+        "regression check: {:.0}% of committed events/sec over {matched} cell(s) — ok",
+        geomean * 100.0
+    );
+    Ok(())
+}
+
+/// `picl bench [--quick] [--out FILE] [--check FILE] [--scale F]`.
+pub fn cmd_bench(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["quick", "out", "check", "scale"])?;
+    let quick = args.is_set("quick");
+    let scale = args.float_or("scale", 1.0)?;
+    if scale.is_nan() || scale <= 0.0 {
+        return Err(ArgError("--scale must be positive".into()));
+    }
+    let out_path = args.get_or("out", "BENCH_3.json");
+
+    let mut matrix = quick_cells(scale);
+    if !quick {
+        matrix.push(paper_cell(scale));
+    }
+
+    println!(
+        "{:<22}{:>10}{:>14}{:>14}{:>9}",
+        "cell", "instr", "events/s", "ref ev/s", "speedup"
+    );
+    let started = Instant::now();
+    let mut cells = Vec::with_capacity(matrix.len());
+    for (label, sim) in &matrix {
+        let cell = run_cell(label, sim)?;
+        println!(
+            "{:<22}{:>10}{:>14.0}{:>14.0}{:>8.2}x",
+            cell.label,
+            cell.instructions,
+            cell.events_per_sec,
+            cell.reference_events_per_sec,
+            cell.speedup()
+        );
+        cells.push(cell);
+    }
+    let total_seconds = started.elapsed().as_secs_f64();
+
+    let json = to_json(if quick { "quick" } else { "full" }, &cells, total_seconds);
+    validate_json(&json).map_err(|e| ArgError(format!("emitted JSON invalid: {e}")))?;
+    std::fs::write(out_path, &json)
+        .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
+    println!(
+        "wrote {out_path} ({} cells, {:.1}s total, peak RSS {} kB)",
+        cells.len(),
+        total_seconds,
+        peak_rss_kb()
+    );
+
+    if let Some(paper) = cells.iter().find(|c| c.label.contains("paper")) {
+        println!(
+            "paper 8-core cell: {:.2}x events/sec over the reference path",
+            paper.speedup()
+        );
+    }
+
+    if let Some(check) = args.get("check") {
+        check_regression(check, &cells)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_cells_scan_recovers_pairs() {
+        let json = to_json(
+            "quick",
+            &[
+                CellResult {
+                    label: "A/x x1".into(),
+                    scheme: "A",
+                    workload: "x".into(),
+                    cores: 1,
+                    instructions: 10,
+                    events_per_sec: 1000.0,
+                    reference_events_per_sec: 250.0,
+                },
+                CellResult {
+                    label: "B/y x2".into(),
+                    scheme: "B",
+                    workload: "y".into(),
+                    cores: 2,
+                    instructions: 20,
+                    events_per_sec: 2000.0,
+                    reference_events_per_sec: 500.0,
+                },
+            ],
+            1.0,
+        );
+        validate_json(&json).unwrap();
+        let cells = committed_cells(&json);
+        assert_eq!(
+            cells,
+            vec![("A/x x1".to_owned(), 1000.0), ("B/y x2".to_owned(), 2000.0)]
+        );
+    }
+
+    #[test]
+    fn scaled_applies_floor() {
+        assert_eq!(scaled(100_000, 0.001, 5_000), 5_000);
+        assert_eq!(scaled(100_000, 0.5, 5_000), 50_000);
+    }
+}

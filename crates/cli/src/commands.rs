@@ -25,6 +25,7 @@ commands:
   crashlab    crash-injection campaign: schemes x benchmarks x crash points
   trace       run with telemetry on and export the recording
   sweep       sweep a PiCL parameter (acs-gap | buffer | bloom | epoch)
+  bench       wall-clock perf harness: pinned matrix + differential check
   record      capture a synthetic workload to a trace file
   replay      simulate from a recorded trace file
   benchmarks  list the 29 modeled SPEC2k6-like benchmarks
@@ -46,6 +47,13 @@ trace flags (plus the common flags above):
                         PREFIX.series.csv
   --sample-interval N   gauge sampling period in cycles (default 10k)
   --ring N              per-core event-ring capacity (default 64k)
+
+bench flags:
+  --quick               skip the 8-core paper cell (the CI smoke matrix)
+  --out FILE            results JSON path (default BENCH_3.json)
+  --check FILE          validate FILE's picl-bench-v1 schema and fail if
+                        this run's events/sec falls >20% below it
+  --scale F             scale instruction/epoch budgets (default 1.0)
 
 crashlab flags:
   --schemes LIST        all | comma list (adds broken-noundo; default all)
@@ -75,6 +83,7 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
         "crashlab" => cmd_crashlab(args),
         "trace" => cmd_trace(args),
         "sweep" => cmd_sweep(args),
+        "bench" => crate::bench::cmd_bench(args),
         "record" => cmd_record(args),
         "replay" => cmd_replay(args),
         "benchmarks" => cmd_benchmarks(args),
@@ -830,6 +839,53 @@ mod tests {
         for suffix in [".trace.json", ".events.jsonl", ".series.csv"] {
             std::fs::remove_file(format!("{prefix}{suffix}")).ok();
         }
+    }
+
+    #[test]
+    fn bench_quick_emits_valid_json_and_checks_regressions() {
+        let dir = std::env::temp_dir().join("picl_cli_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("b.json").to_str().unwrap().to_owned();
+        dispatch(&Args::parse(["bench", "--quick", "--scale", "0.02", "--out", &out]).unwrap())
+            .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"schema\": \"picl-bench-v1\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"identical\": true"));
+
+        // A committed baseline with tiny events/sec always passes…
+        let slow = json.replace("_per_sec\": ", "_per_sec\": 0.000001, \"was\": ");
+        let slow_path = dir.join("slow.json").to_str().unwrap().to_owned();
+        std::fs::write(&slow_path, &slow).unwrap();
+        dispatch(
+            &Args::parse([
+                "bench", "--quick", "--scale", "0.02", "--out", &out, "--check", &slow_path,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+
+        // …and one with absurdly high numbers fails the 20% gate.
+        let fast = json.replace("_per_sec\": ", "_per_sec\": 1e30, \"was\": ");
+        let fast_path = dir.join("fast.json").to_str().unwrap().to_owned();
+        std::fs::write(&fast_path, &fast).unwrap();
+        let err = dispatch(
+            &Args::parse([
+                "bench", "--quick", "--scale", "0.02", "--out", &out, "--check", &fast_path,
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("regressed"), "{err}");
+        for p in [&out, &slow_path, &fast_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn bench_rejects_nonpositive_scale() {
+        let args = Args::parse(["bench", "--quick", "--scale", "0"]).unwrap();
+        assert!(dispatch(&args).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! ```
 
 mod args;
+mod bench;
 mod commands;
 
 use std::process::ExitCode;

@@ -44,6 +44,9 @@ pub struct Picl {
     undo_entries: Counter,
     os_interrupts: Counter,
     telemetry: Telemetry,
+    /// Reused across ACS passes so each scan drains into the same
+    /// allocation instead of building a fresh `Vec<FlushLine>`.
+    acs_scratch: Vec<picl_cache::FlushLine>,
 }
 
 impl Picl {
@@ -63,6 +66,7 @@ impl Picl {
             undo_entries: Counter::new(),
             os_interrupts: Counter::new(),
             telemetry: Telemetry::off(),
+            acs_scratch: Vec::new(),
         }
     }
 
@@ -142,13 +146,16 @@ impl Picl {
     ) -> Cycle {
         let mut t = now;
         let mut lines = 0u64;
-        for line in hier.take_lines_with_eid(target) {
+        let mut scratch = std::mem::take(&mut self.acs_scratch);
+        hier.take_lines_with_eid_into(target, &mut scratch);
+        for line in &scratch {
             t = t.max(mem.write(now, line.addr, line.value, AccessClass::AcsWrite));
             self.acs_writes.incr();
             lines += 1;
             self.telemetry
                 .record(now, None, EventKind::AcsLineWriteback { addr: line.addr });
         }
+        self.acs_scratch = scratch;
         self.telemetry.record(
             t,
             None,

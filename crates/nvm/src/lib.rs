@@ -33,11 +33,13 @@
 
 pub mod dram_buffer;
 pub mod request;
+pub mod snapshot;
 pub mod state;
 pub mod timing;
 
 pub use dram_buffer::DramBuffer;
 pub use request::{AccessClass, MemRequest, RequestKind, TrafficCategory};
+pub use snapshot::DeltaSnapshots;
 pub use state::MainMemory;
 pub use timing::{NvmStats, NvmTiming};
 

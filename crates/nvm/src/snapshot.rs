@@ -1,0 +1,198 @@
+//! Copy-on-write golden snapshots.
+//!
+//! The machine used to deep-clone the entire logical [`MainMemory`] at
+//! every epoch commit, making commit cost O(footprint) even when the
+//! epoch wrote a handful of lines. [`DeltaSnapshots`] stores one forward
+//! delta per committed epoch — the final value of every line written
+//! since the previous commit — and reconstructs a full image only when a
+//! crash actually needs one. Commit cost becomes O(lines written this
+//! epoch); reconstruction is O(lines written up to the target epoch),
+//! paid only on the (rare) crash path.
+//!
+//! [`EpochId::ZERO`] is an implicit empty base image: it is always
+//! reconstructible and never stored.
+
+use picl_types::hash::FastMap;
+use picl_types::{EpochId, LineAddr};
+
+use crate::state::MainMemory;
+
+/// An ordered chain of per-epoch forward deltas over [`MainMemory`].
+#[derive(Debug, Clone, Default)]
+pub struct DeltaSnapshots {
+    /// Monotonically increasing epoch ids; `deltas[i].1` holds the final
+    /// values of lines written between commit `i-1` and commit `i`.
+    deltas: Vec<(EpochId, FastMap<LineAddr, u64>)>,
+}
+
+impl DeltaSnapshots {
+    /// An empty chain: only [`EpochId::ZERO`] is reconstructible.
+    pub fn new() -> Self {
+        DeltaSnapshots { deltas: Vec::new() }
+    }
+
+    /// Records the commit of `epoch` with `delta` = the current values of
+    /// every line written since the previous commit.
+    ///
+    /// Epochs must be committed in increasing order; re-committing the
+    /// most recent epoch merges the new delta in (later writes win),
+    /// matching an eager full clone taken at the later commit.
+    pub fn commit(&mut self, epoch: EpochId, delta: FastMap<LineAddr, u64>) {
+        match self.deltas.last_mut() {
+            Some((last, existing)) if *last == epoch => existing.extend(delta),
+            Some((last, _)) => {
+                assert!(*last < epoch, "snapshot commits must be monotonic");
+                self.deltas.push((epoch, delta));
+            }
+            None => self.deltas.push((epoch, delta)),
+        }
+    }
+
+    /// Whether `epoch` can be reconstructed.
+    pub fn contains(&self, epoch: EpochId) -> bool {
+        epoch == EpochId::ZERO || self.deltas.iter().any(|(e, _)| *e == epoch)
+    }
+
+    /// Rebuilds the full memory image as of the commit of `epoch`, or
+    /// `None` if that epoch was never committed. `EpochId::ZERO` yields
+    /// the power-on (all-[`MainMemory::INITIAL`]) image.
+    pub fn reconstruct(&self, epoch: EpochId) -> Option<MainMemory> {
+        if !self.contains(epoch) {
+            return None;
+        }
+        let mut image = MainMemory::new();
+        for (e, delta) in &self.deltas {
+            if *e > epoch {
+                break;
+            }
+            for (line, value) in delta {
+                image.write_line(*line, *value);
+            }
+        }
+        Some(image)
+    }
+
+    /// Drops every snapshot strictly after `epoch` (crash rewind).
+    pub fn truncate_after(&mut self, epoch: EpochId) {
+        self.deltas.retain(|(e, _)| *e <= epoch);
+    }
+
+    /// Total delta entries held across all epochs (memory diagnostics).
+    pub fn delta_lines(&self) -> usize {
+        self.deltas.iter().map(|(_, d)| d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(pairs: &[(u64, u64)]) -> FastMap<LineAddr, u64> {
+        pairs.iter().map(|(l, v)| (LineAddr::new(*l), *v)).collect()
+    }
+
+    #[test]
+    fn zero_epoch_is_always_empty() {
+        let snaps = DeltaSnapshots::new();
+        assert!(snaps.contains(EpochId::ZERO));
+        let image = snaps.reconstruct(EpochId::ZERO).unwrap();
+        assert_eq!(image.touched_lines(), 0);
+    }
+
+    #[test]
+    fn reconstruct_applies_deltas_in_order() {
+        let mut snaps = DeltaSnapshots::new();
+        snaps.commit(EpochId(1), delta(&[(1, 10), (2, 20)]));
+        snaps.commit(EpochId(2), delta(&[(2, 21), (3, 30)]));
+
+        let at1 = snaps.reconstruct(EpochId(1)).unwrap();
+        assert_eq!(at1.read_line(LineAddr::new(1)), 10);
+        assert_eq!(at1.read_line(LineAddr::new(2)), 20);
+        assert_eq!(at1.read_line(LineAddr::new(3)), MainMemory::INITIAL);
+
+        let at2 = snaps.reconstruct(EpochId(2)).unwrap();
+        assert_eq!(at2.read_line(LineAddr::new(2)), 21);
+        assert_eq!(at2.read_line(LineAddr::new(3)), 30);
+    }
+
+    #[test]
+    fn uncommitted_epoch_is_none() {
+        let mut snaps = DeltaSnapshots::new();
+        snaps.commit(EpochId(2), delta(&[(1, 1)]));
+        assert!(snaps.reconstruct(EpochId(1)).is_none());
+        assert!(snaps.contains(EpochId(2)));
+    }
+
+    #[test]
+    fn delta_matches_full_clone_reference() {
+        // Differential check: replaying random-ish writes through both the
+        // delta chain and eager full clones yields identical images.
+        let mut snaps = DeltaSnapshots::new();
+        let mut mem = MainMemory::new();
+        let mut full: Vec<(EpochId, MainMemory)> = Vec::new();
+        let mut pending: FastMap<LineAddr, u64> = FastMap::default();
+
+        let mut x = 7u64;
+        for epoch in 1..=6u64 {
+            for _ in 0..40 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let line = LineAddr::new(x % 32);
+                let value = (x >> 32) % 5; // 0 exercises the INITIAL-erase path
+                mem.write_line(line, value);
+                pending.insert(line, value);
+            }
+            snaps.commit(EpochId(epoch), std::mem::take(&mut pending));
+            full.push((EpochId(epoch), mem.snapshot()));
+        }
+
+        for (epoch, image) in &full {
+            assert_eq!(
+                &snaps.reconstruct(*epoch).unwrap(),
+                image,
+                "epoch {epoch:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncate_rewinds_the_chain() {
+        let mut snaps = DeltaSnapshots::new();
+        snaps.commit(EpochId(1), delta(&[(1, 1)]));
+        snaps.commit(EpochId(2), delta(&[(2, 2)]));
+        snaps.commit(EpochId(3), delta(&[(3, 3)]));
+        snaps.truncate_after(EpochId(1));
+        assert!(snaps.contains(EpochId(1)));
+        assert!(!snaps.contains(EpochId(2)));
+        assert!(!snaps.contains(EpochId(3)));
+        // Re-committing the truncated epochs is legal (monotonic again).
+        snaps.commit(EpochId(2), delta(&[(2, 9)]));
+        assert_eq!(
+            snaps
+                .reconstruct(EpochId(2))
+                .unwrap()
+                .read_line(LineAddr::new(2)),
+            9
+        );
+    }
+
+    #[test]
+    fn recommit_merges_into_open_epoch() {
+        let mut snaps = DeltaSnapshots::new();
+        snaps.commit(EpochId(1), delta(&[(1, 10)]));
+        snaps.commit(EpochId(1), delta(&[(1, 11), (2, 20)]));
+        let at1 = snaps.reconstruct(EpochId(1)).unwrap();
+        assert_eq!(at1.read_line(LineAddr::new(1)), 11);
+        assert_eq!(at1.read_line(LineAddr::new(2)), 20);
+    }
+
+    #[test]
+    fn delta_lines_counts_entries() {
+        let mut snaps = DeltaSnapshots::new();
+        assert_eq!(snaps.delta_lines(), 0);
+        snaps.commit(EpochId(1), delta(&[(1, 1), (2, 2)]));
+        snaps.commit(EpochId(2), delta(&[(3, 3)]));
+        assert_eq!(snaps.delta_lines(), 3);
+    }
+}

@@ -61,16 +61,25 @@ impl MainMemory {
     ///
     /// Used by tests to produce readable recovery-mismatch diagnostics.
     pub fn diff(&self, other: &MainMemory) -> Vec<LineAddr> {
-        let mut out: Vec<LineAddr> = self
-            .lines
-            .keys()
-            .chain(other.lines.keys())
-            .copied()
-            .filter(|l| self.read_line(*l) != other.read_line(*l))
-            .collect();
+        let mut out = Vec::new();
+        self.diff_into(other, &mut out);
+        out
+    }
+
+    /// [`diff`](Self::diff) writing into a caller-owned buffer, so hot
+    /// callers (crash validation on every injected crash) can reuse one
+    /// allocation. Clears `out` first.
+    pub fn diff_into(&self, other: &MainMemory, out: &mut Vec<LineAddr>) {
+        out.clear();
+        out.extend(
+            self.lines
+                .keys()
+                .chain(other.lines.keys())
+                .copied()
+                .filter(|l| self.read_line(*l) != other.read_line(*l)),
+        );
         out.sort_unstable();
         out.dedup();
-        out
     }
 }
 

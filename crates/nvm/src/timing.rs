@@ -176,7 +176,7 @@ impl NvmTiming {
 }
 
 /// Per-class operation counts plus aggregate row-buffer behaviour.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NvmStats {
     ops_by_class: Vec<Counter>,
     bytes_by_class: Vec<Counter>,

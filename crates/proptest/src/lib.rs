@@ -147,6 +147,12 @@ macro_rules! prop_assume {
 /// type. (Upstream's `weight => strategy` form is not supported.)
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, ::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::strategy::DynStrategy<_>>)),+
+        ])
+    };
     ($($strat:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $(::std::boxed::Box::new($strat)

@@ -103,25 +103,47 @@ impl<S: Strategy> DynStrategy<S::Value> for S {
 
 /// Uniform choice among strategies (the `prop_oneof!` backend).
 pub struct Union<V> {
-    options: Vec<Box<dyn DynStrategy<V>>>,
+    options: Vec<(u32, Box<dyn DynStrategy<V>>)>,
+    total_weight: u64,
 }
 
 impl<V> Union<V> {
-    /// Builds a union; `options` must be non-empty.
+    /// Builds a uniform union; `options` must be non-empty.
     pub fn new(options: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Builds a union picking each strategy proportionally to its weight;
+    /// `options` must be non-empty with positive total weight.
+    pub fn new_weighted(options: Vec<(u32, Box<dyn DynStrategy<V>>)>) -> Self {
         assert!(
             !options.is_empty(),
             "prop_oneof! needs at least one strategy"
         );
-        Union { options }
+        let total_weight: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Union {
+            options,
+            total_weight,
+        }
     }
 }
 
 impl<V: Clone + Debug> Strategy for Union<V> {
     type Value = V;
     fn pick(&self, rng: &mut TestRng) -> V {
-        let i = rng.below(self.options.len() as u64) as usize;
-        self.options[i].pick_dyn(rng)
+        let mut r = rng.below(self.total_weight);
+        for (weight, strat) in &self.options {
+            let weight = u64::from(*weight);
+            if r < weight {
+                return strat.pick_dyn(rng);
+            }
+            r -= weight;
+        }
+        unreachable!("weights sum to total_weight")
     }
 }
 

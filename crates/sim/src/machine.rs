@@ -16,9 +16,10 @@
 use picl::os::boundary_handler_line;
 use picl_cache::hierarchy::AccessType;
 use picl_cache::{ConsistencyScheme, Hierarchy};
-use picl_nvm::{MainMemory, Nvm};
+use picl_nvm::{DeltaSnapshots, MainMemory, Nvm};
 use picl_telemetry::{EventKind, Sampler, Telemetry};
 use picl_trace::{AccessKind, TraceSource};
+use picl_types::hash::{FastMap, FastSet};
 use picl_types::{CoreId, Cycle, EpochId, LineAddr, SystemConfig};
 
 use crate::report::RunReport;
@@ -32,6 +33,45 @@ struct Core {
     clock: Cycle,
     instructions: u64,
     trace: Box<dyn TraceSource + Send>,
+}
+
+/// Golden-snapshot storage backing crash validation.
+///
+/// The default `Delta` store records one copy-on-write delta per commit
+/// (O(lines written this epoch)) and reconstructs a full image only when
+/// a crash needs one. `Full` keeps the original eager deep clone per
+/// commit — the unoptimized reference `picl bench` diffs against.
+enum SnapshotStore {
+    /// Snapshots disabled; only the power-on image is reconstructible.
+    Off,
+    /// Copy-on-write per-epoch deltas (default).
+    Delta(DeltaSnapshots),
+    /// Eager full clone at every commit (reference mode).
+    Full(FastMap<EpochId, MainMemory>),
+}
+
+impl SnapshotStore {
+    /// The full image at `epoch`'s commit, if reconstructible.
+    /// [`EpochId::ZERO`] (the power-on image) always is.
+    fn get(&self, epoch: EpochId) -> Option<MainMemory> {
+        match self {
+            SnapshotStore::Off => (epoch == EpochId::ZERO).then(MainMemory::new),
+            SnapshotStore::Delta(deltas) => deltas.reconstruct(epoch),
+            SnapshotStore::Full(map) => map
+                .get(&epoch)
+                .cloned()
+                .or_else(|| (epoch == EpochId::ZERO).then(MainMemory::new)),
+        }
+    }
+
+    /// Drops every snapshot strictly after `epoch` (crash rewind).
+    fn truncate_after(&mut self, epoch: EpochId) {
+        match self {
+            SnapshotStore::Off => {}
+            SnapshotStore::Delta(deltas) => deltas.truncate_after(epoch),
+            SnapshotStore::Full(map) => map.retain(|e, _| *e <= epoch),
+        }
+    }
 }
 
 /// Result of an injected crash and recovery.
@@ -57,8 +97,11 @@ pub struct Machine {
     scheme: Box<dyn ConsistencyScheme + Send>,
     cores: Vec<Core>,
     logical: MainMemory,
-    snapshots: picl_types::hash::FastMap<EpochId, MainMemory>,
-    keep_snapshots: bool,
+    snapshots: SnapshotStore,
+    /// Lines written (logically) since the last commit — the next delta.
+    pending_dirty: FastSet<LineAddr>,
+    /// Reused across crash validations.
+    diff_scratch: Vec<LineAddr>,
     token: u64,
     instr_since_boundary: u64,
     workload_label: String,
@@ -93,9 +136,13 @@ impl Machine {
         cfg.validate().expect("valid system configuration");
         assert_eq!(traces.len(), cfg.cores, "one trace per core required");
         let hier = Hierarchy::new(&cfg);
-        let mut snapshots = picl_types::hash::FastMap::default();
-        // Epoch 0 is the pre-execution image: all lines initial.
-        snapshots.insert(EpochId::ZERO, MainMemory::new());
+        // Epoch 0 (the pre-execution, all-initial image) is implicit in
+        // every store variant; nothing to record up front.
+        let snapshots = if keep_snapshots {
+            SnapshotStore::Delta(DeltaSnapshots::new())
+        } else {
+            SnapshotStore::Off
+        };
         Machine {
             mem: Nvm::new(cfg.nvm, cfg.clock()),
             hier,
@@ -110,7 +157,8 @@ impl Machine {
                 .collect(),
             logical: MainMemory::new(),
             snapshots,
-            keep_snapshots,
+            pending_dirty: FastSet::default(),
+            diff_scratch: Vec::new(),
             token: 0,
             instr_since_boundary: 0,
             workload_label: workload_label.into(),
@@ -152,6 +200,11 @@ impl Machine {
         );
         self.telemetry
             .sample("llc_dirty_lines", now, self.hier.dirty_line_count() as f64);
+        self.telemetry.sample(
+            "picl_lines_tagged",
+            now,
+            self.hier.tagged_dirty_count() as f64,
+        );
         let open = self
             .scheme
             .system_eid()
@@ -178,9 +231,25 @@ impl Machine {
         &self.logical
     }
 
-    /// The golden snapshot of `epoch`, if one was taken.
-    pub fn snapshot(&self, epoch: EpochId) -> Option<&MainMemory> {
-        self.snapshots.get(&epoch)
+    /// The golden memory image at `epoch`'s commit, if reconstructible
+    /// (reconstructed from deltas on demand; owned, not borrowed).
+    pub fn snapshot(&self, epoch: EpochId) -> Option<MainMemory> {
+        self.snapshots.get(epoch)
+    }
+
+    /// Switches every differential knob to the unoptimized reference
+    /// implementation: the hierarchy's drains fall back to full scans and
+    /// golden snapshots become eager deep clones. `picl bench` runs each
+    /// cell both ways and requires identical reports.
+    ///
+    /// Call before running; switching discards previously taken snapshots.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.hier.set_reference_scan(on);
+        self.snapshots = match (&self.snapshots, on) {
+            (SnapshotStore::Off, _) => SnapshotStore::Off,
+            (_, true) => SnapshotStore::Full(FastMap::default()),
+            (_, false) => SnapshotStore::Delta(DeltaSnapshots::new()),
+        };
     }
 
     /// The value of `line` if it is resident anywhere in the hierarchy.
@@ -204,6 +273,32 @@ impl Machine {
     fn next_token(&mut self) -> u64 {
         self.token += 1;
         self.token
+    }
+
+    /// Applies a store to the logical image and marks the line for the
+    /// next snapshot delta.
+    fn logical_write(&mut self, line: LineAddr, token: u64) {
+        self.logical.write_line(line, token);
+        self.pending_dirty.insert(line);
+    }
+
+    /// Records the golden snapshot for a just-committed epoch.
+    fn commit_snapshot(&mut self, committed: EpochId) {
+        match &mut self.snapshots {
+            SnapshotStore::Off => self.pending_dirty.clear(),
+            SnapshotStore::Delta(deltas) => {
+                let delta: FastMap<LineAddr, u64> = self
+                    .pending_dirty
+                    .drain()
+                    .map(|line| (line, self.logical.read_line(line)))
+                    .collect();
+                deltas.commit(committed, delta);
+            }
+            SnapshotStore::Full(map) => {
+                map.insert(committed, self.logical.snapshot());
+                self.pending_dirty.clear();
+            }
+        }
     }
 
     /// Executes one trace event on the core with the smallest clock among
@@ -233,7 +328,7 @@ impl Machine {
             AccessKind::Load => AccessType::Load,
             AccessKind::Store => {
                 let token = self.next_token();
-                self.logical.write_line(line, token);
+                self.logical_write(line, token);
                 AccessType::Store { new_value: token }
             }
         };
@@ -277,7 +372,7 @@ impl Machine {
         for i in 0..self.cores.len() {
             let line = boundary_handler_line(CoreId(i));
             let token = self.next_token();
-            self.logical.write_line(line, token);
+            self.logical_write(line, token);
             let at = self.cores[i].clock;
             self.hier.access(
                 CoreId(i),
@@ -311,10 +406,7 @@ impl Machine {
                 eid: self.scheme.system_eid(),
             },
         );
-        if self.keep_snapshots {
-            self.snapshots
-                .insert(outcome.committed, self.logical.snapshot());
-        }
+        self.commit_snapshot(outcome.committed);
         self.instr_since_boundary = 0;
     }
 
@@ -343,30 +435,31 @@ impl Machine {
             },
         );
 
-        let (consistent, mismatch_count, mismatches) =
-            match self.snapshots.get(&outcome.recovered_to) {
-                Some(golden) => {
-                    let diffs: Vec<LineAddr> = golden
-                        .diff(self.mem.state())
-                        .into_iter()
-                        .filter(|l| l.raw() < WORKLOAD_LINE_LIMIT)
-                        .collect();
-                    (
-                        Some(diffs.is_empty()),
-                        diffs.len(),
-                        diffs.into_iter().take(16).collect(),
-                    )
-                }
-                None => (None, 0, Vec::new()),
-            };
+        let golden = self.snapshots.get(outcome.recovered_to);
+        let (consistent, mismatch_count, mismatches) = match &golden {
+            Some(golden) => {
+                let mut diffs = std::mem::take(&mut self.diff_scratch);
+                golden.diff_into(self.mem.state(), &mut diffs);
+                diffs.retain(|l| l.raw() < WORKLOAD_LINE_LIMIT);
+                let result = (
+                    Some(diffs.is_empty()),
+                    diffs.len(),
+                    diffs.iter().take(16).copied().collect(),
+                );
+                self.diff_scratch = diffs;
+                result
+            }
+            None => (None, 0, Vec::new()),
+        };
         // Execution resumes from the recovered checkpoint: the logical
         // reference image rewinds to that snapshot, and snapshots of the
         // rolled-back timeline are dropped (their epoch numbers will be
         // reused by the new timeline).
-        if let Some(golden) = self.snapshots.get(&outcome.recovered_to) {
-            self.logical = golden.clone();
+        if let Some(golden) = golden {
+            self.logical = golden;
         }
-        self.snapshots.retain(|e, _| *e <= outcome.recovered_to);
+        self.snapshots.truncate_after(outcome.recovered_to);
+        self.pending_dirty.clear();
         self.instr_since_boundary = 0;
         CrashReport {
             outcome,
@@ -398,7 +491,7 @@ impl Machine {
         for i in 0..cores_done.min(self.cores.len()) {
             let line = boundary_handler_line(CoreId(i));
             let token = self.next_token();
-            self.logical.write_line(line, token);
+            self.logical_write(line, token);
             let at = self.cores[i].clock;
             self.hier.access(
                 CoreId(i),

@@ -5,7 +5,10 @@ use picl_nvm::NvmStats;
 use picl_types::Cycle;
 
 /// Everything a figure-regeneration harness needs from one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so `picl bench` can require the optimized fast
+/// paths and the full-scan reference produce bit-identical reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// Scheme under test ("PiCL", "FRM", …).
     pub scheme: &'static str,

@@ -170,6 +170,7 @@ pub struct Simulation {
     seed: u64,
     footprint_scale: f64,
     keep_snapshots: bool,
+    reference_mode: bool,
 }
 
 impl Simulation {
@@ -183,6 +184,7 @@ impl Simulation {
             seed: 0,
             footprint_scale: 1.0,
             keep_snapshots: false,
+            reference_mode: false,
         }
     }
 
@@ -237,6 +239,14 @@ impl Simulation {
         self
     }
 
+    /// Runs on the unoptimized reference paths (full-scan drains, eager
+    /// deep-clone snapshots). Reports must be identical either way; `picl
+    /// bench` checks exactly that.
+    pub fn reference_mode(mut self, on: bool) -> Simulation {
+        self.reference_mode = on;
+        self
+    }
+
     /// Builds the machine without running it (for crash-injection tests).
     ///
     /// # Errors
@@ -251,13 +261,11 @@ impl Simulation {
         cfg.validate()?;
         let scheme = self.scheme.build(&cfg);
         let traces = spec.build_traces(self.seed, self.footprint_scale);
-        Ok(Machine::new(
-            cfg,
-            scheme,
-            traces,
-            spec.label(),
-            self.keep_snapshots,
-        ))
+        let mut machine = Machine::new(cfg, scheme, traces, spec.label(), self.keep_snapshots);
+        if self.reference_mode {
+            machine.set_reference_mode(true);
+        }
+        Ok(machine)
     }
 
     /// Runs the simulation to completion.
@@ -352,6 +360,26 @@ mod tests {
             let scheme = kind.build(&cfg);
             assert_eq!(scheme.name(), kind.name());
             assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn reference_mode_reports_identical() {
+        // The end-to-end form of the differential guarantee `picl bench`
+        // enforces per cell: optimized fast paths vs full-scan reference.
+        for kind in SchemeKind::ALL {
+            let run = |reference: bool| {
+                Simulation::builder(quick_cfg())
+                    .scheme(kind)
+                    .workload(&[SpecBenchmark::Gcc])
+                    .instructions_per_core(30_000)
+                    .footprint_scale(0.05)
+                    .keep_snapshots(true)
+                    .reference_mode(reference)
+                    .run()
+                    .unwrap()
+            };
+            assert_eq!(run(false), run(true), "{kind:?} diverged");
         }
     }
 

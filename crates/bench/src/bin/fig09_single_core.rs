@@ -5,8 +5,8 @@
 //! workloads by 1.5–5×; PiCL stays within a few percent of Ideal
 //! everywhere, with only rare cases (sphinx3-like) losing 10–20%.
 
-use picl_bench::{banner, grid, normalize_rows, print_normalized_table, scaled, threads};
-use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_bench::{banner, grid, normalize_rows, print_normalized_table, run_grid, scaled, threads};
+use picl_sim::{SchemeKind, WorkloadSpec};
 use picl_trace::spec::SpecBenchmark;
 use picl_types::SystemConfig;
 
@@ -29,7 +29,7 @@ fn main() {
         budget,
         threads()
     );
-    let reports = run_experiments(&experiments, threads());
+    let reports = run_grid(&experiments);
     let rows = normalize_rows(&reports, SchemeKind::ALL.len());
     print_normalized_table(
         "Norm. execution time (x), single core, 2 MB LLC, 30 M-instr epochs",

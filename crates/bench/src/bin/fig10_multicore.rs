@@ -5,8 +5,8 @@
 //! a 16 MB LLC (cache flushes scale with cache size; logging traffic from
 //! eight programs collides at the NVM); PiCL stays near 1.0×.
 
-use picl_bench::{banner, grid, normalize_rows, print_normalized_table, scaled, threads};
-use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_bench::{banner, grid, normalize_rows, print_normalized_table, run_grid, scaled, threads};
+use picl_sim::{SchemeKind, WorkloadSpec};
 use picl_trace::mixes::table_v_mixes;
 use picl_types::SystemConfig;
 
@@ -30,7 +30,7 @@ fn main() {
         budget,
         threads()
     );
-    let reports = run_experiments(&experiments, threads());
+    let reports = run_grid(&experiments);
     let rows = normalize_rows(&reports, SchemeKind::ALL.len());
     print_normalized_table(
         "Norm. execution time (x), 8 cores, 16 MB LLC, 30 M-instr epochs",

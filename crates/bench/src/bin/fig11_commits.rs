@@ -7,8 +7,8 @@
 //! commits up to 60–64× more often on large/scattered write sets; the
 //! undo-based schemes (PiCL shown; FRM identical) never commit early.
 
-use picl_bench::{banner, grid, scaled, seed, threads};
-use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_bench::{banner, grid, run_grid, scaled, seed, threads};
+use picl_sim::{SchemeKind, WorkloadSpec};
 use picl_trace::spec::SpecBenchmark;
 use picl_types::SystemConfig;
 
@@ -31,7 +31,7 @@ fn main() {
         threads(),
         seed()
     );
-    let reports = run_experiments(&experiments, threads());
+    let reports = run_grid(&experiments);
 
     println!(
         "\n# of commits per epoch interval of {}M instructions (1.0 = timer only)",

@@ -8,9 +8,9 @@
 //! write-backs); PiCL adds almost nothing — a few bulk undo flushes and
 //! minimal ACS in-place writes.
 
-use picl_bench::{banner, grid, scaled, threads};
+use picl_bench::{banner, grid, run_grid, scaled, threads};
 use picl_nvm::TrafficCategory;
-use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_sim::{SchemeKind, WorkloadSpec};
 use picl_trace::spec::SpecBenchmark;
 use picl_types::SystemConfig;
 
@@ -36,7 +36,7 @@ fn main() {
         experiments.len(),
         threads()
     );
-    let reports = run_experiments(&experiments, threads());
+    let reports = run_grid(&experiments);
 
     println!("\nNVM ops normalized to Ideal write-back traffic ([I]deal, [J]ournal, [S]hadow, [F]RM, [P]iCL)");
     println!(

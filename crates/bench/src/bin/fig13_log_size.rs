@@ -6,8 +6,8 @@
 //! epochs; the heaviest loggers stay within a few hundred MB — well within
 //! NVM capacities.
 
-use picl_bench::{banner, bar, grid, scaled, threads};
-use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_bench::{banner, bar, grid, run_grid, scaled, threads};
+use picl_sim::{SchemeKind, WorkloadSpec};
 use picl_trace::spec::SpecBenchmark;
 use picl_types::stats::format_bytes;
 use picl_types::SystemConfig;
@@ -28,7 +28,7 @@ fn main() {
         experiments.len(),
         threads()
     );
-    let reports = run_experiments(&experiments, threads());
+    let reports = run_grid(&experiments);
 
     println!("\nUndo log bytes written over eight epochs (PiCL)");
     let mut sizes = Vec::new();

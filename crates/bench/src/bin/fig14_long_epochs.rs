@@ -8,8 +8,8 @@
 //! (Shadow) or below 5 M (Journaling), while PiCL — bounded only by log
 //! storage, not hardware state — always reaches the full 500 M.
 
-use picl_bench::{banner, grid, scaled, threads};
-use picl_sim::{run_experiments, SchemeKind, WorkloadSpec};
+use picl_bench::{banner, grid, run_grid, scaled, threads};
+use picl_sim::{SchemeKind, WorkloadSpec};
 use picl_trace::spec::SpecBenchmark;
 use picl_types::SystemConfig;
 
@@ -30,7 +30,7 @@ fn main() {
         experiments.len(),
         threads()
     );
-    let reports = run_experiments(&experiments, threads());
+    let reports = run_grid(&experiments);
 
     println!(
         "\nObserved epoch length in M instructions (target {} M)",

@@ -7,8 +7,8 @@
 //! ThyNVM's overhead grows fastest (its redo tables carry two epochs of
 //! pressure).
 
-use picl_bench::{banner, grid, scaled, threads};
-use picl_sim::{run_experiments, RunReport, SchemeKind, WorkloadSpec};
+use picl_bench::{banner, grid, run_grid, scaled};
+use picl_sim::{RunReport, SchemeKind, WorkloadSpec};
 use picl_trace::spec::SpecBenchmark;
 use picl_types::SystemConfig;
 
@@ -39,7 +39,7 @@ fn main() {
         cfg.epoch.epoch_len_instructions = scaled(30_000_000);
         cfg.llc_per_core.size_bytes = llc_mib * 1024 * 1024;
         let experiments = grid(&cfg, &workloads, &SchemeKind::ALL, budget);
-        let reports = run_experiments(&experiments, threads());
+        let reports = run_grid(&experiments);
         let rows: Vec<&[RunReport]> = reports.chunks(SchemeKind::ALL.len()).collect();
         print!("{:<10}", format!("{llc_mib} MiB"));
         for (i, _s) in SchemeKind::ALL.iter().enumerate() {

@@ -5,8 +5,8 @@
 //! random logging pays the miss latency per operation); PiCL's bulk
 //! sequential logging keeps its overhead flat and small.
 
-use picl_bench::{banner, grid, scaled, threads};
-use picl_sim::{run_experiments, RunReport, SchemeKind, WorkloadSpec};
+use picl_bench::{banner, grid, run_grid, scaled};
+use picl_sim::{RunReport, SchemeKind, WorkloadSpec};
 use picl_trace::spec::SpecBenchmark;
 use picl_types::time::Picoseconds;
 use picl_types::SystemConfig;
@@ -36,7 +36,7 @@ fn main() {
         cfg.epoch.epoch_len_instructions = scaled(30_000_000);
         cfg.nvm.row_write_miss = Picoseconds::from_ns(write_ns);
         let experiments = grid(&cfg, &workloads, &SchemeKind::ALL, budget);
-        let reports = run_experiments(&experiments, threads());
+        let reports = run_grid(&experiments);
         let rows: Vec<&[RunReport]> = reports.chunks(SchemeKind::ALL.len()).collect();
         print!("{:<10}", format!("{write_ns} ns"));
         for (i, _s) in SchemeKind::ALL.iter().enumerate() {

@@ -12,8 +12,15 @@
 //! * `PICL_THREADS` — worker threads for experiment grids (default: all
 //!   available cores).
 //! * `PICL_SEED` — experiment seed (default 42).
+//! * `PICL_RESUME` — checkpoint directory: finished cells persist there,
+//!   and a relaunch re-runs only the missing or failed ones.
+//! * `PICL_CELL_TIMEOUT` — per-cell wall-clock watchdog in seconds.
+//! * `PICL_KEEP_GOING` — set to `0` to abort a figure on the first
+//!   failing cell (default: finish every sibling, then report).
 
-use picl_sim::{Experiment, RunReport, SchemeKind, WorkloadSpec};
+use picl_sim::{
+    run_experiments_with, CampaignOptions, Experiment, RunReport, SchemeKind, WorkloadSpec,
+};
 use picl_types::SystemConfig;
 
 /// Default experiment seed.
@@ -51,6 +58,42 @@ pub fn threads() -> usize {
 /// Applies the scale knob to an instruction budget, keeping it nonzero.
 pub fn scaled(instructions: u64) -> u64 {
     ((instructions as f64 * scale()) as u64).max(10_000)
+}
+
+/// The campaign policy from the environment knobs: `PICL_RESUME`,
+/// `PICL_CELL_TIMEOUT`, `PICL_KEEP_GOING`, and `PICL_THREADS`.
+pub fn campaign_options() -> CampaignOptions {
+    CampaignOptions {
+        threads: threads(),
+        cell_timeout: std::env::var("PICL_CELL_TIMEOUT")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|secs: &f64| secs.is_finite() && *secs > 0.0)
+            .map(std::time::Duration::from_secs_f64),
+        keep_going: !matches!(
+            std::env::var("PICL_KEEP_GOING").as_deref(),
+            Ok("0" | "false" | "no")
+        ),
+        checkpoint: std::env::var("PICL_RESUME")
+            .ok()
+            .filter(|dir| !dir.is_empty())
+            .map(std::path::PathBuf::from),
+        progress: true,
+        ..CampaignOptions::default()
+    }
+}
+
+/// Runs a figure's grid under the fault-isolated executor with the
+/// environment policy: one bad cell no longer loses the whole figure.
+///
+/// # Panics
+///
+/// Panics with the aggregated per-cell failure list — but only after
+/// every healthy sibling has finished (and, with `PICL_RESUME`, been
+/// checkpointed), so a relaunch re-runs just the failed cells.
+pub fn run_grid(experiments: &[Experiment]) -> Vec<RunReport> {
+    run_experiments_with(experiments, &campaign_options())
+        .unwrap_or_else(|message| panic!("figure campaign failed: {message}"))
 }
 
 /// Builds the standard `(workload × scheme)` grid with shared parameters.

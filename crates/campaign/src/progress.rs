@@ -1,0 +1,129 @@
+//! The campaign progress reporter.
+//!
+//! A multi-minute sweep used to run silently until it either finished or
+//! died. The reporter prints a throttled one-line status to stderr —
+//! cells done/total, throughput, ETA, and failures so far — every time a
+//! cell completes (at most ~4 lines/second, plus always on failures and
+//! on the final cell).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Shared, thread-safe progress state for one campaign.
+#[derive(Debug)]
+pub struct Progress {
+    enabled: bool,
+    total: usize,
+    started: Instant,
+    completed: AtomicUsize,
+    failed: AtomicUsize,
+    /// Milliseconds-since-start of the last line printed (throttling).
+    last_print_ms: AtomicU64,
+    /// Serializes the actual printing so lines never interleave.
+    print_lock: Mutex<()>,
+}
+
+/// Minimum milliseconds between routine progress lines.
+const THROTTLE_MS: u64 = 250;
+
+impl Progress {
+    /// A reporter over `total` cells; silent unless `enabled`.
+    pub fn new(total: usize, enabled: bool) -> Progress {
+        Progress {
+            enabled,
+            total,
+            started: Instant::now(),
+            completed: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            last_print_ms: AtomicU64::new(0),
+            print_lock: Mutex::new(()),
+        }
+    }
+
+    /// Announces how many of the campaign's `total` cells a resume loaded
+    /// from the checkpoint store. (`total` is the campaign size, not this
+    /// reporter's — the reporter only tracks the cells left to run.)
+    pub fn announce_resume(&self, cached: usize, total: usize, dir: &std::path::Path) {
+        if self.enabled && cached > 0 {
+            eprintln!(
+                "campaign: resumed {cached}/{total} cell(s) from {}",
+                dir.display()
+            );
+        }
+    }
+
+    /// Records one finished cell (`ok = false` for failures/timeouts) and
+    /// maybe prints a status line.
+    pub fn cell_finished(&self, ok: bool) {
+        let done = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        let failed = if ok {
+            self.failed.load(Ordering::Relaxed)
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed) + 1
+        };
+        if !self.enabled {
+            return;
+        }
+        let elapsed_ms = self.started.elapsed().as_millis() as u64;
+        let is_last = done == self.total;
+        if !ok || is_last {
+            // Failures and the final line always print.
+        } else {
+            let last = self.last_print_ms.load(Ordering::Relaxed);
+            if elapsed_ms.saturating_sub(last) < THROTTLE_MS {
+                return;
+            }
+        }
+        self.last_print_ms.store(elapsed_ms, Ordering::Relaxed);
+
+        let secs = (elapsed_ms as f64 / 1000.0).max(1e-3);
+        let rate = done as f64 / secs;
+        let remaining = self.total.saturating_sub(done);
+        let eta = remaining as f64 / rate.max(1e-9);
+        let _guard = self.print_lock.lock().unwrap_or_else(|p| p.into_inner());
+        eprintln!(
+            "campaign: {done}/{} cells ({:.0}%), {rate:.2} cells/s, ETA {}, {failed} failed",
+            self.total,
+            done as f64 * 100.0 / self.total.max(1) as f64,
+            format_eta(eta),
+        );
+    }
+
+    /// Failures recorded so far.
+    pub fn failures(&self) -> usize {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+fn format_eta(eta_secs: f64) -> String {
+    let s = eta_secs.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_without_printing_when_disabled() {
+        let p = Progress::new(3, false);
+        p.cell_finished(true);
+        p.cell_finished(false);
+        p.cell_finished(true);
+        assert_eq!(p.failures(), 1);
+    }
+
+    #[test]
+    fn eta_formatting() {
+        assert_eq!(format_eta(12.2), "12s");
+        assert_eq!(format_eta(61.0), "1m01s");
+        assert_eq!(format_eta(3700.0), "1h01m");
+    }
+}

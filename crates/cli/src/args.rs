@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 
 /// Flags that take no value; writing `--quick` records `quick=true`
 /// (the `--quick=false` form still works).
-const BOOLEAN_FLAGS: &[&str] = &["quick"];
+const BOOLEAN_FLAGS: &[&str] = &["quick", "keep-going"];
 
 /// A parsed command line: the subcommand and its flags.
 #[derive(Debug, Clone, PartialEq, Eq)]

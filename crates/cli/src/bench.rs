@@ -12,13 +12,16 @@
 
 use std::time::Instant;
 
+use picl_campaign::json::Value;
+use picl_campaign::{run_cells, CellPayload};
 use picl_sim::{RunReport, SchemeKind, Simulation, WorkloadSpec};
-use picl_telemetry::json::validate_json;
+use picl_telemetry::json::{escape as json_escape, validate_json};
 use picl_trace::mixes::table_v_mixes;
 use picl_trace::spec::SpecBenchmark;
 use picl_types::SystemConfig;
 
 use crate::args::{ArgError, Args};
+use crate::commands::campaign_options;
 
 /// Instructions per core for each quick-matrix cell (before `--scale`).
 const QUICK_INSTRUCTIONS: u64 = 1_000_000;
@@ -34,9 +37,10 @@ const PAPER_EPOCH_LEN: u64 = 1_000;
 const REGRESSION_FLOOR: f64 = 0.8;
 
 /// One measured matrix cell.
+#[derive(Debug, Clone)]
 struct CellResult {
     label: String,
-    scheme: &'static str,
+    scheme: String,
     workload: String,
     cores: usize,
     instructions: u64,
@@ -44,11 +48,80 @@ struct CellResult {
     events_per_sec: f64,
     /// Reference-path events per wall-clock second.
     reference_events_per_sec: f64,
+    /// Growth of the process's peak RSS (`VmHWM`) while this cell ran, in
+    /// kB. `VmHWM` is process-wide and monotone, so the *reading* cannot be
+    /// attributed to a cell — but its growth during the cell can: a cell
+    /// that allocated under the previous high-water mark reports 0.
+    rss_delta_kb: u64,
 }
 
 impl CellResult {
     fn speedup(&self) -> f64 {
         self.events_per_sec / self.reference_events_per_sec.max(1e-9)
+    }
+}
+
+/// Bench cells checkpoint their measurements; a resumed `picl bench`
+/// reuses the recorded numbers verbatim instead of re-timing.
+impl CellPayload for CellResult {
+    fn encode(&self) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"scheme\": \"{}\", \"workload\": \"{}\", \
+             \"cores\": {}, \"instructions\": {}, \"events_per_sec\": {}, \
+             \"reference_events_per_sec\": {}, \"rss_delta_kb\": {}}}",
+            json_escape(&self.label),
+            json_escape(&self.scheme),
+            json_escape(&self.workload),
+            self.cores,
+            self.instructions,
+            self.events_per_sec,
+            self.reference_events_per_sec,
+            self.rss_delta_kb
+        )
+    }
+
+    fn decode(v: &Value) -> Result<CellResult, String> {
+        let float = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+        };
+        Ok(CellResult {
+            label: v.field_str("label")?.to_owned(),
+            scheme: v.field_str("scheme")?.to_owned(),
+            workload: v.field_str("workload")?.to_owned(),
+            cores: v
+                .get("cores")
+                .and_then(Value::as_usize)
+                .ok_or("missing or non-integer field \"cores\"")?,
+            instructions: v.field_u64("instructions")?,
+            events_per_sec: float("events_per_sec")?,
+            reference_events_per_sec: float("reference_events_per_sec")?,
+            rss_delta_kb: v.field_u64("rss_delta_kb")?,
+        })
+    }
+}
+
+/// One schedulable bench cell: a label plus the pinned simulation.
+#[derive(Clone)]
+struct BenchCell {
+    label: String,
+    sim: Simulation,
+}
+
+impl picl_campaign::CampaignCell for BenchCell {
+    type Payload = CellResult;
+
+    fn spec_string(&self) -> String {
+        format!("bench {} {:?}", self.label, self.sim)
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn execute(&self) -> CellResult {
+        run_cell(&self.label, &self.sim).unwrap_or_else(|e| panic!("{}", e))
     }
 }
 
@@ -104,6 +177,7 @@ fn run_cell(label: &str, sim: &Simulation) -> Result<CellResult, ArgError> {
     // Best-of-3 for the fast path: it is the number the `--check`
     // regression gate compares, so squeeze out scheduler/allocator noise.
     // (Runs are deterministic, so repeats produce the same report.)
+    let rss_before_kb = peak_rss_kb();
     let (fast, mut fast_secs) = timed(false)?;
     for _ in 0..2 {
         fast_secs = fast_secs.min(timed(false)?.1);
@@ -117,12 +191,13 @@ fn run_cell(label: &str, sim: &Simulation) -> Result<CellResult, ArgError> {
     }
     Ok(CellResult {
         label: label.to_owned(),
-        scheme: fast.scheme,
+        scheme: fast.scheme.to_owned(),
         workload: fast.workload.clone(),
         cores: fast.cores,
         instructions: fast.instructions,
         events_per_sec: fast.instructions as f64 / fast_secs,
         reference_events_per_sec: fast.instructions as f64 / reference_secs,
+        rss_delta_kb: peak_rss_kb().saturating_sub(rss_before_kb),
     })
 }
 
@@ -155,20 +230,24 @@ fn to_json(mode: &str, cells: &[CellResult], total_seconds: f64) -> String {
             "    {{\"label\": \"{}\", \"scheme\": \"{}\", \"workload\": \"{}\", \
              \"cores\": {}, \"instructions\": {}, \"events_per_sec\": {:.1}, \
              \"reference_events_per_sec\": {:.1}, \"speedup\": {:.3}, \
-             \"identical\": true}}{}\n",
+             \"rss_delta_kb\": {}, \"identical\": true}}{}\n",
             escape(&cell.label),
-            escape(cell.scheme),
+            escape(&cell.scheme),
             escape(&cell.workload),
             cell.cores,
             cell.instructions,
             cell.events_per_sec,
             cell.reference_events_per_sec,
             cell.speedup(),
+            cell.rss_delta_kb,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
-    out.push_str(&format!("  \"peak_rss_kb\": {},\n", peak_rss_kb()));
+    // VmHWM is process-wide and monotone: this is the whole run's peak
+    // (resumed cells included), never a per-cell figure — those are the
+    // per-cell rss_delta_kb entries above.
+    out.push_str(&format!("  \"process_peak_rss_kb\": {},\n", peak_rss_kb()));
     out.push_str(&format!("  \"total_seconds\": {total_seconds:.3}\n"));
     out.push_str("}\n");
     out
@@ -246,9 +325,18 @@ fn check_regression(path: &str, cells: &[CellResult]) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `picl bench [--quick] [--out FILE] [--check FILE] [--scale F]`.
+/// `picl bench [--quick] [--out FILE] [--check FILE] [--scale F]
+/// [--resume DIR] [--cell-timeout SECS] [--keep-going]`.
 pub fn cmd_bench(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["quick", "out", "check", "scale"])?;
+    args.expect_only(&[
+        "quick",
+        "out",
+        "check",
+        "scale",
+        "resume",
+        "cell-timeout",
+        "keep-going",
+    ])?;
     let quick = args.is_set("quick");
     let scale = args.float_or("scale", 1.0)?;
     if scale.is_nan() || scale <= 0.0 {
@@ -260,15 +348,35 @@ pub fn cmd_bench(args: &Args) -> Result<(), ArgError> {
     if !quick {
         matrix.push(paper_cell(scale));
     }
+    let bench_cells: Vec<BenchCell> = matrix
+        .into_iter()
+        .map(|(label, sim)| BenchCell { label, sim })
+        .collect();
+
+    // One worker: cells time wall-clock, so they must not compete for
+    // cores. The executor still adds panic isolation, the watchdog, and
+    // checkpoint/resume.
+    let mut opts = campaign_options(args)?;
+    opts.threads = 1;
+
+    let started = Instant::now();
+    let run = run_cells(&bench_cells, &opts).map_err(ArgError)?;
+    let total_seconds = started.elapsed().as_secs_f64();
+    if run.cached > 0 {
+        println!("resumed {} cell(s) from the checkpoint store", run.cached);
+    }
 
     println!(
         "{:<22}{:>10}{:>14}{:>14}{:>9}",
         "cell", "instr", "events/s", "ref ev/s", "speedup"
     );
-    let started = Instant::now();
-    let mut cells = Vec::with_capacity(matrix.len());
-    for (label, sim) in &matrix {
-        let cell = run_cell(label, sim)?;
+    let failures = run.failures();
+    let cells: Vec<CellResult> = run
+        .outcomes
+        .into_iter()
+        .filter_map(picl_campaign::CellOutcome::into_payload)
+        .collect();
+    for cell in &cells {
         println!(
             "{:<22}{:>10}{:>14.0}{:>14.0}{:>8.2}x",
             cell.label,
@@ -277,16 +385,25 @@ pub fn cmd_bench(args: &Args) -> Result<(), ArgError> {
             cell.reference_events_per_sec,
             cell.speedup()
         );
-        cells.push(cell);
     }
-    let total_seconds = started.elapsed().as_secs_f64();
+    if !failures.is_empty() {
+        let lines: Vec<String> = failures
+            .iter()
+            .map(|(i, m)| format!("  {}: {m}", bench_cells[*i].label))
+            .collect();
+        return Err(ArgError(format!(
+            "{} bench cell(s) produced no measurement:\n{}",
+            failures.len(),
+            lines.join("\n")
+        )));
+    }
 
     let json = to_json(if quick { "quick" } else { "full" }, &cells, total_seconds);
     validate_json(&json).map_err(|e| ArgError(format!("emitted JSON invalid: {e}")))?;
     std::fs::write(out_path, &json)
         .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
     println!(
-        "wrote {out_path} ({} cells, {:.1}s total, peak RSS {} kB)",
+        "wrote {out_path} ({} cells, {:.1}s total, process peak RSS {} kB)",
         cells.len(),
         total_seconds,
         peak_rss_kb()
@@ -316,21 +433,23 @@ mod tests {
             &[
                 CellResult {
                     label: "A/x x1".into(),
-                    scheme: "A",
+                    scheme: "A".into(),
                     workload: "x".into(),
                     cores: 1,
                     instructions: 10,
                     events_per_sec: 1000.0,
                     reference_events_per_sec: 250.0,
+                    rss_delta_kb: 64,
                 },
                 CellResult {
                     label: "B/y x2".into(),
-                    scheme: "B",
+                    scheme: "B".into(),
                     workload: "y".into(),
                     cores: 2,
                     instructions: 20,
                     events_per_sec: 2000.0,
                     reference_events_per_sec: 500.0,
+                    rss_delta_kb: 0,
                 },
             ],
             1.0,
@@ -341,6 +460,54 @@ mod tests {
             cells,
             vec![("A/x x1".to_owned(), 1000.0), ("B/y x2".to_owned(), 2000.0)]
         );
+    }
+
+    #[test]
+    fn cell_payload_round_trips() {
+        let cell = CellResult {
+            label: "PiCL/gcc x1".into(),
+            scheme: "PiCL".into(),
+            workload: "gcc".into(),
+            cores: 1,
+            instructions: 1_000_000,
+            events_per_sec: 123_456.789,
+            reference_events_per_sec: 98_765.432_1,
+            rss_delta_kb: 2048,
+        };
+        let encoded = cell.encode();
+        validate_json(&encoded).unwrap();
+        let decoded = CellResult::decode(&Value::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded.label, cell.label);
+        assert_eq!(decoded.events_per_sec, cell.events_per_sec);
+        assert_eq!(
+            decoded.reference_events_per_sec,
+            cell.reference_events_per_sec
+        );
+        assert_eq!(decoded.rss_delta_kb, cell.rss_delta_kb);
+    }
+
+    #[test]
+    fn json_separates_run_peak_from_per_cell_deltas() {
+        let json = to_json(
+            "quick",
+            &[CellResult {
+                label: "A/x x1".into(),
+                scheme: "A".into(),
+                workload: "x".into(),
+                cores: 1,
+                instructions: 10,
+                events_per_sec: 1000.0,
+                reference_events_per_sec: 250.0,
+                rss_delta_kb: 64,
+            }],
+            1.0,
+        );
+        // Per-cell: the high-water-mark *growth* during the cell.
+        assert!(json.contains("\"rss_delta_kb\": 64"), "{json}");
+        // Run level: the process-wide peak, labeled as such — the old
+        // per-run "peak_rss_kb" name is gone.
+        assert!(json.contains("\"process_peak_rss_kb\": "), "{json}");
+        assert!(!json.contains("\n  \"peak_rss_kb\""), "{json}");
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Subcommand implementations for the `picl` CLI.
 
-use picl_crashlab::{run_campaign, CampaignConfig, CrashPoint, LabScheme, TrialSpec};
+use picl_campaign::CampaignOptions;
+use picl_crashlab::{run_campaign_with, CampaignConfig, CrashPoint, LabScheme, TrialSpec};
 use picl_nvm::TrafficCategory;
-use picl_sim::{Machine, RunReport, SchemeKind, Simulation, WorkloadSpec};
+use picl_sim::{
+    run_experiments_with, Experiment, Machine, RunReport, SchemeKind, Simulation, WorkloadSpec,
+};
 use picl_telemetry::export::{chrome_trace_to_string, jsonl_to_string, series_csv_to_string};
 use picl_telemetry::json::{validate_json, validate_jsonl};
 use picl_telemetry::TelemetrySnapshot;
@@ -64,6 +67,13 @@ crashlab flags:
   --crash-at N          replay one crash at instruction N instead
   --boundary-cores N    with --crash-at: crash mid-flush after N checkpoints
   --telemetry PREFIX    with --crash-at: export the trial's recording
+
+campaign flags (sweep, bench, crashlab):
+  --resume DIR          checkpoint finished cells into DIR; relaunching
+                        with the same DIR re-runs only missing/failed ones
+  --cell-timeout SECS   per-cell wall-clock watchdog (fractions allowed)
+  --keep-going          finish sibling cells after a failure instead of
+                        aborting the campaign (failures still exit nonzero)
 ";
 
 /// Simulated core clock in MHz; cycle timestamps convert to Chrome-trace
@@ -106,6 +116,36 @@ const COMMON_FLAGS: &[&str] = &[
     "seed",
     "footprint-scale",
 ];
+
+/// Flags shared by every campaign-backed command (`sweep`, `bench`,
+/// `crashlab`).
+const CAMPAIGN_FLAGS: &[&str] = &["resume", "cell-timeout", "keep-going"];
+
+/// Parses the shared campaign-executor flags into a policy: checkpoint
+/// into `--resume DIR`, watchdog each cell at `--cell-timeout SECS`, and
+/// fail fast unless `--keep-going` asks to finish the siblings first.
+/// Progress goes to stderr so piped stdout stays clean.
+pub(crate) fn campaign_options(args: &Args) -> Result<CampaignOptions, ArgError> {
+    let cell_timeout = match args.get("cell-timeout") {
+        None => None,
+        Some(s) => {
+            let secs: f64 = s
+                .parse()
+                .map_err(|_| ArgError(format!("--cell-timeout: cannot parse {s:?} as seconds")))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(ArgError("--cell-timeout must be positive".into()));
+            }
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
+    Ok(CampaignOptions {
+        cell_timeout,
+        keep_going: args.is_set("keep-going"),
+        checkpoint: args.get("resume").map(std::path::PathBuf::from),
+        progress: true,
+        ..CampaignOptions::default()
+    })
+}
 
 fn parse_scheme(name: &str) -> Result<SchemeKind, ArgError> {
     SchemeKind::ALL
@@ -354,6 +394,9 @@ fn cmd_crashlab(args: &Args) -> Result<(), ArgError> {
         "crash-at",
         "boundary-cores",
         "telemetry",
+        "resume",
+        "cell-timeout",
+        "keep-going",
     ])?;
     let schemes = parse_lab_schemes(args.get_or("schemes", "all"))?;
     let benches: Vec<SpecBenchmark> = args
@@ -387,6 +430,15 @@ fn cmd_crashlab(args: &Args) -> Result<(), ArgError> {
              trials); pass --crash-at too"
                 .into(),
         ));
+    }
+    if args.get("crash-at").is_some() {
+        for flag in CAMPAIGN_FLAGS {
+            if args.get(flag).is_some() {
+                return Err(ArgError(format!(
+                    "--{flag} only applies to campaigns; drop --crash-at to run one"
+                )));
+            }
+        }
     }
 
     // Repro mode: replay one crash point (the format `repro_command` emits).
@@ -456,21 +508,32 @@ fn cmd_crashlab(args: &Args) -> Result<(), ArgError> {
         return Ok(());
     }
 
-    let report = run_campaign(&config);
+    let report = run_campaign_with(&config, &campaign_options(args)?).map_err(ArgError)?;
     print!("{report}");
     if report.all_passed() {
         Ok(())
     } else {
-        Err(ArgError(format!(
-            "{} crash trial(s) recovered inconsistently (reproducers above)",
-            report.failures.len()
-        )))
+        let mut parts = Vec::new();
+        if !report.failures.is_empty() {
+            parts.push(format!(
+                "{} crash trial(s) recovered inconsistently (reproducers above)",
+                report.failures.len()
+            ));
+        }
+        if !report.errors.is_empty() {
+            parts.push(format!(
+                "{} trial(s) produced no verdict (panic/timeout/abort)",
+                report.errors.len()
+            ));
+        }
+        Err(ArgError(parts.join("; ")))
     }
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     let mut flags = COMMON_FLAGS.to_vec();
     flags.extend(["param", "values"]);
+    flags.extend(CAMPAIGN_FLAGS);
     args.expect_only(&flags)?;
     let param = args.get_or("param", "acs-gap");
     let values: Vec<u64> = args
@@ -483,10 +546,9 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     let bench = parse_bench(args.get_or("bench", "gcc"))?;
     let instructions = args.count_or("instructions", 8_000_000)?;
 
-    println!(
-        "{:<12}{:>12}{:>10}{:>12}",
-        param, "cycles", "commits", "log-bytes"
-    );
+    // Validate every point up front, then run them all as one
+    // fault-isolated campaign (checkpointable via --resume).
+    let mut experiments = Vec::with_capacity(values.len());
     for &v in &values {
         let mut cfg = config_from(args)?;
         match param {
@@ -502,14 +564,22 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         }
         cfg.validate()
             .map_err(|e| ArgError(format!("value {v} rejected: {e}")))?;
-        let r = Simulation::builder(cfg)
-            .scheme(SchemeKind::Picl)
-            .workload(&[bench])
-            .instructions_per_core(instructions)
-            .seed(args.count_or("seed", 42)?)
-            .footprint_scale(args.float_or("footprint-scale", 1.0)?)
-            .run()
-            .map_err(|e| ArgError(e.to_string()))?;
+        experiments.push(Experiment {
+            cfg,
+            scheme: SchemeKind::Picl,
+            workload: WorkloadSpec::single(bench),
+            instructions_per_core: instructions,
+            seed: args.count_or("seed", 42)?,
+            footprint_scale: args.float_or("footprint-scale", 1.0)?,
+        });
+    }
+    let reports = run_experiments_with(&experiments, &campaign_options(args)?).map_err(ArgError)?;
+
+    println!(
+        "{:<12}{:>12}{:>10}{:>12}",
+        param, "cycles", "commits", "log-bytes"
+    );
+    for (&v, r) in values.iter().zip(&reports) {
         println!(
             "{:<12}{:>12}{:>10}{:>12}",
             v,

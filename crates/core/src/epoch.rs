@@ -50,9 +50,33 @@ impl EpochTracker {
         self.persisted
     }
 
+    /// Whether committing now would grow the live window past the EID tag
+    /// width. This is the §IV-A backpressure signal: when it reads `true`
+    /// the scheme must persist (ACS catch-up, log flush) before opening
+    /// another epoch, because in-cache EID tags could no longer
+    /// distinguish the oldest unpersisted epoch from the newest.
+    pub fn commit_would_overflow(&self) -> bool {
+        !wraparound_safe(self.persisted, self.system.next(), self.eid_bits)
+    }
+
     /// Commits the executing epoch; a new epoch begins executing.
     /// Returns the epoch that just committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the post-commit live window would overflow the EID tag
+    /// width (§IV-A). Hardware would have to stall the pipeline here;
+    /// callers can query [`commit_would_overflow`](Self::commit_would_overflow)
+    /// first to apply backpressure instead.
     pub fn commit(&mut self) -> EpochId {
+        assert!(
+            !self.commit_would_overflow(),
+            "committing {} with persisted {} overflows {}-bit EID tags (§IV-A): \
+             persist before opening another epoch",
+            self.system,
+            self.persisted,
+            self.eid_bits
+        );
         let committed = self.system;
         self.system = self.system.next();
         committed
@@ -149,14 +173,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overflows")]
-    fn window_overflow_panics() {
+    #[should_panic(expected = "overflows 2-bit EID tags")]
+    fn commit_past_the_tag_window_panics() {
         let mut t = EpochTracker::new(2); // window of 4
-        for _ in 0..6 {
-            t.commit();
-        }
-        // system = 7, persisted = 0: window 7 >= 4 — persisting anything
-        // that leaves a window >= 4 still panics.
+        t.commit(); // system 1 -> 2, window 2
+        t.commit(); // system 2 -> 3, window 3
+        t.commit(); // system 3 -> 4 would need window 4 — overflow
+    }
+
+    #[test]
+    fn commit_backpressure_query_tracks_the_window() {
+        let mut t = EpochTracker::new(2); // window of 4
+        assert!(!t.commit_would_overflow());
+        t.commit();
+        t.commit();
+        // system = 3, persisted = 0: one more commit needs window 4.
+        assert!(t.commit_would_overflow());
+        // Persisting an epoch shrinks the window and releases backpressure.
+        t.persist(EpochId(1));
+        assert!(!t.commit_would_overflow());
+        assert_eq!(t.commit(), EpochId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn persist_still_checks_the_window() {
+        // Belt and braces: even if a caller bypassed commit-time
+        // enforcement (e.g. state restored by hand), persist re-checks.
+        let mut t = EpochTracker {
+            system: EpochId(7),
+            persisted: EpochId::ZERO,
+            eid_bits: 2,
+        };
         t.persist(EpochId(1));
     }
 

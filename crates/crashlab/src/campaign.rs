@@ -1,14 +1,18 @@
 //! The campaign runner: shards `(scheme × benchmark × crash point)`
-//! trials over a thread pool and folds the verdicts into a pass/fail
-//! matrix with per-scheme RPO and recovery-latency figures.
+//! trials over the fault-isolated `picl-campaign` executor and folds the
+//! verdicts into a pass/fail matrix with per-scheme RPO and
+//! recovery-latency figures.
 //!
 //! Every benchmark gets its own point schedule (derived from the campaign
 //! seed and the benchmark's index), and all schemes face the *same*
 //! schedule on that benchmark — the differential part of the oracle.
+//!
+//! Trials run under panic isolation with optional per-cell timeouts and a
+//! durable checkpoint store ([`run_campaign_with`]): a crashed or killed
+//! campaign resumes from its completed trials, and a panicking trial is
+//! reported in [`CampaignReport::errors`] instead of killing the batch.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
+use picl_campaign::{run_cells, CampaignOptions, CellOutcome};
 use picl_trace::spec::SpecBenchmark;
 
 use crate::oracle::{TrialOutcome, TrialSpec};
@@ -112,12 +116,17 @@ pub struct CampaignReport {
     pub cells: Vec<CampaignCell>,
     /// Every failing trial, with reproducers.
     pub failures: Vec<CampaignFailure>,
+    /// Trials that produced no verdict at all — the oracle panicked, hit
+    /// its wall-clock timeout, or was skipped by an early abort. These are
+    /// executor errors, not consistency verdicts, so they are reported
+    /// separately rather than folded into the cells.
+    pub errors: Vec<String>,
 }
 
 impl CampaignReport {
-    /// Whether every trial in every cell passed.
+    /// Whether every trial in every cell produced a verdict and passed.
     pub fn all_passed(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.errors.is_empty()
     }
 
     /// The cell for `(scheme, bench)`, if it was part of the campaign.
@@ -163,8 +172,17 @@ impl std::fmt::Display for CampaignReport {
                 verdict
             )?;
         }
-        if self.failures.is_empty() {
+        for error in &self.errors {
+            writeln!(f, "  trial error: {error}")?;
+        }
+        if self.failures.is_empty() && self.errors.is_empty() {
             writeln!(f, "all crash points recovered consistently")?;
+        } else if self.failures.is_empty() {
+            writeln!(
+                f,
+                "no inconsistencies, but {} trial error(s)",
+                self.errors.len()
+            )?;
         } else {
             writeln!(f, "{} failing trial(s):", self.failures.len())?;
             for failure in &self.failures {
@@ -190,6 +208,31 @@ impl std::fmt::Display for CampaignReport {
 /// Panics if the config has no schemes, benchmarks, or points, or if the
 /// derived system configuration is invalid.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let opts = CampaignOptions {
+        threads: config.threads,
+        ..CampaignOptions::default()
+    };
+    run_campaign_with(config, &opts).expect("campaign without a checkpoint store cannot fail")
+}
+
+/// Runs the full campaign under an explicit executor policy: checkpoint
+/// directory (resume), per-trial wall-clock timeout, retries, fail-fast,
+/// progress reporting. `opts.threads` takes precedence over
+/// `config.threads` when nonzero.
+///
+/// # Errors
+///
+/// Returns a message only if the checkpoint directory is unusable.
+/// Per-trial panics and timeouts land in [`CampaignReport::errors`].
+///
+/// # Panics
+///
+/// Panics if the config has no schemes, benchmarks, or points, or if the
+/// derived system configuration is invalid.
+pub fn run_campaign_with(
+    config: &CampaignConfig,
+    opts: &CampaignOptions,
+) -> Result<CampaignReport, String> {
     assert!(!config.schemes.is_empty(), "no schemes to test");
     assert!(!config.benches.is_empty(), "no benchmarks to test");
     assert!(config.points > 0, "no crash points to test");
@@ -229,7 +272,31 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         }
     }
 
-    let outcomes = run_sharded(&specs, config.threads);
+    let mut opts = opts.clone();
+    if opts.threads == 0 {
+        opts.threads = config.threads;
+    }
+    let run = run_cells(&specs, &opts)?;
+
+    // Trials without a verdict (panic, timeout, abort) become executor
+    // errors; everything else folds into the pass/fail matrix as before.
+    let mut errors = Vec::new();
+    let mut outcomes: Vec<Option<TrialOutcome>> = Vec::with_capacity(specs.len());
+    for (spec, outcome) in specs.iter().zip(run.outcomes) {
+        match outcome {
+            CellOutcome::Done(o) | CellOutcome::Cached(o) => outcomes.push(Some(o)),
+            other => {
+                errors.push(format!(
+                    "{} {} {}: {}",
+                    spec.scheme.name(),
+                    spec.bench.name(),
+                    spec.point,
+                    other.failure_message().unwrap_or_default()
+                ));
+                outcomes.push(None);
+            }
+        }
+    }
 
     // Fold trials into scheme-major cells.
     let mut cells = Vec::new();
@@ -240,6 +307,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                 .iter()
                 .zip(&outcomes)
                 .filter(|(s, _)| s.scheme == scheme && s.bench == bench)
+                .filter_map(|(s, o)| o.as_ref().map(|o| (s, o)))
                 .collect();
             let total = trials.len();
             let expects = scheme.expects_consistency();
@@ -282,43 +350,12 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         }
     }
 
-    CampaignReport {
+    Ok(CampaignReport {
         config: config.clone(),
         cells,
         failures,
-    }
-}
-
-/// Executes every spec, sharding over a scoped thread pool. Results come
-/// back in spec order regardless of completion order.
-fn run_sharded(specs: &[TrialSpec], threads: usize) -> Vec<TrialOutcome> {
-    let workers = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(specs.len().max(1));
-
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<TrialOutcome>>> = Mutex::new(vec![None; specs.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(idx) else { break };
-                let outcome = spec.execute();
-                results.lock().unwrap()[idx] = Some(outcome);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|o| o.expect("worker completed every claimed trial"))
-        .collect()
+        errors,
+    })
 }
 
 #[cfg(test)]
@@ -361,6 +398,35 @@ mod tests {
             .unwrap();
         assert_eq!(cell.passed, cell.total);
         assert_eq!(cell.total, 6);
+    }
+
+    #[test]
+    fn resumed_campaign_matches_uninterrupted_bit_for_bit() {
+        let cfg = small(vec![LabScheme::Standard(SchemeKind::Picl)]);
+        let baseline = run_campaign(&cfg);
+
+        let dir = std::env::temp_dir().join(format!("picl_crashlab_resume_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = CampaignOptions {
+            checkpoint: Some(dir.clone()),
+            ..CampaignOptions::default()
+        };
+        // First launch populates the store; second launch must serve every
+        // trial from it and fold the exact same report.
+        let first = run_campaign_with(&cfg, &opts).unwrap();
+        let resumed = run_campaign_with(&cfg, &opts).unwrap();
+        for report in [&first, &resumed] {
+            assert!(report.errors.is_empty(), "{report}");
+            for (a, b) in baseline.cells.iter().zip(&report.cells) {
+                assert_eq!(a.passed, b.passed);
+                assert_eq!(a.total, b.total);
+                assert_eq!(a.max_epochs_lost, b.max_epochs_lost);
+                assert_eq!(a.mean_epochs_lost, b.mean_epochs_lost);
+                assert_eq!(a.mean_recovery_cycles, b.mean_recovery_cycles);
+                assert_eq!(a.max_recovery_cycles, b.max_recovery_cycles);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   minimal instruction budget that still reproduces it and emits a
 //!   one-line reproducer.
 //! - [`campaign`] — the runner. Shards `(scheme × benchmark × point)`
-//!   over a thread pool and folds verdicts into a pass/fail matrix.
+//!   over the fault-isolated, checkpointed `picl-campaign` executor and
+//!   folds verdicts into a pass/fail matrix; interrupted campaigns resume
+//!   from their completed trials.
 //!
 //! Every artifact is deterministic: a campaign replays from
 //! `(seed, config)`, a single trial from its reproducer line.
@@ -28,8 +30,11 @@ pub mod point;
 pub mod scheme;
 pub mod shrink;
 
-pub use campaign::{run_campaign, CampaignCell, CampaignConfig, CampaignFailure, CampaignReport};
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignCell, CampaignConfig, CampaignFailure, CampaignReport,
+};
 pub use oracle::{TrialOutcome, TrialSpec};
+pub use picl_campaign::CampaignOptions;
 pub use point::{schedule, CrashPoint, ScheduleConfig};
 pub use scheme::LabScheme;
 pub use shrink::{shrink_failure, ShrunkFailure};

@@ -64,6 +64,74 @@ impl TrialOutcome {
     }
 }
 
+/// Outcomes checkpoint as one-line JSON; the round trip is exact, so a
+/// resumed campaign folds the same verdicts as an uninterrupted one.
+impl picl_campaign::CellPayload for TrialOutcome {
+    fn encode(&self) -> String {
+        let consistent = match self.consistent {
+            None => "null",
+            Some(true) => "true",
+            Some(false) => "false",
+        };
+        format!(
+            "{{\"instructions_run\": {}, \"consistent\": {consistent}, \
+             \"mismatch_count\": {}, \"epochs_lost\": {}, \"recovered_to\": {}, \
+             \"entries_applied\": {}, \"recovery_cycles\": {}}}",
+            self.instructions_run,
+            self.mismatch_count,
+            self.epochs_lost,
+            self.recovered_to,
+            self.entries_applied,
+            self.recovery_cycles
+        )
+    }
+
+    fn decode(v: &picl_campaign::json::Value) -> Result<TrialOutcome, String> {
+        use picl_campaign::json::Value;
+        let consistent = match v.get("consistent") {
+            Some(Value::Null) => None,
+            Some(Value::Bool(b)) => Some(*b),
+            _ => return Err("missing or non-boolean field \"consistent\"".into()),
+        };
+        Ok(TrialOutcome {
+            instructions_run: v.field_u64("instructions_run")?,
+            consistent,
+            mismatch_count: v
+                .get("mismatch_count")
+                .and_then(Value::as_usize)
+                .ok_or("missing or non-integer field \"mismatch_count\"")?,
+            epochs_lost: v.field_u64("epochs_lost")?,
+            recovered_to: v.field_u64("recovered_to")?,
+            entries_applied: v.field_u64("entries_applied")?,
+            recovery_cycles: v.field_u64("recovery_cycles")?,
+        })
+    }
+}
+
+/// Trials are campaign cells: the `Debug` rendering of the spec (scheme,
+/// bench, epoch parameters, seed, crash point) is the content-hashed
+/// checkpoint key, and executing the cell runs the oracle.
+impl picl_campaign::CampaignCell for TrialSpec {
+    type Payload = TrialOutcome;
+
+    fn spec_string(&self) -> String {
+        format!("{self:?}")
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{} {} {}",
+            self.scheme.name(),
+            self.bench.name(),
+            self.point
+        )
+    }
+
+    fn execute(&self) -> TrialOutcome {
+        TrialSpec::execute(self)
+    }
+}
+
 impl TrialSpec {
     /// Builds the machine this spec describes (snapshots on, so crashes
     /// are verifiable).

@@ -10,9 +10,12 @@
 //!   OS epoch-boundary handler stores, golden-snapshot bookkeeping, and
 //!   crash injection with recovery verification.
 //! * [`report`] — the per-run result record ([`RunReport`]).
+//! * [`report_json`] — a dependency-free JSON codec for [`RunReport`] with
+//!   an exact (bit-identical) round trip, used by campaign checkpointing.
 //! * [`runner`] — builder-style configuration ([`Simulation`]), the
-//!   [`SchemeKind`] registry, and a thread-pooled experiment matrix used by
-//!   every figure-regeneration binary.
+//!   [`SchemeKind`] registry, and the experiment matrix used by every
+//!   figure-regeneration binary, executed on the fault-isolated,
+//!   resumable `picl-campaign` runner.
 //!
 //! # Example
 //!
@@ -35,8 +38,13 @@
 
 pub mod machine;
 pub mod report;
+pub mod report_json;
 pub mod runner;
 
 pub use machine::{CrashReport, Machine};
+pub use picl_campaign::{CampaignOptions, CellOutcome};
 pub use report::RunReport;
-pub use runner::{run_experiments, Experiment, SchemeKind, Simulation, WorkloadSpec};
+pub use report_json::{decode_report, encode_report};
+pub use runner::{
+    run_experiments, run_experiments_with, Experiment, SchemeKind, Simulation, WorkloadSpec,
+};

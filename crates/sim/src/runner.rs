@@ -311,35 +311,55 @@ impl Experiment {
     }
 }
 
+/// Experiments are campaign cells: the `Debug` rendering of the full
+/// configuration is the content-hashed spec (any field change re-runs the
+/// cell), and the payload is the [`RunReport`] JSON codec.
+impl picl_campaign::CampaignCell for Experiment {
+    type Payload = RunReport;
+
+    fn spec_string(&self) -> String {
+        format!("{self:?}")
+    }
+
+    fn label(&self) -> String {
+        format!("{} on {}", self.scheme.name(), self.workload.label())
+    }
+
+    fn execute(&self) -> RunReport {
+        self.run()
+    }
+}
+
 /// Runs a batch of experiments on `threads` worker threads, returning
 /// reports in the input order.
+///
+/// Cells are fault-isolated: one panicking experiment no longer kills its
+/// siblings. Every other cell still completes, and this function then
+/// panics with a per-cell failure summary (callers that need partial
+/// results or checkpoint/resume use [`run_experiments_with`]).
 pub fn run_experiments(experiments: &[Experiment], threads: usize) -> Vec<RunReport> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    let opts = picl_campaign::CampaignOptions {
+        threads: threads.max(1),
+        ..picl_campaign::CampaignOptions::default()
+    };
+    run_experiments_with(experiments, &opts)
+        .unwrap_or_else(|message| panic!("experiment campaign failed: {message}"))
+}
 
-    let threads = threads.max(1).min(experiments.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; experiments.len()]);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= experiments.len() {
-                    break;
-                }
-                let report = experiments[i].run();
-                results.lock().expect("no panics hold the lock")[i] = Some(report);
-            });
-        }
-    });
-
-    results
-        .into_inner()
-        .expect("all workers joined")
-        .into_iter()
-        .map(|r| r.expect("every experiment ran"))
-        .collect()
+/// Runs a batch of experiments under a full campaign policy — checkpoint
+/// directory, resume, per-cell timeout, retries, progress reporting.
+///
+/// # Errors
+///
+/// Returns an aggregate message naming every cell that failed, timed out,
+/// or was skipped by an early abort; completed cells are still durable in
+/// the checkpoint store (when one is configured), so a re-launch with the
+/// same options re-runs only the missing cells.
+pub fn run_experiments_with(
+    experiments: &[Experiment],
+    opts: &picl_campaign::CampaignOptions,
+) -> Result<Vec<RunReport>, String> {
+    picl_campaign::run_cells(experiments, opts)?.payloads()
 }
 
 #[cfg(test)]

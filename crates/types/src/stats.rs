@@ -246,6 +246,49 @@ impl Histogram {
             .filter(|(_, &n)| n > 0)
             .map(|(i, &n)| (Self::bucket_bound(i), n))
     }
+
+    /// Rebuilds a histogram from previously saved state: the
+    /// [`nonzero_buckets`](Histogram::nonzero_buckets) pairs plus the
+    /// exact `count`, `sum`, and `max`. The round trip
+    /// `from_saved(h.nonzero_buckets(), h.count(), h.sum(), h.max())`
+    /// reproduces `h` bit-identically — checkpoint resume depends on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a bound is not a valid bucket upper bound or
+    /// the bucket counts do not add up to `count`.
+    pub fn from_saved(
+        buckets: impl IntoIterator<Item = (u64, u64)>,
+        count: u64,
+        sum: u64,
+        max: u64,
+    ) -> Result<Histogram, String> {
+        let mut h = Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count,
+            sum,
+            max,
+        };
+        let mut total = 0u64;
+        for (bound, n) in buckets {
+            let i = if bound == 0 {
+                0
+            } else {
+                64 - bound.leading_zeros() as usize
+            };
+            if Self::bucket_bound(i) != bound {
+                return Err(format!("{bound} is not a histogram bucket bound"));
+            }
+            h.buckets[i] += n;
+            total += n;
+        }
+        if total != count {
+            return Err(format!(
+                "histogram bucket counts sum to {total}, expected {count}"
+            ));
+        }
+        Ok(h)
+    }
 }
 
 impl std::fmt::Debug for Histogram {
@@ -452,6 +495,31 @@ mod tests {
         assert_eq!(h.max(), Some(u64::MAX));
         assert_eq!(h.sum(), u64::MAX, "sum saturates");
         assert_eq!(h.percentile(100.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_saved_state_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 3, 900, u64::MAX] {
+            h.record(v);
+        }
+        let restored = Histogram::from_saved(
+            h.nonzero_buckets().collect::<Vec<_>>(),
+            h.count(),
+            h.sum(),
+            h.max().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(restored, h);
+
+        assert!(
+            Histogram::from_saved([(5, 1)], 1, 5, 5).is_err(),
+            "5 is not a bound"
+        );
+        assert!(
+            Histogram::from_saved([(1, 1)], 2, 1, 1).is_err(),
+            "count mismatch"
+        );
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! `picl-audit`: online protocol-invariant auditing and offline trace
+//! analytics over the `picl-telemetry` event stream.
+//!
+//! The simulator's schemes claim crash consistency; the crashlab proves
+//! it end-to-end by actually crashing them. This crate closes the
+//! remaining gap: a scheme can reach the right recovered state *by
+//! accident* while violating the protocol it is supposed to implement.
+//! The auditor checks the protocol itself, event by event:
+//!
+//! - **Online** ([`AuditHandle`]): a [`picl_telemetry::EventSink`] tap
+//!   feeds every recorded event into a streaming [`Checker`] in true
+//!   emission order, immune to ring-buffer overwrites. The simulator's
+//!   `Machine::enable_audit` and every crashlab trial use this path.
+//! - **Offline** ([`parse_trace`] + [`audit_trace`] / [`analyze`]): the
+//!   exported JSONL stream is parsed back into typed records, re-audited,
+//!   and mined for analytics — epoch critical-path breakdown, stall
+//!   attribution, NVM bandwidth and queue-depth percentiles. This is what
+//!   `picl audit` and `picl analyze` run.
+//!
+//! Violations are typed ([`ViolationKind`]) and carry cycle/core/line
+//! provenance; reports serialize to the stable `audit-report-v1` JSON
+//! shape ([`report_to_json`]) for CI. A stream that dropped events cannot
+//! be certified: the verdict is [`Verdict::Inconclusive`] rather than a
+//! false pass.
+
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod checker;
+pub mod online;
+pub mod report;
+pub mod trace;
+
+pub use analytics::{analyze, Analytics, EpochBreakdown, NvmStats, StallStats};
+pub use checker::{
+    AuditConfig, AuditEvent, AuditReport, Checker, Verdict, Violation, ViolationKind,
+};
+pub use online::AuditHandle;
+pub use report::report_to_json;
+pub use trace::{audit_trace, parse_trace, TraceLine, TraceRecord};

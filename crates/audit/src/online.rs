@@ -1,0 +1,171 @@
+//! The online tap: auditing a live run through the telemetry sink.
+//!
+//! [`AuditHandle::attach`] installs a [`picl_telemetry::EventSink`] that
+//! feeds every recorded event — in true emission order, before any ring
+//! can overwrite it — into a shared [`Checker`]. The handle stays with the
+//! caller; [`AuditHandle::report`] can be consulted at any point (it
+//! end-of-stream-resolves a clone, leaving the live checker open).
+
+use std::sync::{Arc, Mutex};
+
+use picl_telemetry::{Event, EventSink, Telemetry};
+
+use crate::checker::{AuditConfig, AuditEvent, AuditReport, Checker};
+
+/// The sink installed on the telemetry recorder. Forwards each event into
+/// the checker shared with the [`AuditHandle`].
+struct SinkAdapter {
+    shared: Arc<Mutex<Checker>>,
+}
+
+impl EventSink for SinkAdapter {
+    fn on_event(&mut self, ev: &Event) {
+        // Normalize before locking: the high-frequency kinds the
+        // invariants ignore (bloom probes, NVM traffic, cache traffic)
+        // never touch the checker mutex.
+        if let Some(audit_ev) = AuditEvent::from_kind(&ev.kind) {
+            self.shared.lock().expect("audit checker poisoned").observe(
+                ev.at.raw(),
+                ev.core.map(|c| c.index()),
+                audit_ev,
+            );
+        }
+    }
+
+    fn interest(&self) -> u32 {
+        AuditEvent::INTEREST
+    }
+}
+
+/// A caller-side handle onto an online audit.
+///
+/// Cloneable; all clones observe the same checker.
+#[derive(Clone)]
+pub struct AuditHandle {
+    shared: Arc<Mutex<Checker>>,
+}
+
+impl std::fmt::Debug for AuditHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditHandle").finish_non_exhaustive()
+    }
+}
+
+impl AuditHandle {
+    /// Installs an auditing sink on `telemetry` (replacing any previous
+    /// sink) and returns the handle the verdict is read through.
+    ///
+    /// The sink sees events synchronously in emission order, so online
+    /// audits are immune to ring-buffer overwrites; a disabled telemetry
+    /// handle yields an audit that observes nothing and passes vacuously.
+    pub fn attach(telemetry: &Telemetry, cfg: AuditConfig) -> AuditHandle {
+        let shared = Arc::new(Mutex::new(Checker::new(cfg)));
+        telemetry.set_sink(Box::new(SinkAdapter {
+            shared: Arc::clone(&shared),
+        }));
+        AuditHandle { shared }
+    }
+
+    /// Adds externally-known drop counts (e.g. from a snapshot exported
+    /// alongside the audit); nonzero drops downgrade a clean verdict to
+    /// [`crate::Verdict::Inconclusive`].
+    pub fn note_dropped(&self, dropped: u64) {
+        self.shared
+            .lock()
+            .expect("audit checker poisoned")
+            .note_dropped(dropped);
+    }
+
+    /// The verdict over everything observed so far. End-of-stream
+    /// resolution happens on a clone, so the live audit keeps running.
+    pub fn report(&self) -> AuditReport {
+        self.shared
+            .lock()
+            .expect("audit checker poisoned")
+            .snapshot_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{Verdict, ViolationKind};
+    use picl_telemetry::EventKind;
+    use picl_types::{CoreId, Cycle, EpochId, LineAddr};
+
+    #[test]
+    fn online_audit_sees_recorded_events() {
+        let t = Telemetry::new(2, 64);
+        let audit = AuditHandle::attach(&t, AuditConfig::default());
+        t.record(Cycle(0), None, EventKind::EpochBegin { eid: EpochId(1) });
+        t.record(
+            Cycle(100),
+            Some(CoreId(0)),
+            EventKind::EpochCommit { eid: EpochId(1) },
+        );
+        let report = audit.report();
+        assert_eq!(report.verdict, Verdict::Pass, "{report}");
+        assert_eq!(report.events_seen, 2);
+    }
+
+    #[test]
+    fn online_audit_flags_protocol_breaks_with_provenance() {
+        let t = Telemetry::new(1, 64);
+        let audit = AuditHandle::attach(&t, AuditConfig::default());
+        t.record(Cycle(0), None, EventKind::EpochBegin { eid: EpochId(1) });
+        t.record(
+            Cycle(10),
+            Some(CoreId(0)),
+            EventKind::UndoEntryAppended {
+                addr: LineAddr::new(42),
+                valid_from: EpochId(0),
+                valid_till: EpochId(1),
+            },
+        );
+        t.record(
+            Cycle(50),
+            Some(CoreId(0)),
+            EventKind::DirtyWriteback {
+                addr: LineAddr::new(42),
+            },
+        );
+        t.record(Cycle(90), None, EventKind::EpochCommit { eid: EpochId(1) });
+        let report = audit.report();
+        assert_eq!(report.verdict, Verdict::Fail);
+        let v = &report.violations[0];
+        assert_eq!(v.kind, ViolationKind::UndoBeforeEviction);
+        assert_eq!((v.cycle, v.core, v.addr), (50, Some(0), Some(42)));
+    }
+
+    #[test]
+    fn report_is_a_snapshot_not_a_terminator() {
+        let t = Telemetry::new(1, 64);
+        let audit = AuditHandle::attach(&t, AuditConfig::default());
+        t.record(Cycle(0), None, EventKind::EpochBegin { eid: EpochId(1) });
+        assert_eq!(audit.report().verdict, Verdict::Pass);
+        // The audit is still live after a report.
+        t.record(Cycle(90), None, EventKind::EpochCommit { eid: EpochId(2) });
+        assert_eq!(audit.report().verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn noted_drops_make_a_clean_run_inconclusive() {
+        let t = Telemetry::new(1, 64);
+        let audit = AuditHandle::attach(&t, AuditConfig::default());
+        t.record(Cycle(0), None, EventKind::EpochBegin { eid: EpochId(1) });
+        audit.note_dropped(7);
+        let report = audit.report();
+        assert_eq!(report.verdict, Verdict::Inconclusive);
+        assert_eq!(report.dropped, 7);
+    }
+
+    #[test]
+    fn attach_to_disabled_telemetry_passes_vacuously() {
+        let t = Telemetry::off();
+        let audit = AuditHandle::attach(&t, AuditConfig::default());
+        t.record(Cycle(0), None, EventKind::CrashInjected);
+        let report = audit.report();
+        assert_eq!(report.verdict, Verdict::Pass);
+        assert_eq!(report.events_seen, 0);
+    }
+}

@@ -68,6 +68,18 @@ impl Frm {
             self.epochs.persisted(),
             self.epochs.system(),
         );
+        // FRM has no volatile undo buffer: the append is durable at the
+        // same cycle as the eviction it covers, which the auditor's
+        // same-cycle grace window recognises as legal.
+        self.telemetry.record(
+            now,
+            None,
+            EventKind::UndoEntryAppended {
+                addr,
+                valid_from: self.epochs.persisted(),
+                valid_till: self.epochs.system(),
+            },
+        );
         self.log.append_single(entry, mem, t_read)
     }
 }

@@ -364,6 +364,28 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             );
         });
     }
+    // The audit tap rides the same event stream: its cost over telemetry-on
+    // is the per-event sink dispatch plus the checker's state updates.
+    group.bench_function("bzip2_200k_picl_audit", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = SystemConfig::paper_single_core();
+                cfg.epoch.epoch_len_instructions = 100_000;
+                let scheme = SchemeKind::Picl.build(&cfg);
+                let trace: Box<dyn TraceSource + Send> = Box::new(SpecBenchmark::Bzip2.trace(7));
+                let mut machine = Machine::new(cfg, scheme, vec![trace], "bzip2", false);
+                machine.enable_telemetry(64 * 1024, 10_000);
+                let audit = machine.enable_audit();
+                (machine, audit)
+            },
+            |(mut machine, audit)| {
+                machine.run(200_000);
+                black_box(machine.instructions());
+                black_box(audit.report().events_seen);
+            },
+            BatchSize::PerIteration,
+        );
+    });
     group.finish();
 }
 

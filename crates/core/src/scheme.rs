@@ -47,6 +47,11 @@ pub struct Picl {
     /// Reused across ACS passes so each scan drains into the same
     /// allocation instead of building a fresh `Vec<FlushLine>`.
     acs_scratch: Vec<picl_cache::FlushLine>,
+    /// Test-only sabotage: when set, the next buffer flush silently
+    /// discards its entries instead of appending them to the durable log —
+    /// the undo-before-eviction bug the protocol auditor exists to catch.
+    #[cfg(test)]
+    skip_next_drain: bool,
 }
 
 impl Picl {
@@ -67,7 +72,17 @@ impl Picl {
             os_interrupts: Counter::new(),
             telemetry: Telemetry::off(),
             acs_scratch: Vec::new(),
+            #[cfg(test)]
+            skip_next_drain: false,
         }
+    }
+
+    /// Arms the sabotage: the next [`flush_buffer`](Self::flush_buffer)
+    /// throws its entries away without logging them or emitting
+    /// `UndoDrain`.
+    #[cfg(test)]
+    fn sabotage_skip_next_drain(&mut self) {
+        self.skip_next_drain = true;
     }
 
     /// The configured ACS-gap.
@@ -103,6 +118,11 @@ impl Picl {
             return now;
         }
         let entries = self.buffer.drain();
+        #[cfg(test)]
+        if std::mem::take(&mut self.skip_next_drain) {
+            drop(entries);
+            return now;
+        }
         self.telemetry.record(
             now,
             None,
@@ -199,6 +219,15 @@ impl ConsistencyScheme for Picl {
         };
         let entry = UndoEntry::new(ev.addr, ev.old_value, valid_from, sys);
         self.undo_entries.incr();
+        self.telemetry.record(
+            now,
+            None,
+            EventKind::UndoEntryAppended {
+                addr: ev.addr,
+                valid_from,
+                valid_till: sys,
+            },
+        );
         if self.buffer.push(entry) {
             self.flush_buffer(mem, now, false);
         }
@@ -482,6 +511,81 @@ mod tests {
         // Gauges report buffer fill and live log bytes.
         let names: Vec<&str> = p.telemetry_gauges().iter().map(|(n, _)| *n).collect();
         assert_eq!(names, vec!["undo_buffer_fill", "log_bytes_live"]);
+    }
+
+    #[test]
+    fn audit_flags_exactly_the_sabotaged_drain() {
+        use picl_audit::{AuditConfig, AuditHandle, Verdict, ViolationKind};
+
+        let (mut p, mut m) = rig();
+        let t = Telemetry::new(1, 4096);
+        p.attach_telemetry(t.clone());
+        let audit = AuditHandle::attach(&t, AuditConfig::default());
+        t.record(Cycle(0), None, EventKind::EpochBegin { eid: EpochId(1) });
+
+        p.on_store(&store_ev(7, 70, None), &mut m, Cycle(5));
+        p.sabotage_skip_next_drain();
+        // The eviction's bloom check hits and forces a flush — which the
+        // sabotage silently discards, leaving line 7's pre-image only in
+        // the (gone) volatile entry. The hierarchy records the write-back
+        // event before invoking the scheme hook; mimic that here.
+        t.record(
+            Cycle(10),
+            None,
+            EventKind::DirtyWriteback {
+                addr: LineAddr::new(7),
+            },
+        );
+        p.on_dirty_eviction(
+            &EvictionEvent {
+                addr: LineAddr::new(7),
+                value: 71,
+                eid: Some(EpochId(1)),
+            },
+            &mut m,
+            Cycle(10),
+        );
+
+        let report = audit.report();
+        assert_eq!(report.verdict, Verdict::Fail, "{report}");
+        assert_eq!(report.violations.len(), 1, "{report}");
+        let v = &report.violations[0];
+        assert_eq!(v.kind, ViolationKind::UndoBeforeEviction);
+        assert_eq!((v.cycle, v.addr), (10, Some(7)));
+    }
+
+    #[test]
+    fn audit_passes_the_honest_forced_flush() {
+        use picl_audit::{AuditConfig, AuditHandle, Verdict};
+
+        let (mut p, mut m) = rig();
+        let t = Telemetry::new(1, 4096);
+        p.attach_telemetry(t.clone());
+        let audit = AuditHandle::attach(&t, AuditConfig::default());
+        t.record(Cycle(0), None, EventKind::EpochBegin { eid: EpochId(1) });
+
+        p.on_store(&store_ev(7, 70, None), &mut m, Cycle(5));
+        // Same interleaving as the sabotage test, but the forced flush
+        // actually drains: the same-cycle UndoDrain covers the write-back.
+        t.record(
+            Cycle(10),
+            None,
+            EventKind::DirtyWriteback {
+                addr: LineAddr::new(7),
+            },
+        );
+        p.on_dirty_eviction(
+            &EvictionEvent {
+                addr: LineAddr::new(7),
+                value: 71,
+                eid: Some(EpochId(1)),
+            },
+            &mut m,
+            Cycle(10),
+        );
+
+        let report = audit.report();
+        assert_eq!(report.verdict, Verdict::Pass, "{report}");
     }
 
     #[test]

@@ -84,6 +84,8 @@ pub struct CampaignCell {
     pub mean_recovery_cycles: f64,
     /// Worst recovery latency in cycles.
     pub max_recovery_cycles: u64,
+    /// Protocol-invariant violations summed across the cell's trials.
+    pub violations: u64,
 }
 
 /// A failing trial, with its (possibly shrunk) reproducer.
@@ -149,8 +151,15 @@ impl std::fmt::Display for CampaignReport {
         )?;
         writeln!(
             f,
-            "{:<12} {:<8} {:>9} {:>8} {:>10} {:>12} {:>12}",
-            "scheme", "bench", "passed", "RPO.max", "RPO.mean", "rec.mean(cy)", "rec.max(cy)"
+            "{:<12} {:<8} {:>9} {:>8} {:>10} {:>12} {:>12} {:>6}",
+            "scheme",
+            "bench",
+            "passed",
+            "RPO.max",
+            "RPO.mean",
+            "rec.mean(cy)",
+            "rec.max(cy)",
+            "viol"
         )?;
         for cell in &self.cells {
             let verdict = if cell.passed == cell.total {
@@ -160,7 +169,7 @@ impl std::fmt::Display for CampaignReport {
             };
             writeln!(
                 f,
-                "{:<12} {:<8} {:>5}/{:<3} {:>8} {:>10.2} {:>12.0} {:>12} {}",
+                "{:<12} {:<8} {:>5}/{:<3} {:>8} {:>10.2} {:>12.0} {:>12} {:>6} {}",
                 cell.scheme.name(),
                 cell.bench.name(),
                 cell.passed,
@@ -169,6 +178,7 @@ impl std::fmt::Display for CampaignReport {
                 cell.mean_epochs_lost,
                 cell.mean_recovery_cycles,
                 cell.max_recovery_cycles,
+                cell.violations,
                 verdict
             )?;
         }
@@ -316,6 +326,7 @@ pub fn run_campaign_with(
             let mut rpo_max = 0u64;
             let mut rec_sum = 0u64;
             let mut rec_max = 0u64;
+            let mut violations = 0u64;
             for &(spec, outcome) in &trials {
                 if outcome.passed(expects) {
                     passed += 1;
@@ -330,6 +341,7 @@ pub fn run_campaign_with(
                 rpo_max = rpo_max.max(outcome.epochs_lost);
                 rec_sum += outcome.recovery_cycles;
                 rec_max = rec_max.max(outcome.recovery_cycles);
+                violations += outcome.violations;
             }
             cells.push(CampaignCell {
                 scheme,
@@ -340,6 +352,7 @@ pub fn run_campaign_with(
                 mean_epochs_lost: rpo_sum as f64 / total.max(1) as f64,
                 mean_recovery_cycles: rec_sum as f64 / total.max(1) as f64,
                 max_recovery_cycles: rec_max,
+                violations,
             });
         }
     }

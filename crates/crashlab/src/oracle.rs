@@ -54,13 +54,18 @@ pub struct TrialOutcome {
     pub entries_applied: u64,
     /// Recovery latency in cycles (log scan + patching).
     pub recovery_cycles: u64,
+    /// Protocol-invariant violations the online auditor observed across
+    /// the run, the crash, and the recovery.
+    pub violations: u64,
 }
 
 impl TrialOutcome {
-    /// Whether the trial met the scheme's contract: exact recovery for
-    /// protected schemes, nothing asserted for unprotected ones.
+    /// Whether the trial met the scheme's contract: exact recovery *and* a
+    /// violation-free protocol for protected schemes, nothing asserted for
+    /// unprotected ones. A scheme that recovers the right bytes while
+    /// breaking the protocol (right answer by accident) fails.
     pub fn passed(&self, expects_consistency: bool) -> bool {
-        !expects_consistency || self.consistent == Some(true)
+        !expects_consistency || (self.consistent == Some(true) && self.violations == 0)
     }
 }
 
@@ -76,13 +81,14 @@ impl picl_campaign::CellPayload for TrialOutcome {
         format!(
             "{{\"instructions_run\": {}, \"consistent\": {consistent}, \
              \"mismatch_count\": {}, \"epochs_lost\": {}, \"recovered_to\": {}, \
-             \"entries_applied\": {}, \"recovery_cycles\": {}}}",
+             \"entries_applied\": {}, \"recovery_cycles\": {}, \"violations\": {}}}",
             self.instructions_run,
             self.mismatch_count,
             self.epochs_lost,
             self.recovered_to,
             self.entries_applied,
-            self.recovery_cycles
+            self.recovery_cycles,
+            self.violations
         )
     }
 
@@ -104,6 +110,8 @@ impl picl_campaign::CellPayload for TrialOutcome {
             recovered_to: v.field_u64("recovered_to")?,
             entries_applied: v.field_u64("entries_applied")?,
             recovery_cycles: v.field_u64("recovery_cycles")?,
+            // Absent in checkpoints written before the auditor existed.
+            violations: v.get("violations").and_then(Value::as_u64).unwrap_or(0),
         })
     }
 }
@@ -178,6 +186,10 @@ impl TrialSpec {
     }
 
     fn run_to_verdict(&self, machine: &mut Machine) -> TrialOutcome {
+        // Every trial runs under the online protocol auditor: a scheme
+        // that recovers the right bytes while violating the protocol
+        // (ordering, lifecycle, RPO) still fails.
+        let audit = machine.enable_audit();
         let instructions_run = machine.run_until(self.point.at());
         let committed = machine.scheme().system_eid().raw().saturating_sub(1);
         let crash_now = machine.now();
@@ -197,6 +209,7 @@ impl TrialSpec {
                 .completed_at
                 .saturating_since(crash_now)
                 .raw(),
+            violations: audit.report().violations.len() as u64,
         }
     }
 

@@ -8,6 +8,7 @@ use picl_cache::{
 };
 use picl_nvm::Nvm;
 use picl_sim::SchemeKind;
+use picl_telemetry::Telemetry;
 use picl_types::{Cycle, EpochId, LineAddr, SystemConfig};
 
 /// A scheme a campaign can put under the crash gun.
@@ -114,6 +115,11 @@ impl ConsistencyScheme for NoUndoRecovery {
         now: Cycle,
     ) -> BoundaryOutcome {
         self.inner.on_epoch_boundary(hier, mem, now)
+    }
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        // The sabotage is in recovery, not execution: the auditor must see
+        // the inner scheme's honest event stream to certify the run phase.
+        self.inner.attach_telemetry(telemetry);
     }
     fn crash_recover(&mut self, _mem: &mut Nvm, now: Cycle) -> RecoveryOutcome {
         // The sabotage: claim the checkpoint without patching memory.

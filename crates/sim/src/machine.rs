@@ -191,6 +191,42 @@ impl Machine {
         telemetry
     }
 
+    /// Attaches the online protocol auditor: every telemetry event is fed,
+    /// in emission order, into a `picl-audit` checker. For the PiCL scheme
+    /// the ACS-gap persist-scheduling invariant is armed from the machine
+    /// configuration; other schemes are checked against the scheme-neutral
+    /// rules only.
+    ///
+    /// If telemetry is not yet enabled, a recorder is created just for the
+    /// audit tap (no gauge sampler); the sink sees every event regardless
+    /// of ring capacity, so auditing stays exact even when the rings are
+    /// small. Call *before* running; read the verdict through the returned
+    /// handle at any point.
+    pub fn enable_audit(&mut self) -> picl_audit::AuditHandle {
+        let audit_cfg = picl_audit::AuditConfig {
+            acs_gap: (self.scheme.name() == "PiCL").then_some(self.cfg.epoch.acs_gap),
+        };
+        if self.telemetry.is_enabled() {
+            return picl_audit::AuditHandle::attach(&self.telemetry, audit_cfg);
+        }
+        let telemetry = Telemetry::new(self.cores.len(), 64);
+        // The sink must be in place before the initial EpochBegin is
+        // recorded, or the auditor would tap mid-lifecycle.
+        let handle = picl_audit::AuditHandle::attach(&telemetry, audit_cfg);
+        self.hier.set_telemetry(telemetry.clone());
+        self.mem.set_telemetry(telemetry.clone());
+        self.scheme.attach_telemetry(telemetry.clone());
+        telemetry.record(
+            self.now(),
+            None,
+            EventKind::EpochBegin {
+                eid: self.scheme.system_eid(),
+            },
+        );
+        self.telemetry = telemetry;
+        handle
+    }
+
     /// Snapshots every gauge into the recorder's time series.
     fn sample_gauges(&self, now: Cycle) {
         self.telemetry.sample(

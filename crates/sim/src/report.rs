@@ -94,7 +94,15 @@ impl std::fmt::Display for RunReport {
             self.scheme_stats.log_entries,
             picl_types::stats::format_bytes(self.scheme_stats.log_bytes_written)
         )?;
-        writeln!(f, "  NVM queue depth: {}", self.nvm.queue_depth)
+        let qd = &self.nvm.queue_depth;
+        match (qd.p50(), qd.p90(), qd.p99()) {
+            (Some(p50), Some(p90), Some(p99)) => writeln!(
+                f,
+                "  NVM queue depth: {} (p50 {p50:.1}, p90 {p90:.1}, p99 {p99:.1})",
+                qd
+            ),
+            _ => writeln!(f, "  NVM queue depth: {qd}"),
+        }
     }
 }
 

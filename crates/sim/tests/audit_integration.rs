@@ -1,0 +1,89 @@
+//! End-to-end protocol auditing: every scheme in the evaluation matrix
+//! must run — and crash-recover — without a single invariant violation,
+//! whether the audit rides an existing telemetry recorder or creates its
+//! own sink-only one.
+
+use picl_audit::Verdict;
+use picl_sim::{SchemeKind, Simulation};
+use picl_trace::spec::SpecBenchmark;
+use picl_types::SystemConfig;
+
+fn quick_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_single_core();
+    cfg.epoch.epoch_len_instructions = 10_000;
+    cfg
+}
+
+fn machine_for(kind: SchemeKind) -> picl_sim::Machine {
+    Simulation::builder(quick_cfg())
+        .scheme(kind)
+        .workload(&[SpecBenchmark::Gcc])
+        .footprint_scale(0.05)
+        .keep_snapshots(true)
+        .seed(7)
+        .into_machine()
+        .expect("valid configuration")
+}
+
+#[test]
+fn every_scheme_runs_audit_clean() {
+    for kind in SchemeKind::ALL {
+        let mut machine = machine_for(kind);
+        let audit = machine.enable_audit();
+        machine.run(60_000);
+        let report = audit.report();
+        assert_eq!(report.verdict, Verdict::Pass, "{kind:?}:\n{report}");
+        assert!(report.events_seen > 0, "{kind:?} emitted no audit events");
+    }
+}
+
+#[test]
+fn every_scheme_survives_a_crash_audit_clean() {
+    for kind in SchemeKind::ALL {
+        let mut machine = machine_for(kind);
+        let audit = machine.enable_audit();
+        machine.run(40_000);
+        let crash = machine.crash();
+        let report = audit.report();
+        assert_eq!(
+            report.verdict,
+            Verdict::Pass,
+            "{kind:?} (recovered_to {:?}):\n{report}",
+            crash.outcome.recovered_to
+        );
+    }
+}
+
+#[test]
+fn audit_taps_an_already_enabled_recorder() {
+    let mut machine = machine_for(SchemeKind::Picl);
+    let telemetry = machine.enable_telemetry(1 << 16, 10_000);
+    let audit = machine.enable_audit();
+    machine.run(40_000);
+    let report = audit.report();
+    assert_eq!(report.verdict, Verdict::Pass, "{report}");
+    // The rings kept up, so the exported stream agrees with the online
+    // verdict when re-audited offline.
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.dropped, 0, "raise ring capacity if this fires");
+    let jsonl = picl_telemetry::export::jsonl_to_string(&snap);
+    let lines = picl_audit::parse_trace(&jsonl).expect("exported stream parses");
+    let offline = picl_audit::audit_trace(
+        &lines,
+        picl_audit::AuditConfig {
+            acs_gap: Some(quick_cfg().epoch.acs_gap),
+        },
+    );
+    assert_eq!(offline.verdict, Verdict::Pass, "offline:\n{offline}");
+    assert!(offline.events_seen > 0);
+}
+
+#[test]
+fn mid_boundary_crash_stays_audit_clean() {
+    let mut machine = machine_for(SchemeKind::Picl);
+    let audit = machine.enable_audit();
+    machine.run(30_000);
+    machine.crash_mid_boundary(0);
+    let report = audit.report();
+    assert_eq!(report.verdict, Verdict::Pass, "{report}");
+}

@@ -33,6 +33,17 @@ pub enum EventKind {
         /// Cycle at which execution resumed.
         until: Cycle,
     },
+    /// A volatile undo entry was created for a line (on-chip buffer push
+    /// for PiCL, per-store log read for FRM). The auditor pairs this with
+    /// a later [`EventKind::UndoDrain`] to prove undo-before-eviction.
+    UndoEntryAppended {
+        /// Line the pre-image covers.
+        addr: LineAddr,
+        /// First epoch the pre-image is valid for (exclusive lower bound).
+        valid_from: EpochId,
+        /// Epoch whose crash the pre-image undoes (inclusive upper bound).
+        valid_till: EpochId,
+    },
     /// The on-chip undo buffer drained to the durable log.
     UndoDrain {
         /// Entries flushed.
@@ -161,6 +172,60 @@ impl Track {
 }
 
 impl EventKind {
+    /// Bit identifying [`EventKind::EpochBegin`] in an interest mask.
+    pub const EPOCH_BEGIN_BIT: u32 = 1 << 0;
+    /// Bit identifying [`EventKind::EpochCommit`] in an interest mask.
+    pub const EPOCH_COMMIT_BIT: u32 = 1 << 1;
+    /// Bit identifying [`EventKind::EpochPersist`] in an interest mask.
+    pub const EPOCH_PERSIST_BIT: u32 = 1 << 2;
+    /// Bit identifying [`EventKind::BoundaryStall`] in an interest mask.
+    pub const BOUNDARY_STALL_BIT: u32 = 1 << 3;
+    /// Bit identifying [`EventKind::UndoEntryAppended`] in an interest mask.
+    pub const UNDO_ENTRY_APPENDED_BIT: u32 = 1 << 4;
+    /// Bit identifying [`EventKind::UndoDrain`] in an interest mask.
+    pub const UNDO_DRAIN_BIT: u32 = 1 << 5;
+    /// Bit identifying [`EventKind::BloomCheck`] in an interest mask.
+    pub const BLOOM_CHECK_BIT: u32 = 1 << 6;
+    /// Bit identifying [`EventKind::AcsScan`] in an interest mask.
+    pub const ACS_SCAN_BIT: u32 = 1 << 7;
+    /// Bit identifying [`EventKind::AcsLineWriteback`] in an interest mask.
+    pub const ACS_LINE_WRITEBACK_BIT: u32 = 1 << 8;
+    /// Bit identifying [`EventKind::DirtyWriteback`] in an interest mask.
+    pub const DIRTY_WRITEBACK_BIT: u32 = 1 << 9;
+    /// Bit identifying [`EventKind::NvmAccess`] in an interest mask.
+    pub const NVM_ACCESS_BIT: u32 = 1 << 10;
+    /// Bit identifying [`EventKind::CrashInjected`] in an interest mask.
+    pub const CRASH_INJECTED_BIT: u32 = 1 << 11;
+    /// Bit identifying [`EventKind::RecoveryStart`] in an interest mask.
+    pub const RECOVERY_START_BIT: u32 = 1 << 12;
+    /// Bit identifying [`EventKind::RecoveryDone`] in an interest mask.
+    pub const RECOVERY_DONE_BIT: u32 = 1 << 13;
+    /// Bit identifying [`EventKind::Marker`] in an interest mask.
+    pub const MARKER_BIT: u32 = 1 << 14;
+
+    /// This kind's bit in a sink interest mask (one distinct bit per
+    /// variant, so a mask can name any subset of the vocabulary).
+    #[inline]
+    pub fn mask_bit(&self) -> u32 {
+        match self {
+            EventKind::EpochBegin { .. } => Self::EPOCH_BEGIN_BIT,
+            EventKind::EpochCommit { .. } => Self::EPOCH_COMMIT_BIT,
+            EventKind::EpochPersist { .. } => Self::EPOCH_PERSIST_BIT,
+            EventKind::BoundaryStall { .. } => Self::BOUNDARY_STALL_BIT,
+            EventKind::UndoEntryAppended { .. } => Self::UNDO_ENTRY_APPENDED_BIT,
+            EventKind::UndoDrain { .. } => Self::UNDO_DRAIN_BIT,
+            EventKind::BloomCheck { .. } => Self::BLOOM_CHECK_BIT,
+            EventKind::AcsScan { .. } => Self::ACS_SCAN_BIT,
+            EventKind::AcsLineWriteback { .. } => Self::ACS_LINE_WRITEBACK_BIT,
+            EventKind::DirtyWriteback { .. } => Self::DIRTY_WRITEBACK_BIT,
+            EventKind::NvmAccess { .. } => Self::NVM_ACCESS_BIT,
+            EventKind::CrashInjected => Self::CRASH_INJECTED_BIT,
+            EventKind::RecoveryStart => Self::RECOVERY_START_BIT,
+            EventKind::RecoveryDone { .. } => Self::RECOVERY_DONE_BIT,
+            EventKind::Marker { .. } => Self::MARKER_BIT,
+        }
+    }
+
     /// Stable snake_case name used by the JSONL exporter.
     pub fn name(&self) -> &'static str {
         match self {
@@ -168,6 +233,7 @@ impl EventKind {
             EventKind::EpochCommit { .. } => "epoch_commit",
             EventKind::EpochPersist { .. } => "epoch_persist",
             EventKind::BoundaryStall { .. } => "boundary_stall",
+            EventKind::UndoEntryAppended { .. } => "undo_entry_appended",
             EventKind::UndoDrain { .. } => "undo_drain",
             EventKind::BloomCheck { .. } => "bloom_check",
             EventKind::AcsScan { .. } => "acs_scan",
@@ -187,7 +253,9 @@ impl EventKind {
             EventKind::EpochBegin { .. }
             | EventKind::EpochCommit { .. }
             | EventKind::EpochPersist { .. } => Track::Epochs,
-            EventKind::UndoDrain { .. } | EventKind::BloomCheck { .. } => Track::UndoBuffer,
+            EventKind::UndoEntryAppended { .. }
+            | EventKind::UndoDrain { .. }
+            | EventKind::BloomCheck { .. } => Track::UndoBuffer,
             EventKind::AcsScan { .. } | EventKind::AcsLineWriteback { .. } => Track::Acs,
             EventKind::NvmAccess { .. } => Track::Nvm,
             EventKind::DirtyWriteback { .. } => Track::Cache,

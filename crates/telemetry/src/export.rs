@@ -59,6 +59,20 @@ fn jsonl_lines(ev: &Event) -> Vec<(u64, String)> {
                 &format!("\"since\":{at}"),
             ),
         ],
+        EventKind::UndoEntryAppended {
+            addr,
+            valid_from,
+            valid_till,
+        } => vec![head(
+            at,
+            "undo_entry_appended",
+            &format!(
+                "\"line\":{},\"valid_from\":{},\"valid_till\":{}",
+                addr.raw(),
+                valid_from.raw(),
+                valid_till.raw()
+            ),
+        )],
         EventKind::UndoDrain {
             entries,
             bytes,
@@ -152,6 +166,19 @@ pub fn write_jsonl<W: Write>(w: &mut W, snap: &TelemetrySnapshot) -> io::Result<
     for (_, line) in &lines {
         writeln!(w, "{line}")?;
     }
+    // Trailing accounting record: how many events the rings overwrote. The
+    // auditor refuses to certify a stream whose drops are nonzero.
+    if !snap.events.is_empty() || snap.dropped > 0 {
+        let at = lines.last().map(|&(cycle, _)| cycle).unwrap_or(0);
+        let by_lane: Vec<String> = snap.dropped_by_lane.iter().map(u64::to_string).collect();
+        writeln!(
+            w,
+            "{{\"cycle\":{at},\"core\":null,\"event\":\"dropped_events\",\
+             \"dropped\":{},\"by_lane\":[{}]}}",
+            snap.dropped,
+            by_lane.join(",")
+        )?;
+    }
     Ok(())
 }
 
@@ -163,6 +190,10 @@ pub fn write_series_csv<W: Write>(w: &mut W, snap: &TelemetrySnapshot) -> io::Re
         for &(at, value) in &series.points {
             writeln!(w, "{},{},{}", series.name, at.raw(), value)?;
         }
+    }
+    if !snap.events.is_empty() || snap.dropped > 0 {
+        let at = snap.events.last().map(|e| e.at.raw()).unwrap_or(0);
+        writeln!(w, "dropped_events,{at},{}", snap.dropped)?;
     }
     Ok(())
 }
@@ -288,6 +319,22 @@ pub fn write_chrome_trace<W: Write>(
                     &with_core(""),
                 );
             }
+            EventKind::UndoEntryAppended {
+                addr,
+                valid_from,
+                valid_till,
+            } => instant(
+                &mut out,
+                ts,
+                Track::UndoBuffer,
+                "undo append",
+                &with_core(&format!(
+                    "\"line\":{},\"valid_from\":{},\"valid_till\":{}",
+                    addr.raw(),
+                    valid_from.raw(),
+                    valid_till.raw()
+                )),
+            ),
             EventKind::UndoDrain {
                 entries,
                 bytes,
@@ -469,6 +516,18 @@ pub fn write_chrome_trace<W: Write>(
             track.label()
         )?;
     }
+    // Ring-overwrite accounting rides along as timestamp-free metadata.
+    if !snap.events.is_empty() || snap.dropped > 0 {
+        if !first {
+            writeln!(w, ",")?;
+        }
+        first = false;
+        write!(
+            w,
+            "    {{\"name\":\"dropped_events\",\"ph\":\"M\",\"pid\":0,\"args\":{{\"dropped\":{}}}}}",
+            snap.dropped
+        )?;
+    }
     for entry in &out {
         if !first {
             writeln!(w, ",")?;
@@ -578,8 +637,13 @@ mod tests {
         let snap = sample_snapshot();
         let text = jsonl_to_string(&snap);
         let n = validate_jsonl(&text).expect("every line parses");
-        // Spans (NVM access, ACS scan, stall) each produce two lines.
-        assert_eq!(n, snap.events.len() + 3);
+        // Spans (NVM access, ACS scan, stall) each produce two lines, plus
+        // the trailing dropped_events accounting record.
+        assert_eq!(n, snap.events.len() + 4);
+        assert!(
+            text.lines().last().unwrap().contains("\"dropped\":0"),
+            "stream ends with the drop accounting record"
+        );
         let mut last = 0u64;
         for line in text.lines() {
             let cycle: u64 = line
@@ -602,9 +666,29 @@ mod tests {
         let text = series_csv_to_string(&snap);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "series,cycle,value");
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert_eq!(lines[1], "undo_fill,0,0");
         assert_eq!(lines[2], "undo_fill,100,3");
+        assert_eq!(lines[3], "dropped_events,200,0");
+    }
+
+    #[test]
+    fn nonzero_drops_are_exported_by_every_format() {
+        let t = Telemetry::new(0, 2);
+        for i in 0..5 {
+            t.record(Cycle(i), None, EventKind::CrashInjected);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.dropped, 3);
+        let jsonl = jsonl_to_string(&snap);
+        assert!(jsonl.contains("\"event\":\"dropped_events\",\"dropped\":3"));
+        assert!(jsonl.contains("\"by_lane\":[3]"));
+        let csv = series_csv_to_string(&snap);
+        assert!(csv.lines().any(|l| l == "dropped_events,4,3"), "{csv}");
+        let chrome = chrome_trace_to_string(&snap, 2000.0);
+        validate_json(&chrome).unwrap();
+        assert!(chrome.contains("\"name\":\"dropped_events\""));
+        assert!(chrome.contains("{\"dropped\":3}"));
     }
 
     #[test]

@@ -51,6 +51,6 @@ pub mod ring;
 pub mod series;
 
 pub use event::{Event, EventKind, Track};
-pub use recorder::{Recorder, Telemetry, TelemetrySnapshot};
+pub use recorder::{EventSink, Recorder, Telemetry, TelemetrySnapshot};
 pub use ring::EventRing;
 pub use series::{Sampler, SeriesSet, TimeSeries};

@@ -7,7 +7,13 @@
 //! anything measurable. An enabled handle shares one [`Recorder`] that owns
 //! one event ring per core (plus a global lane for events with no core
 //! attribution) and the sampled time series.
+//!
+//! An optional [`EventSink`] can be attached to the recorder: every event is
+//! delivered to it *in true emission order* as it is recorded, before any
+//! ring can overwrite it. This is how the online protocol auditor in
+//! `picl-audit` observes a run without waiting for a post-hoc snapshot.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
 use picl_types::{CoreId, Cycle};
@@ -16,12 +22,43 @@ use crate::event::{Event, EventKind};
 use crate::ring::EventRing;
 use crate::series::{SeriesSet, TimeSeries};
 
+/// An online observer of the event stream.
+///
+/// Sinks see every event in emission order, synchronously from the recording
+/// thread, and are never subject to ring-buffer overwrites. Implementations
+/// should be cheap; they run inside the instrumented hot path.
+pub trait EventSink: Send {
+    /// Called once per recorded event, in emission order.
+    fn on_event(&mut self, ev: &Event);
+
+    /// Bitmask of the [`EventKind`]s this sink wants (OR of
+    /// [`EventKind::mask_bit`] values), read once at attach time. Kinds
+    /// outside the mask are filtered with one atomic load, before the sink
+    /// lock — declare a narrow interest when riding a hot path. Defaults
+    /// to everything.
+    fn interest(&self) -> u32 {
+        u32::MAX
+    }
+}
+
 /// Shared recording state behind an enabled handle.
-#[derive(Debug)]
 pub struct Recorder {
     /// Lane 0 is the global ring; lanes `1..=cores` are per-core.
     lanes: Vec<Mutex<EventRing>>,
     series: Mutex<SeriesSet>,
+    /// The attached sink's interest mask (0 when no sink), checked without
+    /// locking on every record.
+    sink_interest: AtomicU32,
+    sink: Mutex<Option<Box<dyn EventSink>>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("lanes", &self.lanes.len())
+            .field("sink_interest", &self.sink_interest.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Recorder {
@@ -31,6 +68,8 @@ impl Recorder {
                 .map(|_| Mutex::new(EventRing::new(ring_capacity)))
                 .collect(),
             series: Mutex::new(SeriesSet::default()),
+            sink_interest: AtomicU32::new(0),
+            sink: Mutex::new(None),
         }
     }
 
@@ -50,8 +89,11 @@ pub struct TelemetrySnapshot {
     pub events: Vec<Event>,
     /// All sampled time series.
     pub series: Vec<TimeSeries>,
-    /// Events lost to ring overwrites.
+    /// Events lost to ring overwrites, summed over all lanes.
     pub dropped: u64,
+    /// Events lost per lane: index 0 is the global lane, index `c + 1` is
+    /// core `c`. Empty for a disabled handle.
+    pub dropped_by_lane: Vec<u64>,
 }
 
 /// The handle instrumentation records through.
@@ -88,14 +130,38 @@ impl Telemetry {
         self.inner.is_some()
     }
 
+    /// Attaches an online [`EventSink`]; subsequent events are delivered to
+    /// it in emission order. Replaces any previous sink. A no-op when the
+    /// handle is disabled.
+    pub fn set_sink(&self, sink: Box<dyn EventSink>) {
+        let Some(rec) = &self.inner else { return };
+        let interest = sink.interest();
+        *rec.sink.lock().expect("telemetry sink poisoned") = Some(sink);
+        rec.sink_interest.store(interest, Ordering::Release);
+    }
+
+    /// Detaches the online sink, if any, and returns it.
+    pub fn take_sink(&self) -> Option<Box<dyn EventSink>> {
+        let rec = self.inner.as_ref()?;
+        let sink = rec.sink.lock().expect("telemetry sink poisoned").take();
+        rec.sink_interest.store(0, Ordering::Release);
+        sink
+    }
+
     /// Records one event; a no-op when disabled.
     #[inline]
     pub fn record(&self, at: Cycle, core: Option<CoreId>, kind: EventKind) {
         let Some(rec) = &self.inner else { return };
+        let event = Event { at, core, kind };
         rec.lane_for(core)
             .lock()
             .expect("telemetry lane poisoned")
-            .push(Event { at, core, kind });
+            .push(event);
+        if rec.sink_interest.load(Ordering::Acquire) & kind.mask_bit() != 0 {
+            if let Some(sink) = rec.sink.lock().expect("telemetry sink poisoned").as_mut() {
+                sink.on_event(&event);
+            }
+        }
     }
 
     /// Appends a point to the named time series; a no-op when disabled.
@@ -117,13 +183,16 @@ impl Telemetry {
                 events: Vec::new(),
                 series: Vec::new(),
                 dropped: 0,
+                dropped_by_lane: Vec::new(),
             };
         };
         let mut events = Vec::new();
         let mut dropped = 0;
+        let mut dropped_by_lane = Vec::with_capacity(rec.lanes.len());
         for lane in &rec.lanes {
             let mut lane = lane.lock().expect("telemetry lane poisoned");
             dropped += lane.dropped();
+            dropped_by_lane.push(lane.dropped());
             events.extend(lane.drain());
         }
         events.sort_by_key(|e| e.at.raw());
@@ -132,6 +201,7 @@ impl Telemetry {
             events,
             series,
             dropped,
+            dropped_by_lane,
         }
     }
 }
@@ -150,6 +220,7 @@ mod tests {
         let snap = t.snapshot();
         assert!(snap.events.is_empty());
         assert!(snap.series.is_empty());
+        assert!(snap.dropped_by_lane.is_empty());
     }
 
     #[test]
@@ -193,6 +264,78 @@ mod tests {
         let snap = t.snapshot();
         assert_eq!(snap.events.len(), 2);
         assert_eq!(snap.dropped, 3);
+        assert_eq!(snap.dropped_by_lane, vec![3]);
         assert!(t.snapshot().events.is_empty(), "snapshot drains");
+    }
+
+    #[test]
+    fn drops_are_attributed_per_lane() {
+        let t = Telemetry::new(2, 2);
+        for i in 0..5 {
+            t.record(Cycle(i), Some(CoreId(1)), EventKind::CrashInjected);
+        }
+        t.record(Cycle(9), None, EventKind::CrashInjected);
+        let snap = t.snapshot();
+        assert_eq!(snap.dropped, 3);
+        assert_eq!(snap.dropped_by_lane, vec![0, 0, 3]);
+    }
+
+    #[test]
+    fn sink_sees_events_in_emission_order_despite_ring_overwrites() {
+        struct Collect(Arc<Mutex<Vec<u64>>>);
+        impl EventSink for Collect {
+            fn on_event(&mut self, ev: &Event) {
+                self.0.lock().unwrap().push(ev.at.raw());
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let t = Telemetry::new(0, 2);
+        t.set_sink(Box::new(Collect(Arc::clone(&seen))));
+        // Emission order 5, 3, 8 across one tiny lane: the ring drops the
+        // oldest, the sink still sees all three in true order.
+        for at in [5u64, 3, 8, 1, 2] {
+            t.record(Cycle(at), None, EventKind::CrashInjected);
+        }
+        assert_eq!(*seen.lock().unwrap(), vec![5, 3, 8, 1, 2]);
+        assert_eq!(t.snapshot().dropped, 3);
+        assert!(t.take_sink().is_some());
+        t.record(Cycle(9), None, EventKind::CrashInjected);
+        assert_eq!(seen.lock().unwrap().len(), 5, "detached sink is quiet");
+    }
+
+    #[test]
+    fn sink_interest_mask_filters_before_delivery() {
+        struct EpochsOnly(Arc<Mutex<Vec<&'static str>>>);
+        impl EventSink for EpochsOnly {
+            fn on_event(&mut self, ev: &Event) {
+                self.0.lock().unwrap().push(ev.kind.name());
+            }
+            fn interest(&self) -> u32 {
+                EventKind::EPOCH_BEGIN_BIT | EventKind::EPOCH_COMMIT_BIT
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let t = Telemetry::new(0, 16);
+        t.set_sink(Box::new(EpochsOnly(Arc::clone(&seen))));
+        t.record(Cycle(0), None, EventKind::EpochBegin { eid: EpochId(1) });
+        t.record(Cycle(1), None, EventKind::CrashInjected);
+        t.record(Cycle(2), None, EventKind::EpochCommit { eid: EpochId(1) });
+        assert_eq!(*seen.lock().unwrap(), vec!["epoch_begin", "epoch_commit"]);
+        // The rings still hold everything; only sink delivery is filtered.
+        assert_eq!(t.snapshot().events.len(), 3);
+    }
+
+    #[test]
+    fn set_sink_on_disabled_handle_is_a_no_op() {
+        struct Panicker;
+        impl EventSink for Panicker {
+            fn on_event(&mut self, _: &Event) {
+                panic!("must never run");
+            }
+        }
+        let t = Telemetry::off();
+        t.set_sink(Box::new(Panicker));
+        t.record(Cycle(1), None, EventKind::CrashInjected);
+        assert!(t.take_sink().is_none());
     }
 }

@@ -1,0 +1,92 @@
+//! Golden-file coverage for the Chrome-trace exporter's *span* events:
+//! `AcsScan`, `NvmAccess`, and `BoundaryStall` each carry both endpoints in
+//! one recorded event and must come out as a single complete (`X`) entry
+//! whose `ts`/`dur` reproduce the begin/end pair exactly.
+//!
+//! If the exporter format changes intentionally, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p picl-telemetry --test chrome_spans_golden
+//! ```
+
+use picl_telemetry::export::chrome_trace_to_string;
+use picl_telemetry::json::validate_json;
+use picl_telemetry::{EventKind, Telemetry};
+use picl_types::{CoreId, Cycle, EpochId};
+
+/// Only the three span kinds, at 2000 cycles/µs so endpoints land on
+/// easily-checked microsecond values.
+fn span_snapshot() -> picl_telemetry::TelemetrySnapshot {
+    let t = Telemetry::new(1, 1024);
+    t.record(
+        Cycle(2_000),
+        Some(CoreId(0)),
+        EventKind::NvmAccess {
+            class: "demand-read",
+            write: false,
+            bytes: 64,
+            done: Cycle(6_000),
+        },
+    );
+    t.record(
+        Cycle(10_000),
+        None,
+        EventKind::BoundaryStall {
+            until: Cycle(14_000),
+        },
+    );
+    t.record(
+        Cycle(30_000),
+        None,
+        EventKind::AcsScan {
+            target: EpochId(1),
+            lines: 5,
+            started: Cycle(20_000),
+        },
+    );
+    t.snapshot()
+}
+
+#[test]
+fn chrome_span_events_match_golden_file() {
+    let trace = chrome_trace_to_string(&span_snapshot(), 2000.0);
+    validate_json(&trace).expect("trace is valid JSON");
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_spans.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &trace).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        trace, golden,
+        "Chrome span output drifted from tests/golden/chrome_spans.json; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn spans_pair_begin_and_end_into_one_complete_event() {
+    let trace = chrome_trace_to_string(&span_snapshot(), 2000.0);
+
+    // Exactly one X entry per span kind, and nothing left dangling.
+    assert_eq!(trace.matches("\"ph\":\"X\"").count(), 3);
+    assert_eq!(trace.matches("\"ph\":\"B\"").count(), 0);
+    assert_eq!(trace.matches("\"ph\":\"E\"").count(), 0);
+
+    // ts is the begin endpoint, dur the end-begin distance, in µs at
+    // 2000 cycles/µs.
+    let expect = [
+        ("demand-read", 1.0, 2.0),
+        ("boundary stall", 5.0, 2.0),
+        ("acs scan e1", 10.0, 5.0),
+    ];
+    for (name, ts, dur) in expect {
+        let needle = format!("\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3}");
+        assert!(trace.contains(&needle), "missing {needle:?} in:\n{trace}");
+    }
+}

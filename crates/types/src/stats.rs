@@ -225,6 +225,54 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// An interpolated estimate of the `p`-th percentile (0.0–100.0).
+    ///
+    /// Where [`percentile`](Histogram::percentile) reports the bucket's
+    /// inclusive upper bound (up to 2x above the true quantile), this
+    /// spreads each log2 bucket's samples uniformly across its `[2^(i-1),
+    /// 2^i - 1]` range and interpolates the rank inside it, then clamps to
+    /// the exact observed maximum. `None` if empty.
+    pub fn percentile_interpolated(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (seen + n) as f64 >= rank {
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+                let hi = Self::bucket_bound(i).min(self.max) as f64;
+                let frac = ((rank - seen as f64) / n as f64).clamp(0.0, 1.0);
+                return Some((lo + (hi - lo) * frac).min(self.max as f64));
+            }
+            seen += n;
+        }
+        Some(self.max as f64)
+    }
+
+    /// Interpolated median ([`percentile_interpolated`] at 50).
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile_interpolated(50.0)
+    }
+
+    /// Interpolated 90th percentile.
+    pub fn p90(&self) -> Option<f64> {
+        self.percentile_interpolated(90.0)
+    }
+
+    /// Interpolated 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile_interpolated(99.0)
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -472,6 +520,50 @@ mod tests {
         // The top sample lands in bucket [512,1023]; the reported bound is
         // clamped to the exact max.
         assert_eq!(h.percentile(100.0), Some(1000));
+    }
+
+    #[test]
+    fn interpolated_percentiles_land_inside_buckets() {
+        let mut h = Histogram::new();
+        // One sample per value of [64, 127] — exactly one log2 bucket.
+        for v in 64..=127u64 {
+            h.record(v);
+        }
+        let p50 = h.p50().unwrap();
+        // Interpolation places the median mid-bucket; the coarse estimate
+        // can only report the 127 bound.
+        assert!((95.0..=97.0).contains(&p50), "{p50}");
+        assert_eq!(h.percentile(50.0), Some(127));
+
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap());
+        assert!(p50 < p90 && p90 < p99, "{p50} {p90} {p99}");
+        // True quantiles are 500/900/990; log2 interpolation stays within
+        // the enclosing bucket (a factor of two), far better than the
+        // upper-bound estimate for p50.
+        assert!((256.0..=1000.0).contains(&p50), "{p50}");
+        assert!((512.0..=1000.0).contains(&p90), "{p90}");
+        assert!(p99 <= 1000.0, "{p99}");
+    }
+
+    #[test]
+    fn interpolated_percentiles_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), None);
+
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.p50(), Some(0.0));
+        assert_eq!(h.p99(), Some(0.0));
+
+        let mut h = Histogram::new();
+        h.record(5);
+        // A single sample is every percentile, clamped to the exact max.
+        assert_eq!(h.p50(), Some(5.0));
+        assert_eq!(h.percentile_interpolated(100.0), Some(5.0));
     }
 
     #[test]

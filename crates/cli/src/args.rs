@@ -1,19 +1,22 @@
 //! Minimal dependency-free argument parsing for the `picl` CLI.
 //!
-//! Grammar: `picl <command> [--flag value]...`. Flags accept both
-//! `--flag value` and `--flag=value`. Numbers accept `k`/`m`/`g` suffixes
+//! Grammar: `picl <command> [<subcommand>] [--flag value]...`. One bare
+//! word may follow the command (`picl store run`); whether it is accepted
+//! is the command's decision. Flags accept both `--flag value` and
+//! `--flag=value`. Numbers accept `k`/`m`/`g` suffixes
 //! (`--instructions 60m`).
 
 use std::collections::BTreeMap;
 
 /// Flags that take no value; writing `--quick` records `quick=true`
 /// (the `--quick=false` form still works).
-const BOOLEAN_FLAGS: &[&str] = &["quick", "keep-going"];
+const BOOLEAN_FLAGS: &[&str] = &["quick", "keep-going", "progress"];
 
-/// A parsed command line: the subcommand and its flags.
+/// A parsed command line: the command, an optional subcommand, and flags.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     command: String,
+    subcommand: Option<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -50,6 +53,10 @@ impl Args {
                 "expected a command, found flag {command:?}"
             )));
         }
+        let subcommand = match it.peek() {
+            Some(tok) if !tok.starts_with('-') => it.next(),
+            _ => None,
+        };
         let mut flags = BTreeMap::new();
         while let Some(tok) = it.next() {
             let Some(name) = tok.strip_prefix("--") else {
@@ -69,12 +76,36 @@ impl Args {
                 return Err(ArgError(format!("flag --{key} given twice")));
             }
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            subcommand,
+            flags,
+        })
     }
 
-    /// The subcommand name.
+    /// The command name.
     pub fn command(&self) -> &str {
         &self.command
+    }
+
+    /// The bare word following the command, if any (`picl store run`).
+    pub fn subcommand(&self) -> Option<&str> {
+        self.subcommand.as_deref()
+    }
+
+    /// Rejects a stray subcommand for commands that take none.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the unexpected positional argument.
+    pub fn expect_no_subcommand(&self) -> Result<(), ArgError> {
+        match &self.subcommand {
+            None => Ok(()),
+            Some(word) => Err(ArgError(format!(
+                "unexpected positional argument {word:?} after `{}`",
+                self.command
+            ))),
+        }
     }
 
     /// A string flag, if present.
@@ -180,12 +211,28 @@ mod tests {
 
     #[test]
     fn malformed_flags_are_errors() {
-        assert!(Args::parse(["run", "mcf"]).is_err(), "positional");
+        assert!(
+            Args::parse(["run", "--bench", "mcf", "extra"]).is_err(),
+            "positional after flags"
+        );
         assert!(Args::parse(["run", "--bench"]).is_err(), "missing value");
         assert!(
             Args::parse(["run", "--a", "1", "--a", "2"]).is_err(),
             "duplicate"
         );
+    }
+
+    #[test]
+    fn one_subcommand_is_absorbed() {
+        let a = Args::parse(["store", "run", "--seed", "7"]).unwrap();
+        assert_eq!(a.command(), "store");
+        assert_eq!(a.subcommand(), Some("run"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert!(a.expect_no_subcommand().is_err());
+
+        let plain = Args::parse(["run", "--bench", "mcf"]).unwrap();
+        assert_eq!(plain.subcommand(), None);
+        assert!(plain.expect_no_subcommand().is_ok());
     }
 
     #[test]

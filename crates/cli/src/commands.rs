@@ -35,6 +35,8 @@ commands:
   bench       wall-clock perf harness: pinned matrix + differential check
   record      capture a synthetic workload to a trace file
   replay      simulate from a recorded trace file
+  store       the executable PiCL storage engine (see `picl store help`):
+              run | dump | verify | torture | simdiff
   benchmarks  list the 29 modeled SPEC2k6-like benchmarks
   help        show this text
 
@@ -96,6 +98,11 @@ const CLOCK_MHZ: f64 = 2000.0;
 ///
 /// Returns an [`ArgError`] describing any invalid flag or value.
 pub fn dispatch(args: &Args) -> Result<(), ArgError> {
+    // Only `store` has subcommands; a stray word after any other command
+    // is a mistake, not a flag value.
+    if args.command() != "store" {
+        args.expect_no_subcommand()?;
+    }
     match args.command() {
         "run" => cmd_run(args),
         "compare" => cmd_compare(args),
@@ -108,6 +115,7 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
         "bench" => crate::bench::cmd_bench(args),
         "record" => cmd_record(args),
         "replay" => cmd_replay(args),
+        "store" => crate::store::cmd_store(args),
         "benchmarks" => cmd_benchmarks(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -208,7 +216,7 @@ const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
 
 /// Writes the three telemetry exports under `prefix` and re-parses each
 /// one, so a corrupt file fails the command instead of a later viewer.
-fn export_telemetry(prefix: &str, snap: &TelemetrySnapshot) -> Result<(), ArgError> {
+pub(crate) fn export_telemetry(prefix: &str, snap: &TelemetrySnapshot) -> Result<(), ArgError> {
     let write = |path: String, contents: &str| {
         std::fs::write(&path, contents)
             .map_err(|e| ArgError(format!("cannot write {path}: {e}")))
@@ -512,6 +520,17 @@ fn cmd_crashlab(args: &Args) -> Result<(), ArgError> {
     if let Some(at) = args.get("crash-at") {
         let at = crate::args::parse_count(at)
             .ok_or_else(|| ArgError(format!("--crash-at: cannot parse {at:?} as a count")))?;
+        // A crash instant past the end of the run would silently never
+        // fire (the trial would just complete); that is a user error, not
+        // a passing trial.
+        if at > config.budget {
+            return Err(ArgError(format!(
+                "--crash-at {at} is beyond the end of the run (--instructions {}): \
+                 the crash would never be injected; raise --instructions or move \
+                 the crash point earlier",
+                config.budget
+            )));
+        }
         let point = if args.get("boundary-cores").is_some() {
             CrashPoint::MidBoundary {
                 at,
@@ -1051,6 +1070,48 @@ mod tests {
         for suffix in [".trace.json", ".events.jsonl", ".series.csv"] {
             std::fs::remove_file(format!("{prefix}{suffix}")).ok();
         }
+    }
+
+    #[test]
+    fn crashlab_crash_at_beyond_the_run_is_rejected() {
+        // A crash instant past the instruction budget would silently never
+        // fire; the CLI must refuse it instead of reporting a clean "no
+        // crash" trial.
+        let args = Args::parse([
+            "crashlab",
+            "--schemes",
+            "picl",
+            "--bench",
+            "gcc",
+            "--crash-at",
+            "300k",
+            "--instructions",
+            "200k",
+        ])
+        .unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(
+            err.to_string().contains("beyond the end of the run"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("300000"), "{err}");
+
+        // Exactly at the budget is still reachable and must be accepted.
+        let ok = Args::parse([
+            "crashlab",
+            "--schemes",
+            "picl",
+            "--bench",
+            "gcc",
+            "--crash-at",
+            "90k",
+            "--instructions",
+            "90k",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        dispatch(&ok).unwrap();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! picl sweep      --param acs-gap --values 0,1,3,7 [--bench gcc] ...
 //! picl record     --bench lbm --out trace.picltrc [--events 100k]
 //! picl replay     --trace trace.picltrc [--scheme picl] ...
+//! picl store      run|dump|verify|torture|simdiff [--path store.nvm] ...
 //! picl benchmarks
 //! picl help
 //! ```
@@ -14,6 +15,7 @@
 mod args;
 mod bench;
 mod commands;
+mod store;
 
 use std::process::ExitCode;
 

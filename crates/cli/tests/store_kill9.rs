@@ -1,0 +1,123 @@
+//! End-to-end torture of the real `picl` binary: spawn `picl store run`,
+//! `kill -9` it mid-epoch, recover the store file, and check the
+//! differential oracle — the full loop the CI smoke step runs at scale.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use picl_crashlab::{run_process_campaign, run_process_trial, KillClass, ProcessTrialSpec};
+
+fn picl_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_picl"))
+}
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("picl-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn each_kill_class_recovers_within_the_rpo_bound() {
+    let dir = scratch();
+    for (i, class) in [
+        KillClass::MidEpoch,
+        KillClass::Boundary,
+        KillClass::MidDrain,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let spec = ProcessTrialSpec {
+            binary: picl_bin(),
+            store_path: dir.join(format!("class-{i}.store")),
+            seed: 40 + i as u64,
+            ops: 400,
+            ops_per_epoch: 4,
+            key_space: 12,
+            window: 1,
+            kill_after_commit: 3,
+            class,
+            persist_stall_ms: if class == KillClass::MidDrain { 6 } else { 0 },
+        };
+        let outcome = run_process_trial(&spec).expect("harness");
+        assert!(
+            outcome.passed(),
+            "{} trial failed the oracle: {outcome:?}",
+            class.name()
+        );
+        assert!(
+            outcome.epochs_lost <= spec.window,
+            "{}: lost {} epochs with window {}",
+            class.name(),
+            outcome.epochs_lost,
+            spec.window
+        );
+        let _ = std::fs::remove_file(&spec.store_path);
+    }
+}
+
+#[test]
+fn a_small_seeded_campaign_passes_and_actually_kills() {
+    let dir = scratch();
+    let report = run_process_campaign(&picl_bin(), &dir, 6, 11).expect("campaign harness");
+    assert!(
+        report.passed(),
+        "campaign failed: {} inconsistent, {} RPO violations",
+        report.inconsistent,
+        report.rpo_violations
+    );
+    assert_eq!(report.outcomes.len(), 6);
+    assert!(
+        report.kills >= 1,
+        "a 6-trial campaign should deliver at least one SIGKILL"
+    );
+}
+
+#[test]
+fn store_run_exports_an_audit_clean_event_stream() {
+    let dir = scratch();
+    let store = dir.join("audited.store");
+    let prefix = dir.join("audited");
+    let _ = std::fs::remove_file(&store);
+
+    let run = Command::new(picl_bin())
+        .args([
+            "store",
+            "run",
+            "--path",
+            store.to_str().unwrap(),
+            "--seed",
+            "9",
+            "--ops",
+            "120",
+            "--ops-per-epoch",
+            "6",
+            "--telemetry",
+            prefix.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn picl store run");
+    assert!(
+        run.status.success(),
+        "store run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    let events = format!("{}.events.jsonl", prefix.display());
+    let audit = Command::new(picl_bin())
+        .args(["audit", "--trace", &events])
+        .output()
+        .expect("spawn picl audit");
+    assert!(
+        audit.status.success(),
+        "audit of the store's event stream failed: {}{}",
+        String::from_utf8_lossy(&audit.stdout),
+        String::from_utf8_lossy(&audit.stderr)
+    );
+
+    let _ = std::fs::remove_file(&store);
+    for suffix in [".trace.json", ".events.jsonl", ".series.csv"] {
+        let _ = std::fs::remove_file(format!("{}{suffix}", prefix.display()));
+    }
+}

@@ -20,15 +20,26 @@
 //!   over the fault-isolated, checkpointed `picl-campaign` executor and
 //!   folds verdicts into a pass/fail matrix; interrupted campaigns resume
 //!   from their completed trials.
+//! - [`process`] — process-mode torture for the executable `picl-store`
+//!   engine: `kill -9` a real child mid-epoch, recover its store file by
+//!   undo replay, and reuse the differential oracle (prefix consistency
+//!   plus the one-epoch RPO bound).
+//! - [`storediff`] — the store-vs-simulator differential: one logical
+//!   workload through both implementations of the protocol, per-epoch
+//!   undo outcomes required to match line-for-line.
 //!
 //! Every artifact is deterministic: a campaign replays from
-//! `(seed, config)`, a single trial from its reproducer line.
+//! `(seed, config)`, a single trial from its reproducer line. (The
+//! process-mode kill *instant* is inherently racy — the oracle there
+//! must hold for every instant, which is the point.)
 
 pub mod campaign;
 pub mod oracle;
 pub mod point;
+pub mod process;
 pub mod scheme;
 pub mod shrink;
+pub mod storediff;
 
 pub use campaign::{
     run_campaign, run_campaign_with, CampaignCell, CampaignConfig, CampaignFailure, CampaignReport,
@@ -36,5 +47,10 @@ pub use campaign::{
 pub use oracle::{TrialOutcome, TrialSpec};
 pub use picl_campaign::CampaignOptions;
 pub use point::{schedule, CrashPoint, ScheduleConfig};
+pub use process::{
+    judge_recovery, run_process_campaign, run_process_trial, KillClass, ProcessCampaignReport,
+    ProcessTrialOutcome, ProcessTrialSpec,
+};
 pub use scheme::LabScheme;
 pub use shrink::{shrink_failure, ShrunkFailure};
+pub use storediff::{run_store_diff, StoreDiffReport, StoreDiffSpec};

@@ -1,0 +1,401 @@
+//! Process-mode torture: `kill -9` a real `picl store` child mid-epoch
+//! and judge its recovery with the differential oracle.
+//!
+//! The simulator-side oracle ([`crate::oracle`]) cuts power in a model;
+//! this module cuts it on a live process. The child runs a seeded KV
+//! workload against a store *file*, printing a flushed `commit <eid>`
+//! line at every epoch boundary. The parent watches that stream, kills
+//! the child with SIGKILL at a scheduled point in one of three classes —
+//! mid-epoch, at a commit boundary, or inside the persister's in-place
+//! write burst (held open by `--persist-stall-ms`) — then recovers the
+//! file in-process and applies the same two checks as the proptest
+//! oracle: the recovered contents must equal the seeded model at exactly
+//! `recovered_to × ops_per_epoch` operations (prefix consistency), and
+//! `recovered_to` must be within the in-order window of the last commit
+//! the child reported (the one-epoch RPO bound).
+//!
+//! `kill -9` is a *process*-death model: writes the kernel already
+//! accepted survive in the page cache, so it under-approximates power
+//! failure. The adversarial unfenced-write-dropping model is covered by
+//! `CountingMedium` in the store's property suite; this harness covers
+//! what that one cannot — real file I/O, a real thread being killed at
+//! an arbitrary instruction, real recovery latency.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use picl_store::{model_after, EngineConfig, FileMedium, Kv, Model};
+use picl_telemetry::Telemetry;
+use picl_types::Rng;
+
+/// When, relative to the child's commit stream, to deliver SIGKILL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillClass {
+    /// A beat after a commit line: the child is executing ordinary
+    /// operations inside the next epoch.
+    MidEpoch,
+    /// Immediately on reading a commit line: the persister is (or is
+    /// about to be) writing that epoch back.
+    Boundary,
+    /// Partway through the persister's stalled in-place write burst
+    /// (requires the child to run with a persist stall).
+    MidDrain,
+}
+
+impl KillClass {
+    /// Cycles through the three classes for trial sharding.
+    pub fn for_trial(index: u64) -> KillClass {
+        match index % 3 {
+            0 => KillClass::MidEpoch,
+            1 => KillClass::Boundary,
+            _ => KillClass::MidDrain,
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KillClass::MidEpoch => "mid-epoch",
+            KillClass::Boundary => "boundary",
+            KillClass::MidDrain => "mid-drain",
+        }
+    }
+}
+
+/// One process-mode torture trial, fully determined by its fields (the
+/// kill *instant* is necessarily racy; the oracle must hold regardless).
+#[derive(Debug, Clone)]
+pub struct ProcessTrialSpec {
+    /// Path of the `picl` binary to spawn.
+    pub binary: PathBuf,
+    /// Store file the child writes and the parent recovers.
+    pub store_path: PathBuf,
+    /// Workload seed (shared by child, parent model, and reports).
+    pub seed: u64,
+    /// Operations the child attempts.
+    pub ops: u64,
+    /// Operations per epoch.
+    pub ops_per_epoch: u64,
+    /// Distinct keys.
+    pub key_space: u64,
+    /// In-order window (the RPO bound).
+    pub window: u64,
+    /// Which commit (1-based) arms the kill; the child survives if it
+    /// finishes first.
+    pub kill_after_commit: u64,
+    /// Kill class.
+    pub class: KillClass,
+    /// Persister stall in ms (MidDrain needs > 0 to widen its window).
+    pub persist_stall_ms: u64,
+}
+
+/// Verdict of one process-mode trial.
+#[derive(Debug, Clone)]
+pub struct ProcessTrialOutcome {
+    /// Kill class exercised.
+    pub class: KillClass,
+    /// Whether SIGKILL was actually delivered (the child may finish
+    /// first; the trial then judges a clean shutdown).
+    pub killed: bool,
+    /// Last `commit <eid>` line the parent read before the kill.
+    pub observed_commit: u64,
+    /// Epoch the recovery rolled the file back to.
+    pub recovered_to: u64,
+    /// Committed epochs lost to the crash (observed - recovered).
+    pub epochs_lost: u64,
+    /// Undo entries replayed during recovery.
+    pub entries_replayed: u64,
+    /// Recovery latency (log scan + rollback + generation bump).
+    pub recovery_ns: u64,
+    /// Whether recovered contents equal the model prefix at the
+    /// recovered epoch.
+    pub consistent: bool,
+    /// Whether `recovered_to + window >= observed_commit`.
+    pub rpo_ok: bool,
+}
+
+impl ProcessTrialOutcome {
+    /// Whether the trial met the PiCL contract.
+    pub fn passed(&self) -> bool {
+        self.consistent && self.rpo_ok
+    }
+}
+
+/// A commit line from the child's progress stream (`commit <eid>`).
+pub fn parse_commit_line(line: &str) -> Option<u64> {
+    line.trim().strip_prefix("commit ")?.parse().ok()
+}
+
+fn spawn_child(spec: &ProcessTrialSpec) -> std::io::Result<Child> {
+    Command::new(&spec.binary)
+        .args([
+            "store",
+            "run",
+            "--path",
+            &spec.store_path.display().to_string(),
+            "--seed",
+            &spec.seed.to_string(),
+            "--ops",
+            &spec.ops.to_string(),
+            "--ops-per-epoch",
+            &spec.ops_per_epoch.to_string(),
+            "--key-space",
+            &spec.key_space.to_string(),
+            "--window",
+            &spec.window.to_string(),
+            "--persist-stall-ms",
+            &spec.persist_stall_ms.to_string(),
+            "--progress",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+}
+
+/// Recovers `store_path` in-process and judges it against the seeded
+/// model. Shared by the torture harness and `picl store verify`.
+///
+/// # Errors
+///
+/// Returns a message if the file cannot be opened or recovered.
+pub fn judge_recovery(
+    store_path: &Path,
+    seed: u64,
+    ops_per_epoch: u64,
+    key_space: u64,
+    window: u64,
+    observed_commit: u64,
+) -> Result<ProcessJudgement, String> {
+    let medium = FileMedium::open_existing(store_path)
+        .map_err(|e| format!("open {}: {e}", store_path.display()))?;
+    let (kv, report) = Kv::open(
+        Arc::new(medium),
+        EngineConfig::default(),
+        Telemetry::off(),
+        ops_per_epoch,
+    )
+    .map_err(|e| format!("recover {}: {e}", store_path.display()))?;
+    let recovered_to = report.recovered_to;
+    let expect: Model = model_after(seed, recovered_to * ops_per_epoch, key_space);
+    let got = kv.scan().map_err(|e| format!("scan: {e}"))?;
+    let want: Vec<(Vec<u8>, Vec<u8>)> = expect.into_iter().collect();
+    Ok(ProcessJudgement {
+        recovered_to,
+        entries_replayed: report.entries_applied,
+        recovery_ns: report.recovery_ns,
+        consistent: got == want,
+        rpo_ok: recovered_to + window >= observed_commit,
+    })
+}
+
+/// What [`judge_recovery`] concluded about a store file.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcessJudgement {
+    /// Epoch the rollback landed on.
+    pub recovered_to: u64,
+    /// Undo entries applied.
+    pub entries_replayed: u64,
+    /// Recovery latency in nanoseconds.
+    pub recovery_ns: u64,
+    /// Contents equal the model prefix at `recovered_to`.
+    pub consistent: bool,
+    /// Within the window of `observed_commit`.
+    pub rpo_ok: bool,
+}
+
+/// Runs one kill-and-recover trial end to end.
+///
+/// # Errors
+///
+/// Returns a message on harness failures (spawn, I/O) — never for an
+/// oracle verdict, which lands in the outcome.
+pub fn run_process_trial(spec: &ProcessTrialSpec) -> Result<ProcessTrialOutcome, String> {
+    let _ = std::fs::remove_file(&spec.store_path);
+    let mut child =
+        spawn_child(spec).map_err(|e| format!("spawn {}: {e}", spec.binary.display()))?;
+    let stdout = child.stdout.take().ok_or("child stdout not captured")?;
+    let mut reader = BufReader::new(stdout);
+
+    let mut observed_commit = 0u64;
+    let mut killed = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break; // clean EOF: the child finished before the kill armed
+        }
+        let Some(eid) = parse_commit_line(&line) else {
+            continue;
+        };
+        observed_commit = eid;
+        if eid >= spec.kill_after_commit {
+            match spec.class {
+                KillClass::Boundary => {}
+                KillClass::MidEpoch => {
+                    // Let the child get a few ops into the next epoch.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                KillClass::MidDrain => {
+                    // Land inside the persister's stalled write burst.
+                    std::thread::sleep(Duration::from_millis((spec.persist_stall_ms / 2).max(1)));
+                }
+            }
+            child.kill().map_err(|e| format!("kill: {e}"))?;
+            killed = true;
+            break;
+        }
+    }
+    let _ = child.wait();
+
+    let judgement = judge_recovery(
+        &spec.store_path,
+        spec.seed,
+        spec.ops_per_epoch,
+        spec.key_space,
+        spec.window,
+        observed_commit,
+    )?;
+    Ok(ProcessTrialOutcome {
+        class: spec.class,
+        killed,
+        observed_commit,
+        recovered_to: judgement.recovered_to,
+        epochs_lost: observed_commit.saturating_sub(judgement.recovered_to),
+        entries_replayed: judgement.entries_replayed,
+        recovery_ns: judgement.recovery_ns,
+        consistent: judgement.consistent,
+        rpo_ok: judgement.rpo_ok,
+    })
+}
+
+/// Summary of a seeded multi-trial campaign.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessCampaignReport {
+    /// All trial outcomes, in execution order.
+    pub outcomes: Vec<ProcessTrialOutcome>,
+    /// Trials whose child was actually killed (vs finished early).
+    pub kills: u64,
+    /// Trials failing prefix consistency.
+    pub inconsistent: u64,
+    /// Trials breaking the RPO bound.
+    pub rpo_violations: u64,
+    /// Wall-clock time of the whole campaign.
+    pub elapsed: Duration,
+}
+
+impl ProcessCampaignReport {
+    /// Zero oracle mismatches across every trial.
+    pub fn passed(&self) -> bool {
+        self.inconsistent == 0 && self.rpo_violations == 0 && !self.outcomes.is_empty()
+    }
+}
+
+/// Runs `trials` seeded kill -9 trials, rotating through the three kill
+/// classes and varying seed, epoch length, and kill point per trial.
+///
+/// # Errors
+///
+/// Propagates harness (not oracle) failures from the first failing
+/// trial.
+pub fn run_process_campaign(
+    binary: &Path,
+    scratch_dir: &Path,
+    trials: u64,
+    seed: u64,
+) -> Result<ProcessCampaignReport, String> {
+    let mut rng = Rng::new(seed);
+    let mut report = ProcessCampaignReport::default();
+    let started = Instant::now();
+    for t in 0..trials {
+        let class = KillClass::for_trial(t);
+        let spec = ProcessTrialSpec {
+            binary: binary.to_path_buf(),
+            store_path: scratch_dir.join(format!("torture-{t}.store")),
+            seed: rng.next_u64() & 0xFFFF,
+            ops: rng.range(200, 600),
+            ops_per_epoch: rng.range(2, 9),
+            key_space: rng.range(8, 24),
+            window: 1,
+            kill_after_commit: rng.range(1, 12),
+            class,
+            persist_stall_ms: if class == KillClass::MidDrain { 6 } else { 0 },
+        };
+        let outcome =
+            run_process_trial(&spec).map_err(|e| format!("trial {t} ({}): {e}", class.name()))?;
+        if outcome.killed {
+            report.kills += 1;
+        }
+        if !outcome.consistent {
+            report.inconsistent += 1;
+        }
+        if !outcome.rpo_ok {
+            report.rpo_violations += 1;
+        }
+        report.outcomes.push(outcome);
+        let _ = std::fs::remove_file(&spec.store_path);
+    }
+    report.elapsed = started.elapsed();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_lines_parse() {
+        assert_eq!(parse_commit_line("commit 17\n"), Some(17));
+        assert_eq!(parse_commit_line("  commit 3"), Some(3));
+        assert_eq!(parse_commit_line("op 5"), None);
+        assert_eq!(parse_commit_line("commit x"), None);
+        assert_eq!(parse_commit_line(""), None);
+    }
+
+    #[test]
+    fn kill_classes_rotate() {
+        assert_eq!(KillClass::for_trial(0), KillClass::MidEpoch);
+        assert_eq!(KillClass::for_trial(1), KillClass::Boundary);
+        assert_eq!(KillClass::for_trial(2), KillClass::MidDrain);
+        assert_eq!(KillClass::for_trial(3), KillClass::MidEpoch);
+        assert_eq!(KillClass::MidDrain.name(), "mid-drain");
+    }
+
+    #[test]
+    fn judgement_on_a_cleanly_closed_store() {
+        // No child process needed: build a store file in-process, close
+        // it cleanly, and the judge must find it consistent at the last
+        // committed epoch.
+        let dir = std::env::temp_dir().join(format!("picl-process-judge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.store");
+        let _ = std::fs::remove_file(&path);
+        let (seed, ops, ope, keys) = (5u64, 40u64, 4u64, 10u64);
+        {
+            let g = picl_store::layout::Geometry {
+                lines: EngineConfig::default().lines,
+                log_blocks: EngineConfig::default().log_blocks,
+            };
+            let medium = FileMedium::open(&path, g.total_len()).unwrap();
+            let (mut kv, _) = Kv::open(
+                Arc::new(medium),
+                EngineConfig::default(),
+                Telemetry::off(),
+                ope,
+            )
+            .unwrap();
+            for op in picl_store::generate(seed, ops, keys) {
+                picl_store::apply_to_store(&mut kv, &op).unwrap();
+            }
+            kv.close().unwrap();
+        }
+        let j = judge_recovery(&path, seed, ope, keys, 1, ops / ope).unwrap();
+        assert!(j.consistent, "clean close must judge consistent");
+        assert!(j.rpo_ok);
+        assert_eq!(j.recovered_to, ops / ope);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -38,6 +38,14 @@ impl DeltaSnapshots {
     /// most recent epoch merges the new delta in (later writes win),
     /// matching an eager full clone taken at the later commit.
     pub fn commit(&mut self, epoch: EpochId, delta: FastMap<LineAddr, u64>) {
+        // ZERO is the implicit power-on base: storing a delta under it
+        // would silently shadow the empty image every reconstruction
+        // builds on (reachable after `truncate_after(EpochId::ZERO)`
+        // empties the chain and disarms the monotonicity check below).
+        assert!(
+            epoch > EpochId::ZERO,
+            "EpochId::ZERO is the implicit base snapshot and cannot be committed"
+        );
         match self.deltas.last_mut() {
             Some((last, existing)) if *last == epoch => existing.extend(delta),
             Some((last, _)) => {
@@ -175,6 +183,47 @@ mod tests {
                 .read_line(LineAddr::new(2)),
             9
         );
+    }
+
+    #[test]
+    fn truncate_after_zero_rewinds_to_power_on() {
+        // Regression: a full crash rewind to the implicit base epoch must
+        // empty the chain without panicking, keep ZERO reconstructible as
+        // the power-on image, and leave the chain usable by the new
+        // timeline (which reuses the dropped epoch numbers from 1).
+        let mut snaps = DeltaSnapshots::new();
+        snaps.commit(EpochId(1), delta(&[(1, 1)]));
+        snaps.commit(EpochId(2), delta(&[(2, 2)]));
+        snaps.truncate_after(EpochId::ZERO);
+
+        assert_eq!(snaps.delta_lines(), 0, "every delta dropped");
+        assert!(snaps.contains(EpochId::ZERO));
+        assert!(!snaps.contains(EpochId(1)));
+        assert!(snaps.reconstruct(EpochId(1)).is_none());
+        let base = snaps.reconstruct(EpochId::ZERO).unwrap();
+        assert_eq!(base.touched_lines(), 0, "ZERO is the power-on image");
+
+        // The new timeline starts over at epoch 1 with fresh contents.
+        snaps.commit(EpochId(1), delta(&[(7, 70)]));
+        let at1 = snaps.reconstruct(EpochId(1)).unwrap();
+        assert_eq!(at1.read_line(LineAddr::new(7)), 70);
+        assert_eq!(at1.read_line(LineAddr::new(1)), MainMemory::INITIAL);
+
+        // Truncating an already-empty chain is a no-op, not a panic.
+        let mut empty = DeltaSnapshots::new();
+        empty.truncate_after(EpochId::ZERO);
+        assert!(empty.contains(EpochId::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit base snapshot")]
+    fn committing_epoch_zero_is_rejected() {
+        // After a rewind to ZERO the monotonicity assert is disarmed (the
+        // chain is empty); without the explicit guard a ZERO commit would
+        // shadow the power-on image.
+        let mut snaps = DeltaSnapshots::new();
+        snaps.truncate_after(EpochId::ZERO);
+        snaps.commit(EpochId::ZERO, delta(&[(1, 1)]));
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! An embedded key-value API over the PiCL engine.
+//!
+//! Software transparency is the point of the paper, so the KV layer does
+//! nothing clever for persistence: the hash table — slot states, keys,
+//! values, tombstones — lives *in* the persistent line array and is
+//! mutated with plain [`Engine::write_line`] calls, exactly as a legacy
+//! in-memory store would mutate DRAM. Durability and crash consistency
+//! come entirely from the engine's undo logging underneath; recovery
+//! brings back the whole table (index included) at the persist frontier
+//! with no KV-level replay.
+//!
+//! Each 64-byte line is one open-addressing slot:
+//!
+//! ```text
+//! [ state u8 | klen u8 | vlen u8 | pad u8 | key 28B | value 32B ]
+//! ```
+//!
+//! probed linearly from `fnv1a_64(key) % lines`.
+
+use std::sync::Arc;
+
+use picl_telemetry::Telemetry;
+use picl_types::hash::fnv1a_64;
+use picl_types::LINE_BYTES;
+
+use crate::engine::{Engine, EngineConfig, EngineStats, OpenReport, StoreError};
+use crate::persist::PersistOps;
+
+const LINE: usize = LINE_BYTES as usize;
+
+const SLOT_EMPTY: u8 = 0;
+const SLOT_LIVE: u8 = 1;
+const SLOT_TOMBSTONE: u8 = 2;
+
+/// Maximum key length a slot can hold.
+pub const MAX_KEY_BYTES: usize = 28;
+/// Maximum value length a slot can hold.
+pub const MAX_VALUE_BYTES: usize = 32;
+
+const KEY_AT: usize = 4;
+const VAL_AT: usize = KEY_AT + MAX_KEY_BYTES;
+
+/// Sorted `(key, value)` pairs as returned by [`Kv::scan`].
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// One logical access the KV layer made, for the trace adapter: the slot
+/// line an operation landed on and whether it wrote it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Slot line the operation terminated at.
+    pub line: u32,
+    /// Whether the slot was written (put/delete) vs only probed (get).
+    pub write: bool,
+}
+
+/// The embedded store: a KV API with epoch commits every
+/// `ops_per_epoch` operations.
+pub struct Kv {
+    engine: Engine,
+    lines: u32,
+    ops_per_epoch: u64,
+    ops: u64,
+    access_log: Option<Vec<Access>>,
+}
+
+impl std::fmt::Debug for Kv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kv")
+            .field("lines", &self.lines)
+            .field("ops_per_epoch", &self.ops_per_epoch)
+            .field("ops", &self.ops)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Kv {
+    /// Opens a store and wraps it in the KV API. `ops_per_epoch` sets the
+    /// epoch granularity: every that-many operations (gets included — an
+    /// epoch is a slice of *execution*, not of mutations) one epoch
+    /// commits and the next begins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine open/recovery failures; rejects
+    /// `ops_per_epoch == 0`.
+    pub fn open(
+        medium: Arc<dyn PersistOps>,
+        cfg: EngineConfig,
+        telemetry: Telemetry,
+        ops_per_epoch: u64,
+    ) -> Result<(Kv, OpenReport), StoreError> {
+        if ops_per_epoch == 0 {
+            return Err(StoreError::Config("ops_per_epoch must be >= 1".into()));
+        }
+        let (engine, report) = Engine::open(medium, cfg, telemetry)?;
+        let lines = engine.geometry().lines;
+        Ok((
+            Kv {
+                engine,
+                lines,
+                ops_per_epoch,
+                ops: 0,
+                access_log: None,
+            },
+            report,
+        ))
+    }
+
+    /// Starts recording one [`Access`] per operation (for the
+    /// store-vs-simulator adapter).
+    pub fn enable_access_log(&mut self) {
+        self.access_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded accesses, leaving the log enabled and empty.
+    pub fn take_access_log(&mut self) -> Vec<Access> {
+        match &mut self.access_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// The underlying engine (frontiers, stats, manual commits).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Operations executed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn slot_of(&self, key: &[u8]) -> u32 {
+        (fnv1a_64(key) % u64::from(self.lines)) as u32
+    }
+
+    fn decode_slot(slot: &[u8; LINE]) -> (u8, &[u8], &[u8]) {
+        let klen = (slot[1] as usize).min(MAX_KEY_BYTES);
+        let vlen = (slot[2] as usize).min(MAX_VALUE_BYTES);
+        (
+            slot[0],
+            &slot[KEY_AT..KEY_AT + klen],
+            &slot[VAL_AT..VAL_AT + vlen],
+        )
+    }
+
+    fn check_key(key: &[u8]) -> Result<(), StoreError> {
+        if key.is_empty() || key.len() > MAX_KEY_BYTES {
+            return Err(StoreError::Invalid(format!(
+                "key length {} not in 1..={MAX_KEY_BYTES}",
+                key.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Probes for `key`. Returns `(line, Some(value))` of the live slot
+    /// holding it, or `(line, None)` where `line` is the terminating slot
+    /// (first empty, or first tombstone usable for insert).
+    fn probe(&self, key: &[u8]) -> Result<(u32, Option<Vec<u8>>), StoreError> {
+        let start = self.slot_of(key);
+        let mut first_tombstone: Option<u32> = None;
+        for i in 0..self.lines {
+            let line = (start + i) % self.lines;
+            let slot = self.engine.read_line(line)?;
+            let (state, k, v) = Self::decode_slot(&slot);
+            match state {
+                SLOT_LIVE if k == key => return Ok((line, Some(v.to_vec()))),
+                SLOT_EMPTY => return Ok((first_tombstone.unwrap_or(line), None)),
+                SLOT_TOMBSTONE if first_tombstone.is_none() => first_tombstone = Some(line),
+                _ => {}
+            }
+        }
+        match first_tombstone {
+            Some(line) => Ok((line, None)),
+            None => Err(StoreError::Invalid("table full".into())),
+        }
+    }
+
+    fn note(&mut self, line: u32, write: bool) {
+        if let Some(log) = &mut self.access_log {
+            log.push(Access { line, write });
+        }
+    }
+
+    fn tick_epoch(&mut self) -> Result<Option<u64>, StoreError> {
+        self.ops += 1;
+        if self.ops.is_multiple_of(self.ops_per_epoch) {
+            return self.engine.commit_epoch().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Inserts or overwrites `key`. Returns the epoch committed by this
+    /// operation, if it fell on a boundary.
+    ///
+    /// # Errors
+    ///
+    /// Rejects oversized keys/values and a full table; propagates engine
+    /// failures.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<Option<u64>, StoreError> {
+        Self::check_key(key)?;
+        if value.len() > MAX_VALUE_BYTES {
+            return Err(StoreError::Invalid(format!(
+                "value length {} exceeds {MAX_VALUE_BYTES}",
+                value.len()
+            )));
+        }
+        let (line, _) = self.probe(key)?;
+        let mut slot = [0u8; LINE];
+        slot[0] = SLOT_LIVE;
+        slot[1] = key.len() as u8;
+        slot[2] = value.len() as u8;
+        slot[KEY_AT..KEY_AT + key.len()].copy_from_slice(key);
+        slot[VAL_AT..VAL_AT + value.len()].copy_from_slice(value);
+        self.engine.write_line(line, &slot)?;
+        self.note(line, true);
+        self.tick_epoch()
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        Self::check_key(key)?;
+        let (line, found) = self.probe(key)?;
+        self.note(line, false);
+        self.tick_epoch()?;
+        Ok(found)
+    }
+
+    /// Deletes `key` if present. Returns `(was_present, committed)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn delete(&mut self, key: &[u8]) -> Result<(bool, Option<u64>), StoreError> {
+        Self::check_key(key)?;
+        let (line, found) = self.probe(key)?;
+        if found.is_some() {
+            let mut slot = self.engine.read_line(line)?;
+            slot[0] = SLOT_TOMBSTONE;
+            self.engine.write_line(line, &slot)?;
+            self.note(line, true);
+        } else {
+            self.note(line, false);
+        }
+        let committed = self.tick_epoch()?;
+        Ok((found.is_some(), committed))
+    }
+
+    /// All live pairs, sorted by key. Reads the volatile image directly —
+    /// a scan is not a logical operation and does not advance the epoch
+    /// clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn scan(&self) -> Result<KvPairs, StoreError> {
+        let mut out = Vec::new();
+        for line in 0..self.lines {
+            let slot = self.engine.read_line(line)?;
+            let (state, k, v) = Self::decode_slot(&slot);
+            if state == SLOT_LIVE {
+                out.push((k.to_vec(), v.to_vec()));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Commits the executing epoch regardless of the op counter, and
+    /// realigns the counter to the boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn commit(&mut self) -> Result<u64, StoreError> {
+        self.ops = self.ops.next_multiple_of(self.ops_per_epoch);
+        self.engine.commit_epoch()
+    }
+
+    /// Closes the store (persists the committed backlog).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn close(self) -> Result<EngineStats, StoreError> {
+        self.engine.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Geometry;
+    use crate::persist::CountingMedium;
+
+    fn open_kv(lines: u32, ops_per_epoch: u64) -> (Kv, Arc<CountingMedium>) {
+        let cfg = EngineConfig {
+            lines,
+            log_blocks: 32,
+            ..EngineConfig::default()
+        };
+        let g = Geometry {
+            lines,
+            log_blocks: cfg.log_blocks,
+        };
+        let medium = Arc::new(CountingMedium::new(g.total_len()));
+        let (kv, _) = Kv::open(
+            Arc::clone(&medium) as _,
+            cfg,
+            Telemetry::off(),
+            ops_per_epoch,
+        )
+        .unwrap();
+        (kv, medium)
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let (mut kv, _) = open_kv(64, 8);
+        assert_eq!(kv.get(b"missing").unwrap(), None);
+        kv.put(b"alpha", b"one").unwrap();
+        kv.put(b"beta", b"two").unwrap();
+        assert_eq!(kv.get(b"alpha").unwrap(), Some(b"one".to_vec()));
+        kv.put(b"alpha", b"uno").unwrap();
+        assert_eq!(kv.get(b"alpha").unwrap(), Some(b"uno".to_vec()));
+        let (present, _) = kv.delete(b"alpha").unwrap();
+        assert!(present);
+        assert_eq!(kv.get(b"alpha").unwrap(), None);
+        let (present, _) = kv.delete(b"alpha").unwrap();
+        assert!(!present);
+        assert_eq!(
+            kv.scan().unwrap(),
+            vec![(b"beta".to_vec(), b"two".to_vec())]
+        );
+    }
+
+    #[test]
+    fn epochs_commit_every_n_ops() {
+        let (mut kv, _) = open_kv(64, 4);
+        let mut commits = Vec::new();
+        for i in 0..12u8 {
+            if let Some(eid) = kv.put(format!("k{i}").as_bytes(), b"v").unwrap() {
+                commits.push(eid);
+            }
+        }
+        assert_eq!(commits, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collisions_probe_and_tombstones_reuse() {
+        // A 4-slot table forces collisions fast.
+        let (mut kv, _) = open_kv(4, 100);
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"b", b"2").unwrap();
+        kv.put(b"c", b"3").unwrap();
+        assert_eq!(kv.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(kv.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(kv.get(b"c").unwrap(), Some(b"3".to_vec()));
+        kv.delete(b"b").unwrap();
+        // c may live past b's tombstone; lookups must keep probing.
+        assert_eq!(kv.get(b"c").unwrap(), Some(b"3".to_vec()));
+        kv.put(b"d", b"4").unwrap();
+        assert_eq!(kv.get(b"d").unwrap(), Some(b"4".to_vec()));
+        // Full table rejects a fifth key.
+        kv.put(b"e", b"5").unwrap();
+        assert!(matches!(kv.put(b"f", b"6"), Err(StoreError::Invalid(_))));
+    }
+
+    #[test]
+    fn oversized_keys_and_values_rejected() {
+        let (mut kv, _) = open_kv(64, 8);
+        assert!(kv.put(&[b'k'; 29], b"v").is_err());
+        assert!(kv.put(b"k", &[b'v'; 33]).is_err());
+        assert!(kv.put(b"", b"v").is_err());
+        assert!(kv.put(&[b'k'; 28], &[b'v'; 32]).is_ok());
+    }
+
+    #[test]
+    fn kv_survives_reopen() {
+        let cfg = EngineConfig {
+            lines: 64,
+            log_blocks: 32,
+            ..EngineConfig::default()
+        };
+        let g = Geometry {
+            lines: 64,
+            log_blocks: 32,
+        };
+        let medium = Arc::new(CountingMedium::new(g.total_len()));
+        {
+            let (mut kv, _) =
+                Kv::open(Arc::clone(&medium) as _, cfg.clone(), Telemetry::off(), 4).unwrap();
+            kv.put(b"persist", b"me").unwrap();
+            kv.commit().unwrap();
+            kv.close().unwrap();
+        }
+        let survivor = Arc::new(CountingMedium::from_image(medium.surviving_image()));
+        let (mut kv, report) = Kv::open(survivor, cfg, Telemetry::off(), 4).unwrap();
+        assert!(report.recovered);
+        assert_eq!(kv.get(b"persist").unwrap(), Some(b"me".to_vec()));
+    }
+
+    #[test]
+    fn access_log_records_one_entry_per_op() {
+        let (mut kv, _) = open_kv(64, 100);
+        kv.enable_access_log();
+        kv.put(b"a", b"1").unwrap();
+        kv.get(b"a").unwrap();
+        kv.delete(b"a").unwrap();
+        kv.get(b"a").unwrap();
+        let log = kv.take_access_log();
+        assert_eq!(log.len(), 4);
+        assert!(log[0].write);
+        assert!(!log[1].write);
+        assert!(log[2].write);
+        assert!(!log[3].write);
+        assert_eq!(log[0].line, log[1].line);
+    }
+}

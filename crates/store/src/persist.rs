@@ -1,0 +1,481 @@
+//! The persistence boundary: [`PersistOps`] and its three media.
+//!
+//! The engine never touches its backing medium directly; every durable
+//! byte flows through this trait, which models the x86 persistence
+//! primitives the paper assumes:
+//!
+//! * [`PersistOps::persist`] — `clflush`/`clwb` of a byte range: the write
+//!   is *issued* but not yet guaranteed durable;
+//! * [`PersistOps::fence`] — `sfence` + drain: everything persisted before
+//!   the fence is durable once it returns.
+//!
+//! Three interchangeable media implement the trait:
+//!
+//! * [`FileMedium`] — a plain file: `persist` is a positioned write into
+//!   the page cache, `fence` is `fdatasync`. The moral equivalent of an
+//!   msync-backed mmap without requiring libc.
+//! * [`LatencyMedium`] — wraps any medium and spin-waits a configured
+//!   number of nanoseconds per operation, the way Makalu's
+//!   `emulate_latency_ns` models PCM write latency on DRAM.
+//! * [`CountingMedium`] — in-memory, counts every operation, and can be
+//!   scheduled to *die* at an exact operation index. Writes issued after
+//!   the last fence are discarded at death, which is the adversarial
+//!   power-failure model: a kill between fences loses exactly the
+//!   unfenced suffix. Recovery tests run against the surviving image.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Operation counters every medium keeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// `persist` calls issued.
+    pub persists: u64,
+    /// `fence` calls issued.
+    pub fences: u64,
+    /// Bytes written across all persists.
+    pub bytes_persisted: u64,
+}
+
+/// The pluggable `clflush`/`sfence` emulation layer.
+pub trait PersistOps: Send + Sync {
+    /// Issues a write of `data` at byte `offset`. Durability is only
+    /// guaranteed after a subsequent [`PersistOps::fence`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the medium is dead or the backing store rejects the write.
+    fn persist(&self, offset: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Drains all previously issued writes to durable media.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the medium is dead or the sync fails.
+    fn fence(&self) -> io::Result<()>;
+
+    /// Reads `buf.len()` bytes at `offset` (used only at open/recovery).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the medium is dead or the read is out of range.
+    fn read(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Total capacity in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the medium holds zero bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters so far.
+    fn stats(&self) -> PersistStats;
+}
+
+fn range_check(offset: u64, len: usize, cap: u64) -> io::Result<()> {
+    let end = offset
+        .checked_add(len as u64)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "offset overflow"))?;
+    if end > cap {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("access [{offset}, {end}) beyond medium of {cap} bytes"),
+        ));
+    }
+    Ok(())
+}
+
+/// A plain file as the NVM region: positioned writes + `fdatasync`.
+#[derive(Debug)]
+pub struct FileMedium {
+    file: std::fs::File,
+    len: u64,
+    persists: AtomicU64,
+    fences: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl FileMedium {
+    /// Opens (creating if absent) `path` and sizes it to exactly `len`
+    /// bytes. A fresh file reads as zeros.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened or resized.
+    pub fn open(path: &std::path::Path, len: u64) -> io::Result<FileMedium> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        if file.metadata()?.len() != len {
+            file.set_len(len)?;
+        }
+        Ok(FileMedium {
+            file,
+            len,
+            persists: AtomicU64::new(0),
+            fences: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing file at whatever size it has.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file does not exist or cannot be opened read-write.
+    pub fn open_existing(path: &std::path::Path) -> io::Result<FileMedium> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileMedium {
+            file,
+            len,
+            persists: AtomicU64::new(0),
+            fences: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        })
+    }
+}
+
+impl PersistOps for FileMedium {
+    fn persist(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        range_check(offset, data.len(), self.len)?;
+        self.file.write_all_at(data, offset)?;
+        self.persists.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn fence(&self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.fences.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn read(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        range_check(offset, buf.len(), self.len)?;
+        self.file.read_exact_at(buf, offset)
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn stats(&self) -> PersistStats {
+        PersistStats {
+            persists: self.persists.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            bytes_persisted: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Injected NVM latencies, after Makalu's `emulate_latency_ns`: a spin
+/// (not a sleep — sleeps have far coarser granularity than PCM writes)
+/// charged per persist and per fence.
+#[derive(Debug)]
+pub struct LatencyMedium<M> {
+    inner: M,
+    /// Nanoseconds charged per `persist` (Makalu charges 340 ns per
+    /// `clflush` in PCM mode).
+    pub persist_ns: u64,
+    /// Nanoseconds charged per `fence` (Makalu charges 500 ns per
+    /// `mfence` in PCM mode).
+    pub fence_ns: u64,
+}
+
+impl<M: PersistOps> LatencyMedium<M> {
+    /// Wraps `inner`, charging the given latencies.
+    pub fn new(inner: M, persist_ns: u64, fence_ns: u64) -> Self {
+        LatencyMedium {
+            inner,
+            persist_ns,
+            fence_ns,
+        }
+    }
+
+    fn spin(ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        let start = std::time::Instant::now();
+        let target = std::time::Duration::from_nanos(ns);
+        while start.elapsed() < target {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl<M: PersistOps> PersistOps for LatencyMedium<M> {
+    fn persist(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.inner.persist(offset, data)?;
+        Self::spin(self.persist_ns);
+        Ok(())
+    }
+
+    fn fence(&self) -> io::Result<()> {
+        self.inner.fence()?;
+        Self::spin(self.fence_ns);
+        Ok(())
+    }
+
+    fn read(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn stats(&self) -> PersistStats {
+        self.inner.stats()
+    }
+}
+
+#[derive(Debug)]
+struct CountingState {
+    /// Durable image: reflects everything up to the last fence.
+    image: Vec<u8>,
+    /// Writes issued since the last fence, in order. Lost if the medium
+    /// dies before the next fence.
+    pending: Vec<(u64, Vec<u8>)>,
+    stats: PersistStats,
+    /// Die when the (persist + fence) op counter reaches this value.
+    kill_at_op: Option<u64>,
+    dead: bool,
+}
+
+/// In-memory medium with exact operation counting and scheduled death.
+///
+/// Death semantics are the adversarial power-failure model: at the fatal
+/// operation the medium stops accepting work *and discards every write
+/// issued since the last completed fence*. [`CountingMedium::surviving_image`]
+/// is what a recovery sees.
+#[derive(Debug)]
+pub struct CountingMedium {
+    state: Mutex<CountingState>,
+}
+
+impl CountingMedium {
+    /// A zero-filled medium of `len` bytes.
+    pub fn new(len: u64) -> CountingMedium {
+        CountingMedium::from_image(vec![0u8; len as usize])
+    }
+
+    /// A medium whose durable image starts as `image` (e.g. the survivor
+    /// of an earlier death, for recovery testing).
+    pub fn from_image(image: Vec<u8>) -> CountingMedium {
+        CountingMedium {
+            state: Mutex::new(CountingState {
+                image,
+                pending: Vec::new(),
+                stats: PersistStats::default(),
+                kill_at_op: None,
+                dead: false,
+            }),
+        }
+    }
+
+    /// Schedules death at operation index `op` (0-based over the combined
+    /// persist+fence sequence): the op that would be number `op` fails
+    /// instead of executing, and unfenced writes are dropped.
+    pub fn kill_at_op(&self, op: u64) {
+        self.state
+            .lock()
+            .expect("counting medium poisoned")
+            .kill_at_op = Some(op);
+    }
+
+    /// Whether the scheduled death has occurred.
+    pub fn is_dead(&self) -> bool {
+        self.state.lock().expect("counting medium poisoned").dead
+    }
+
+    /// The durable bytes (everything fenced before death or now).
+    pub fn surviving_image(&self) -> Vec<u8> {
+        self.state
+            .lock()
+            .expect("counting medium poisoned")
+            .image
+            .clone()
+    }
+
+    fn begin_op(state: &mut CountingState) -> io::Result<()> {
+        if state.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "medium is dead (injected power failure)",
+            ));
+        }
+        let op_index = state.stats.persists + state.stats.fences;
+        if state.kill_at_op == Some(op_index) {
+            state.dead = true;
+            state.pending.clear();
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                format!("injected power failure at persist-op {op_index}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl PersistOps for CountingMedium {
+    fn persist(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().expect("counting medium poisoned");
+        Self::begin_op(&mut state)?;
+        range_check(offset, data.len(), state.image.len() as u64)?;
+        state.pending.push((offset, data.to_vec()));
+        state.stats.persists += 1;
+        state.stats.bytes_persisted += data.len() as u64;
+        Ok(())
+    }
+
+    fn fence(&self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("counting medium poisoned");
+        Self::begin_op(&mut state)?;
+        let pending = std::mem::take(&mut state.pending);
+        for (offset, data) in pending {
+            let at = offset as usize;
+            state.image[at..at + data.len()].copy_from_slice(&data);
+        }
+        state.stats.fences += 1;
+        Ok(())
+    }
+
+    fn read(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let state = self.state.lock().expect("counting medium poisoned");
+        if state.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "medium is dead (injected power failure)",
+            ));
+        }
+        range_check(offset, buf.len(), state.image.len() as u64)?;
+        // Reads see issued-but-unfenced writes, like a CPU reading its own
+        // store buffer; only *durability* waits for the fence.
+        let at = offset as usize;
+        buf.copy_from_slice(&state.image[at..at + buf.len()]);
+        for (woff, data) in &state.pending {
+            let (a, b) = (*woff, woff + data.len() as u64);
+            let (ra, rb) = (offset, offset + buf.len() as u64);
+            if b <= ra || a >= rb {
+                continue;
+            }
+            let from = a.max(ra);
+            let to = b.min(rb);
+            buf[(from - ra) as usize..(to - ra) as usize]
+                .copy_from_slice(&data[(from - a) as usize..(to - a) as usize]);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("counting medium poisoned")
+            .image
+            .len() as u64
+    }
+
+    fn stats(&self) -> PersistStats {
+        self.state.lock().expect("counting medium poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_medium_fences_make_writes_durable() {
+        let m = CountingMedium::new(128);
+        m.persist(0, &[1, 2, 3]).unwrap();
+        assert_eq!(m.surviving_image()[0], 0, "unfenced write not durable");
+        m.fence().unwrap();
+        assert_eq!(&m.surviving_image()[..3], &[1, 2, 3]);
+        assert_eq!(
+            m.stats(),
+            PersistStats {
+                persists: 1,
+                fences: 1,
+                bytes_persisted: 3
+            }
+        );
+    }
+
+    #[test]
+    fn counting_medium_death_drops_unfenced_suffix() {
+        let m = CountingMedium::new(64);
+        m.persist(0, &[7; 8]).unwrap();
+        m.fence().unwrap();
+        m.persist(8, &[9; 8]).unwrap();
+        m.kill_at_op(3); // ops 0..=2 done; op 3 (the fence below) dies
+        assert!(m.fence().is_err());
+        assert!(m.is_dead());
+        assert!(m.persist(0, &[0]).is_err(), "dead medium rejects work");
+        let image = m.surviving_image();
+        assert_eq!(&image[..8], &[7; 8], "fenced write survives");
+        assert_eq!(&image[8..16], &[0; 8], "unfenced write dropped");
+    }
+
+    #[test]
+    fn counting_medium_reads_see_pending_writes() {
+        let m = CountingMedium::new(16);
+        m.persist(4, &[5, 6]).unwrap();
+        let mut buf = [0u8; 8];
+        m.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0, 0, 5, 6, 0, 0]);
+    }
+
+    #[test]
+    fn counting_medium_rejects_out_of_range() {
+        let m = CountingMedium::new(8);
+        assert!(m.persist(4, &[0; 8]).is_err());
+        let mut buf = [0u8; 16];
+        assert!(m.read(0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn file_medium_round_trips_and_counts() {
+        let dir = std::env::temp_dir().join("picl_store_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.nvm");
+        let m = FileMedium::open(&path, 256).unwrap();
+        m.persist(10, b"hello").unwrap();
+        m.fence().unwrap();
+        let mut buf = [0u8; 5];
+        m.read(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert_eq!(m.stats().persists, 1);
+        assert_eq!(m.stats().fences, 1);
+        drop(m);
+        let again = FileMedium::open_existing(&path).unwrap();
+        assert_eq!(again.len(), 256);
+        let mut buf = [0u8; 5];
+        again.read(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn latency_medium_delegates() {
+        let m = LatencyMedium::new(CountingMedium::new(32), 100, 100);
+        m.persist(0, &[1]).unwrap();
+        m.fence().unwrap();
+        let mut buf = [0u8; 1];
+        m.read(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+        assert_eq!(m.stats().persists, 1);
+        assert!(!m.is_empty());
+    }
+}

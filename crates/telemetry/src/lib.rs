@@ -4,8 +4,12 @@
 //! # Design
 //!
 //! Instrumented components — the machine (in `picl-sim`), the cache
-//! hierarchy, the NVM model, and every consistency scheme — hold clones of
-//! one [`Telemetry`] handle. A disabled handle (the default) is a
+//! hierarchy, the NVM model, every consistency scheme, and the executable
+//! `picl-store` engine — hold clones of one [`Telemetry`] handle. The
+//! [`EventKind`] vocabulary is deliberately shared between the simulated
+//! and executable implementations of the protocol: `picl audit` checks
+//! either stream against the same invariants, and the crashlab
+//! store-vs-simulator differential diffs their epochs directly. A disabled handle (the default) is a
 //! `None` behind one branch: recording compiles to an early return with no
 //! allocation, locking, or formatting, so instrumentation stays permanently
 //! in the hot paths and a normal run pays nothing measurable.

@@ -45,6 +45,26 @@ impl Hasher for FxHasher {
 /// The `BuildHasher` for [`FxHasher`].
 pub type FxBuild = BuildHasherDefault<FxHasher>;
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string.
+///
+/// Used where a *stable on-media* digest is needed (the `picl-store` file
+/// layout checksums its superblock and log blocks with it): unlike
+/// [`FxHasher`], the output is a specified function of the bytes alone, so
+/// files written by one build verify under any other.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// A `HashMap` with deterministic, fast hashing.
 pub type FastMap<K, V> = HashMap<K, V, FxBuild>;
 
@@ -73,6 +93,16 @@ mod tests {
         assert!(s.insert(42));
         assert!(!s.insert(42));
         assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+        // Sensitivity: one flipped bit changes the digest.
+        assert_ne!(fnv1a_64(b"foobas"), fnv1a_64(b"foobar"));
     }
 
     #[test]

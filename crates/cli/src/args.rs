@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 /// Flags that take no value; writing `--quick` records `quick=true`
 /// (the `--quick=false` form still works).
-const BOOLEAN_FLAGS: &[&str] = &["quick", "keep-going", "progress"];
+const BOOLEAN_FLAGS: &[&str] = &["quick", "keep-going", "progress", "baseline"];
 
 /// A parsed command line: the command, an optional subcommand, and flags.
 #[derive(Debug, Clone, PartialEq, Eq)]

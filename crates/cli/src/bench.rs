@@ -214,7 +214,7 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 

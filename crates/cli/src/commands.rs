@@ -37,6 +37,11 @@ commands:
   replay      simulate from a recorded trace file
   store       the executable PiCL storage engine (see `picl store help`):
               run | dump | verify | torture | simdiff
+  serve       concurrent serving front-end (see `picl serve help`):
+              run | torture
+  ycsb        YCSB-style load benchmark: zipfian keys, A/B/C mixes,
+              multi- vs single-session PiCL (and optionally the
+              fdatasync-per-mutation baseline), audited event streams
   benchmarks  list the 29 modeled SPEC2k6-like benchmarks
   help        show this text
 
@@ -80,7 +85,22 @@ crashlab flags:
   --boundary-cores N    with --crash-at: crash mid-flush after N checkpoints
   --telemetry PREFIX    with --crash-at: export the trial's recording
 
-campaign flags (sweep, bench, crashlab):
+ycsb flags:
+  --sessions N          concurrent client sessions (default 4)
+  --ops N               total measured operations (default 20k)
+  --keys N              key-space size (default 100k)
+  --theta F             zipfian skew in [0,1) (default 0.9)
+  --mix a|b|c           YCSB mix: 50/95/100% reads (default b)
+  --value-bytes N       value size, spans slots above 16 (default 100)
+  --arrival SPEC        closed | poisson:RATE | bursty:RATE:PERIOD_MS
+  --ops-per-epoch N     mutations per epoch (default 64)
+  --window N            in-order persist window = RPO bound (default 4)
+  --baseline            also run the fdatasync-per-mutation store
+  --out FILE            picl-serve-v1 report path (default BENCH_7.json)
+  --path FILE           store-file base path (default: under the temp dir)
+  --telemetry PREFIX    export the multi-session cell's event stream
+
+campaign flags (sweep, bench, crashlab, ycsb):
   --resume DIR          checkpoint finished cells into DIR; relaunching
                         with the same DIR re-runs only missing/failed ones
   --cell-timeout SECS   per-cell wall-clock watchdog (fractions allowed)
@@ -98,9 +118,9 @@ const CLOCK_MHZ: f64 = 2000.0;
 ///
 /// Returns an [`ArgError`] describing any invalid flag or value.
 pub fn dispatch(args: &Args) -> Result<(), ArgError> {
-    // Only `store` has subcommands; a stray word after any other command
-    // is a mistake, not a flag value.
-    if args.command() != "store" {
+    // Only `store` and `serve` have subcommands; a stray word after any
+    // other command is a mistake, not a flag value.
+    if !matches!(args.command(), "store" | "serve") {
         args.expect_no_subcommand()?;
     }
     match args.command() {
@@ -116,6 +136,8 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
         "record" => cmd_record(args),
         "replay" => cmd_replay(args),
         "store" => crate::store::cmd_store(args),
+        "serve" => crate::serve::cmd_serve(args),
+        "ycsb" => crate::serve::cmd_ycsb(args),
         "benchmarks" => cmd_benchmarks(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

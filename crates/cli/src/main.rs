@@ -8,6 +8,8 @@
 //! picl record     --bench lbm --out trace.picltrc [--events 100k]
 //! picl replay     --trace trace.picltrc [--scheme picl] ...
 //! picl store      run|dump|verify|torture|simdiff [--path store.nvm] ...
+//! picl serve      run|torture [--sessions 4] [--path store.nvm] ...
+//! picl ycsb       [--sessions 4] [--ops 20k] [--keys 100k] [--mix a] ...
 //! picl benchmarks
 //! picl help
 //! ```
@@ -15,6 +17,7 @@
 mod args;
 mod bench;
 mod commands;
+mod serve;
 mod store;
 
 use std::process::ExitCode;

@@ -1,0 +1,1024 @@
+//! `picl serve` / `picl ycsb` — concurrent serving and the YCSB-style
+//! benchmark.
+//!
+//! Subcommands:
+//!
+//! - `serve run` — drive N deterministic per-session streams against one
+//!   shared store; `--progress` streams flushed
+//!   `commit <eid> ops <n0>,<n1>,...` lines (the multi-session kill -9
+//!   harness reads them to schedule its signal and to bound each
+//!   session's recovered prefix).
+//! - `serve torture` — spawn seeded multi-session `kill -9` children and
+//!   require every recovery to be prefix-consistent per session within
+//!   the RPO bound.
+//! - `ycsb` — the load benchmark: zipfian key popularity, A/B/C mixes,
+//!   closed- or open-loop arrivals. Runs a multi-session cell and a
+//!   same-op-count single-session cell (plus, with `--baseline`, the
+//!   fdatasync-per-mutation store) through the campaign executor,
+//!   audits the PiCL cells' event streams in-process, and emits a
+//!   `picl-serve-v1` JSON report.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use picl_campaign::json::Value;
+use picl_campaign::{run_cells, CellPayload};
+use picl_crashlab::run_serve_campaign;
+use picl_serve::{
+    preload, run_load, session_ops, Arrival, Backend, FsyncKv, LoadReport, LoadSpec, MixPreset,
+    ServeKv,
+};
+use picl_store::workload::Op;
+use picl_store::{EngineConfig, FileMedium, Geometry, StoreError, UNDO_BUFFER_ENTRIES};
+use picl_telemetry::export::jsonl_to_string;
+use picl_telemetry::json::validate_json;
+use picl_telemetry::Telemetry;
+
+use crate::args::{ArgError, Args};
+use crate::bench::escape as json_escape;
+use crate::commands::campaign_options;
+
+/// Usage text for `picl serve help`.
+const SERVE_USAGE: &str = "\
+usage: picl serve <run|torture|help> [--flag value]...
+
+run flags:
+  --path FILE           store file (required; created if absent)
+  --seed N              per-session stream seed (default 1)
+  --sessions N          concurrent client sessions (default 4)
+  --ops-per-session N   operations per session (default 100)
+  --key-space N         keys per session, under its own prefix (default 12)
+  --ops-per-epoch N     mutations per epoch (default 8)
+  --window N            in-order persist window = RPO bound (default 1)
+  --lines N             data capacity in 64B lines when creating (default 1024)
+  --log-blocks N        log capacity in 4K blocks (default: sized from
+                        --lines and --window with headroom)
+  --persist-stall-ms N  persister mid-epoch stall for the torture harness
+  --progress            stream flushed `commit <eid> ops n0,n1,...` lines
+  --telemetry PREFIX    export the engine's event stream (audit-ready)
+
+torture flags:
+  --trials N            multi-session kill -9 trials (default 30)
+  --seed N              campaign seed (default 7)
+  --dir DIR             scratch directory (default: the OS temp dir)
+";
+
+/// Dispatches `picl serve <sub>`.
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] for unknown subcommands, bad flags, I/O
+/// failures, or oracle verdicts (torture mismatches).
+pub fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    match args.subcommand() {
+        Some("run") => serve_run(args),
+        Some("torture") => serve_torture(args),
+        Some("help") | None => {
+            println!("{SERVE_USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!(
+            "unknown serve subcommand {other:?}; try `picl serve help`"
+        ))),
+    }
+}
+
+/// Log capacity (4 KB blocks) that keeps the geometry valid for
+/// `window`, with one epoch of headroom.
+fn auto_log_blocks(lines: u32, window: u64) -> u32 {
+    let per_epoch = u64::from(lines).div_ceil(UNDO_BUFFER_ENTRIES as u64) + 1;
+    let needed = (window + 2) * per_epoch + 2;
+    u32::try_from(needed + per_epoch).unwrap_or(u32::MAX)
+}
+
+fn serve_engine_config(args: &Args, default_lines: u32) -> Result<EngineConfig, ArgError> {
+    let lines = args.count_or("lines", u64::from(default_lines))? as u32;
+    let window = args.count_or("window", 1)?;
+    let cfg = EngineConfig {
+        lines,
+        log_blocks: args.count_or("log-blocks", u64::from(auto_log_blocks(lines, window)))? as u32,
+        window,
+        persist_stall_ms: args.count_or("persist-stall-ms", 0)?,
+        sabotage_skip_drain: false,
+    };
+    cfg.validate()
+        .map_err(|e| ArgError(format!("store geometry: {e}")))?;
+    Ok(cfg)
+}
+
+/// Applies one stream op through the serving backend, attributed to
+/// `session`.
+fn apply_serve_op(kv: &ServeKv, session: usize, op: &Op) -> Result<(), StoreError> {
+    match op {
+        Op::Put(k, v) => kv.put(session, k, v),
+        Op::Delete(k) => kv.delete(session, k).map(|_| ()),
+        Op::Get(k) => kv.get(session, k).map(|_| ()),
+    }
+}
+
+fn serve_run(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "path",
+        "seed",
+        "sessions",
+        "ops-per-session",
+        "key-space",
+        "ops-per-epoch",
+        "window",
+        "lines",
+        "log-blocks",
+        "persist-stall-ms",
+        "progress",
+        "telemetry",
+    ])?;
+    let path = args
+        .get("path")
+        .map(PathBuf::from)
+        .ok_or_else(|| ArgError("--path is required".into()))?;
+    let cfg = serve_engine_config(args, 1024)?;
+    let sessions = args.count_or("sessions", 4)? as usize;
+    let seed = args.count_or("seed", 1)?;
+    let ops_per_session = args.count_or("ops-per-session", 100)?;
+    let key_space = args.count_or("key-space", 12)?;
+    let ops_per_epoch = args.count_or("ops-per-epoch", 8)?;
+    let telemetry = match args.get("telemetry") {
+        Some(_) => Telemetry::new(0, 1 << 18),
+        None => Telemetry::off(),
+    };
+    let geometry = Geometry {
+        lines: cfg.lines,
+        log_blocks: cfg.log_blocks,
+    };
+    let medium = if path.exists() {
+        FileMedium::open_existing(&path)
+    } else {
+        FileMedium::open(&path, geometry.total_len())
+    }
+    .map_err(|e| ArgError(format!("cannot open {}: {e}", path.display())))?;
+    let (mut kv, report) = ServeKv::open(
+        Arc::new(medium),
+        cfg.clone(),
+        telemetry.clone(),
+        ops_per_epoch,
+        sessions,
+    )
+    .map_err(|e| ArgError(format!("open store: {e}")))?;
+    if report.recovered {
+        println!(
+            "recovered {} to epoch {} ({} undo entries replayed, {:.3} ms)",
+            path.display(),
+            report.recovered_to,
+            report.entries_applied,
+            report.recovery_ns as f64 / 1e6
+        );
+    }
+    if args.is_set("progress") {
+        // One flushed line per commit: the multi-session kill -9 harness
+        // reads this stream for both its signal schedule and the
+        // per-session recovery lower bounds.
+        kv.set_commit_hook(Box::new(|eid, counts| {
+            let joined = counts
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "commit {eid} ops {joined}");
+            let _ = stdout.flush();
+        }));
+    }
+
+    let outcomes: Vec<Result<(), StoreError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|sid| {
+                let kv = &kv;
+                s.spawn(move || {
+                    for op in session_ops(seed, sid, ops_per_session, key_space) {
+                        apply_serve_op(kv, sid, &op)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    for outcome in outcomes {
+        outcome.map_err(|e| ArgError(format!("serving: {e}")))?;
+    }
+    kv.commit()
+        .map_err(|e| ArgError(format!("final commit: {e}")))?;
+
+    let counts = kv.session_counts();
+    let stalls = kv.commit_stalls();
+    let (_, committed, persisted) = kv.engine().frontiers();
+    let live = kv.scan().map_err(|e| ArgError(format!("scan: {e}")))?.len();
+    let stats = kv
+        .close()
+        .map_err(|e| ArgError(format!("close store: {e}")))?;
+    println!(
+        "served {} ops across {} sessions ({} live keys): {} epochs committed, \
+         {} persisted (RPO bound {} epoch[s]), {} undo entries, {} forced drains, \
+         {} window stalls",
+        counts.iter().sum::<u64>(),
+        sessions,
+        live,
+        committed,
+        persisted,
+        cfg.window,
+        stats.undo_entries,
+        stats.forced_drains,
+        stats.window_stalls
+    );
+    if let Some(p99) = stalls.percentile_interpolated(99.0) {
+        println!(
+            "epoch-commit stall: p50 {:.3} ms, p99 {:.3} ms over {} commits",
+            stalls.percentile_interpolated(50.0).unwrap_or(0.0) / 1e6,
+            p99 / 1e6,
+            stalls.count()
+        );
+    }
+    if let Some(prefix) = args.get("telemetry") {
+        crate::commands::export_telemetry(prefix, &telemetry.snapshot())?;
+    }
+    Ok(())
+}
+
+fn serve_torture(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["trials", "seed", "dir"])?;
+    let trials = args.count_or("trials", 30)?;
+    if trials == 0 {
+        return Err(ArgError("--trials must be at least 1".into()));
+    }
+    let binary = std::env::current_exe()
+        .map_err(|e| ArgError(format!("cannot locate the picl binary: {e}")))?;
+    let dir = match args.get("dir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("picl-serve-torture-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| ArgError(format!("cannot create {}: {e}", dir.display())))?;
+    let report =
+        run_serve_campaign(&binary, &dir, trials, args.count_or("seed", 7)?).map_err(ArgError)?;
+    let mut worst_lost = 0u64;
+    let mut max_recovery_ns = 0u64;
+    let mut sessions_judged = 0u64;
+    for o in &report.outcomes {
+        worst_lost = worst_lost.max(o.epochs_lost);
+        max_recovery_ns = max_recovery_ns.max(o.recovery_ns);
+        sessions_judged += o.sessions_consistent.len() as u64;
+    }
+    println!(
+        "{} trials, {} kill -9s delivered, {} session verdicts, in {:.2} s",
+        report.outcomes.len(),
+        report.kills,
+        sessions_judged,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "oracle: {} inconsistent, {} RPO violations; worst epochs lost {worst_lost}, \
+         slowest recovery {:.3} ms",
+        report.inconsistent,
+        report.rpo_violations,
+        max_recovery_ns as f64 / 1e6
+    );
+    if report.passed() {
+        println!("serve torture: PASS (every session prefix-consistent within the RPO bound)");
+        Ok(())
+    } else {
+        Err(ArgError(format!(
+            "serve torture: {} inconsistent recoveries, {} RPO violations",
+            report.inconsistent, report.rpo_violations
+        )))
+    }
+}
+
+/// `picl store run --threads N`: the same seeded smoke workload, but
+/// sharded across N session threads over one shared store.
+pub(crate) fn store_run_threads(args: &Args, threads: usize) -> Result<(), ArgError> {
+    if args.get("workload").is_some() {
+        return Err(ArgError(
+            "--workload runs a single scripted stream; use --threads 1 with it".into(),
+        ));
+    }
+    if args.get("medium").is_some_and(|m| m != "file") {
+        return Err(ArgError(
+            "--medium latency is single-threaded; use --threads 1 with it".into(),
+        ));
+    }
+    let path = args
+        .get("path")
+        .map(PathBuf::from)
+        .ok_or_else(|| ArgError("--path is required".into()))?;
+    let cfg = EngineConfig {
+        lines: args.count_or("lines", 1024)? as u32,
+        log_blocks: args.count_or("log-blocks", 160)? as u32,
+        window: args.count_or("window", 1)?,
+        persist_stall_ms: args.count_or("persist-stall-ms", 0)?,
+        sabotage_skip_drain: false,
+    };
+    cfg.validate()
+        .map_err(|e| ArgError(format!("store geometry: {e}")))?;
+    let geometry = Geometry {
+        lines: cfg.lines,
+        log_blocks: cfg.log_blocks,
+    };
+    let medium = if path.exists() {
+        FileMedium::open_existing(&path)
+    } else {
+        FileMedium::open(&path, geometry.total_len())
+    }
+    .map_err(|e| ArgError(format!("cannot open {}: {e}", path.display())))?;
+    let telemetry = match args.get("telemetry") {
+        Some(_) => Telemetry::new(0, 1 << 18),
+        None => Telemetry::off(),
+    };
+    let (mut kv, report) = ServeKv::open(
+        Arc::new(medium),
+        cfg.clone(),
+        telemetry.clone(),
+        args.count_or("ops-per-epoch", 8)?,
+        threads,
+    )
+    .map_err(|e| ArgError(format!("open store: {e}")))?;
+    if report.recovered {
+        println!(
+            "recovered {} to epoch {} ({} undo entries replayed, {:.3} ms)",
+            path.display(),
+            report.recovered_to,
+            report.entries_applied,
+            report.recovery_ns as f64 / 1e6
+        );
+    }
+    if args.is_set("progress") {
+        // Same plain `commit <eid>` lines as the single-threaded path.
+        kv.set_commit_hook(Box::new(|eid, _| {
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "commit {eid}");
+            let _ = stdout.flush();
+        }));
+    }
+    let seed = args.count_or("seed", 1)?;
+    let total_ops = args.count_or("ops", 200)?;
+    let key_space = args.count_or("key-space", 16)?;
+    let per_thread = (total_ops / threads as u64).max(1);
+    let outcomes: Vec<Result<(), StoreError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let kv = &kv;
+                s.spawn(move || {
+                    // Distinct seeds per thread; shared key space, so the
+                    // threads genuinely contend for the same records.
+                    let ops =
+                        picl_store::generate(seed ^ ((tid as u64) << 32), per_thread, key_space);
+                    for op in &ops {
+                        match op {
+                            Op::Put(k, v) => kv.put(tid, k, v)?,
+                            Op::Delete(k) => {
+                                kv.delete(tid, k)?;
+                            }
+                            Op::Get(k) => {
+                                kv.get(tid, k)?;
+                            }
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    for outcome in outcomes {
+        outcome.map_err(|e| ArgError(format!("workload: {e}")))?;
+    }
+    kv.commit()
+        .map_err(|e| ArgError(format!("final commit: {e}")))?;
+    let (_, committed, persisted) = kv.engine().frontiers();
+    let live = kv.scan().map_err(|e| ArgError(format!("scan: {e}")))?.len();
+    let stats = kv
+        .close()
+        .map_err(|e| ArgError(format!("close store: {e}")))?;
+    println!(
+        "ran {} ops on {} threads ({} live keys): {} epochs committed, {} persisted \
+         (RPO bound {} epoch[s]), {} undo entries, {} drains ({} forced), {} window stalls",
+        per_thread * threads as u64,
+        threads,
+        live,
+        committed,
+        persisted,
+        cfg.window,
+        stats.undo_entries,
+        stats.drains,
+        stats.forced_drains,
+        stats.window_stalls
+    );
+    if let Some(prefix) = args.get("telemetry") {
+        crate::commands::export_telemetry(prefix, &telemetry.snapshot())?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// picl ycsb
+// ---------------------------------------------------------------------------
+
+/// One measured YCSB cell.
+#[derive(Debug, Clone)]
+struct YcsbResult {
+    label: String,
+    backend: String,
+    sessions: usize,
+    ops: u64,
+    reads: u64,
+    updates: u64,
+    preload_s: f64,
+    elapsed_s: f64,
+    throughput: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    /// p99 of the epoch-commit stall a writer observes (0 for fsync).
+    commit_stall_p99_ms: f64,
+    audit_events: u64,
+    audit_dropped: u64,
+    audit_violations: u64,
+}
+
+impl CellPayload for YcsbResult {
+    fn encode(&self) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"backend\": \"{}\", \"sessions\": {}, \"ops\": {}, \
+             \"reads\": {}, \"updates\": {}, \"preload_s\": {}, \"elapsed_s\": {}, \
+             \"throughput\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+             \"commit_stall_p99_ms\": {}, \"audit_events\": {}, \"audit_dropped\": {}, \
+             \"audit_violations\": {}}}",
+            json_escape(&self.label),
+            json_escape(&self.backend),
+            self.sessions,
+            self.ops,
+            self.reads,
+            self.updates,
+            self.preload_s,
+            self.elapsed_s,
+            self.throughput,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.commit_stall_p99_ms,
+            self.audit_events,
+            self.audit_dropped,
+            self.audit_violations
+        )
+    }
+
+    fn decode(v: &Value) -> Result<YcsbResult, String> {
+        let float = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+        };
+        Ok(YcsbResult {
+            label: v.field_str("label")?.to_owned(),
+            backend: v.field_str("backend")?.to_owned(),
+            sessions: v
+                .get("sessions")
+                .and_then(Value::as_usize)
+                .ok_or("missing or non-integer field \"sessions\"")?,
+            ops: v.field_u64("ops")?,
+            reads: v.field_u64("reads")?,
+            updates: v.field_u64("updates")?,
+            preload_s: float("preload_s")?,
+            elapsed_s: float("elapsed_s")?,
+            throughput: float("throughput")?,
+            p50_us: float("p50_us")?,
+            p99_us: float("p99_us")?,
+            p999_us: float("p999_us")?,
+            commit_stall_p99_ms: float("commit_stall_p99_ms")?,
+            audit_events: v.field_u64("audit_events")?,
+            audit_dropped: v.field_u64("audit_dropped")?,
+            audit_violations: v.field_u64("audit_violations")?,
+        })
+    }
+}
+
+/// One schedulable YCSB cell.
+#[derive(Clone)]
+struct YcsbCell {
+    label: String,
+    /// `picl` (epoch-logged engine) or `fsync` (per-mutation fdatasync).
+    backend: &'static str,
+    store_path: PathBuf,
+    spec: LoadSpec,
+    cfg: EngineConfig,
+    ops_per_epoch: u64,
+    /// Export prefix for this cell's telemetry, if requested.
+    telemetry_prefix: Option<String>,
+}
+
+impl picl_campaign::CampaignCell for YcsbCell {
+    type Payload = YcsbResult;
+
+    fn spec_string(&self) -> String {
+        format!(
+            "ycsb {} {} s{} o{} k{} t{} m{} v{} seed{} {} e{} w{}",
+            self.label,
+            self.backend,
+            self.spec.sessions,
+            self.spec.ops_per_session,
+            self.spec.keys,
+            self.spec.theta,
+            self.spec.mix.label(),
+            self.spec.value_bytes,
+            self.spec.seed,
+            self.spec.arrival.label(),
+            self.ops_per_epoch,
+            self.cfg.window,
+        )
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn execute(&self) -> YcsbResult {
+        self.run().unwrap_or_else(|e| panic!("{}", e.0))
+    }
+}
+
+fn percentiles_us(report: &LoadReport) -> (f64, f64, f64) {
+    let at = |p: f64| report.latency_ns.percentile_interpolated(p).unwrap_or(0.0) / 1e3;
+    (at(50.0), at(99.0), at(99.9))
+}
+
+impl YcsbCell {
+    fn run(&self) -> Result<YcsbResult, ArgError> {
+        let _ = std::fs::remove_file(&self.store_path);
+        let result = match self.backend {
+            "picl" => self.run_picl(),
+            "fsync" => self.run_fsync(),
+            other => Err(ArgError(format!("unknown backend {other:?}"))),
+        };
+        let _ = std::fs::remove_file(&self.store_path);
+        result
+    }
+
+    fn run_picl(&self) -> Result<YcsbResult, ArgError> {
+        // Size the event ring so a smoke-scale run audits without drops;
+        // a big run may overflow it, which the report calls out via
+        // audit_dropped (the auditor's verdict is then inconclusive, not
+        // clean — violations are still violations either way).
+        let total_ops = self.spec.keys + self.spec.ops_per_session * self.spec.sessions as u64;
+        let ring = usize::try_from((total_ops * 10).next_power_of_two())
+            .unwrap_or(1 << 22)
+            .clamp(1 << 12, 1 << 22);
+        let telemetry = Telemetry::new(0, ring);
+        let geometry = Geometry {
+            lines: self.cfg.lines,
+            log_blocks: self.cfg.log_blocks,
+        };
+        let medium = FileMedium::open(&self.store_path, geometry.total_len())
+            .map_err(|e| ArgError(format!("cannot open {}: {e}", self.store_path.display())))?;
+        let (kv, _) = ServeKv::open(
+            Arc::new(medium),
+            self.cfg.clone(),
+            telemetry.clone(),
+            self.ops_per_epoch,
+            self.spec.sessions,
+        )
+        .map_err(|e| ArgError(format!("open store: {e}")))?;
+
+        let preload_started = Instant::now();
+        preload(&kv, &self.spec).map_err(|e| ArgError(format!("preload: {e}")))?;
+        kv.commit()
+            .map_err(|e| ArgError(format!("preload commit: {e}")))?;
+        let preload_s = preload_started.elapsed().as_secs_f64();
+
+        let report = run_load(&kv, &self.spec).map_err(|e| ArgError(format!("load: {e}")))?;
+        kv.commit()
+            .map_err(|e| ArgError(format!("final commit: {e}")))?;
+        let stalls = kv.commit_stalls();
+        kv.close().map_err(|e| ArgError(format!("close: {e}")))?;
+
+        // Audit the event stream in-process: the benchmark only counts if
+        // the protocol invariants held under concurrency.
+        let snap = telemetry.snapshot();
+        let jsonl = jsonl_to_string(&snap);
+        let lines = picl_audit::parse_trace(&jsonl)
+            .map_err(|e| ArgError(format!("exported stream unparsable: {e}")))?;
+        let audit = picl_audit::audit_trace(
+            &lines,
+            picl_audit::AuditConfig {
+                acs_gap: Some(self.cfg.window),
+            },
+        );
+        if let Some(prefix) = &self.telemetry_prefix {
+            crate::commands::export_telemetry(prefix, &snap)?;
+        }
+
+        let (p50_us, p99_us, p999_us) = percentiles_us(&report);
+        Ok(YcsbResult {
+            label: self.label.clone(),
+            backend: self.backend.to_owned(),
+            sessions: report.sessions,
+            ops: report.ops,
+            reads: report.reads,
+            updates: report.updates,
+            preload_s,
+            elapsed_s: report.elapsed.as_secs_f64(),
+            throughput: report.throughput(),
+            p50_us,
+            p99_us,
+            p999_us,
+            commit_stall_p99_ms: stalls.percentile_interpolated(99.0).unwrap_or(0.0) / 1e6,
+            audit_events: snap.events.len() as u64,
+            audit_dropped: snap.dropped,
+            audit_violations: audit.violations.len() as u64,
+        })
+    }
+
+    fn run_fsync(&self) -> Result<YcsbResult, ArgError> {
+        let lines = self.cfg.lines;
+        let medium = FileMedium::open(&self.store_path, u64::from(lines) * 64)
+            .map_err(|e| ArgError(format!("cannot open {}: {e}", self.store_path.display())))?;
+        let kv = FsyncKv::open(Arc::new(medium), lines)
+            .map_err(|e| ArgError(format!("open baseline: {e}")))?;
+        let preload_started = Instant::now();
+        preload(&kv, &self.spec).map_err(|e| ArgError(format!("preload: {e}")))?;
+        let preload_s = preload_started.elapsed().as_secs_f64();
+        let report = run_load(&kv, &self.spec).map_err(|e| ArgError(format!("load: {e}")))?;
+        let (p50_us, p99_us, p999_us) = percentiles_us(&report);
+        Ok(YcsbResult {
+            label: self.label.clone(),
+            backend: self.backend.to_owned(),
+            sessions: report.sessions,
+            ops: report.ops,
+            reads: report.reads,
+            updates: report.updates,
+            preload_s,
+            elapsed_s: report.elapsed.as_secs_f64(),
+            throughput: report.throughput(),
+            p50_us,
+            p99_us,
+            p999_us,
+            commit_stall_p99_ms: 0.0,
+            audit_events: 0,
+            audit_dropped: 0,
+            audit_violations: 0,
+        })
+    }
+}
+
+/// Slots one record of `value_bytes` occupies (head + continuations).
+fn slots_per_record(value_bytes: usize) -> u64 {
+    1 + value_bytes
+        .saturating_sub(picl_store::slots::HEAD_VALUE_BYTES)
+        .div_ceil(picl_store::slots::CONT_VALUE_BYTES) as u64
+}
+
+/// Renders the `picl-serve-v1` document.
+fn serve_report_json(spec: &LoadSpec, cells: &[YcsbResult], speedup: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"picl-serve-v1\",\n");
+    out.push_str(&format!("  \"mix\": \"{}\",\n", spec.mix.label()));
+    out.push_str(&format!(
+        "  \"arrival\": \"{}\",\n",
+        json_escape(&spec.arrival.label())
+    ));
+    out.push_str(&format!("  \"keys\": {},\n", spec.keys));
+    out.push_str(&format!("  \"theta\": {},\n", spec.theta));
+    out.push_str(&format!("  \"value_bytes\": {},\n", spec.value_bytes));
+    out.push_str(&format!("  \"seed\": {},\n", spec.seed));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            cell.encode(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"speedup_multi_over_single\": {speedup:.3}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// `picl ycsb` — run the benchmark matrix and emit the report.
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] on bad flags, harness failures, or any audit
+/// violation in a PiCL cell.
+pub fn cmd_ycsb(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "path",
+        "sessions",
+        "ops",
+        "keys",
+        "theta",
+        "mix",
+        "value-bytes",
+        "seed",
+        "arrival",
+        "ops-per-epoch",
+        "window",
+        "lines",
+        "log-blocks",
+        "persist-stall-ms",
+        "out",
+        "baseline",
+        "telemetry",
+        "resume",
+        "cell-timeout",
+        "keep-going",
+    ])?;
+    let sessions = args.count_or("sessions", 4)? as usize;
+    if sessions == 0 {
+        return Err(ArgError("--sessions must be at least 1".into()));
+    }
+    let total_ops = args.count_or("ops", 20_000)?;
+    let keys = args.count_or("keys", 100_000)?;
+    let value_bytes = args.count_or("value-bytes", 100)? as usize;
+    let spec = LoadSpec {
+        sessions,
+        ops_per_session: (total_ops / sessions as u64).max(1),
+        keys,
+        theta: args.float_or("theta", 0.9)?,
+        // Default to the read-mostly mix: lookups are the concurrent,
+        // lock-free path. Mix A is update-bound — every mutation pays the
+        // serialized undo-before-writeback drain — so it measures the
+        // engine against the fsync baseline, not session scaling.
+        mix: MixPreset::parse(args.get_or("mix", "b")).map_err(ArgError)?,
+        value_bytes,
+        seed: args.count_or("seed", 1)?,
+        arrival: Arrival::parse(args.get_or("arrival", "closed")).map_err(ArgError)?,
+    };
+    spec.validate()
+        .map_err(|e| ArgError(format!("load spec: {e}")))?;
+    // The multi and single cells run the same total op count.
+    let cell_total = spec.ops_per_session * sessions as u64;
+
+    // Auto-size the table: every key at its spanning footprint, at most
+    // half full, unless the user pinned the geometry.
+    let window = args.count_or("window", 4)?;
+    let auto_lines =
+        u32::try_from((keys * slots_per_record(value_bytes) * 2).max(1024)).map_err(|_| {
+            ArgError("key space too large for a 32-bit line index; lower --keys".into())
+        })?;
+    let lines = args.count_or("lines", u64::from(auto_lines))? as u32;
+    let cfg = EngineConfig {
+        lines,
+        log_blocks: args.count_or("log-blocks", u64::from(auto_log_blocks(lines, window)))? as u32,
+        window,
+        persist_stall_ms: args.count_or("persist-stall-ms", 0)?,
+        sabotage_skip_drain: false,
+    };
+    cfg.validate()
+        .map_err(|e| ArgError(format!("store geometry: {e}")))?;
+    let ops_per_epoch = args.count_or("ops-per-epoch", 64)?;
+    if ops_per_epoch == 0 {
+        return Err(ArgError("--ops-per-epoch must be at least 1".into()));
+    }
+
+    let base = match args.get("path") {
+        Some(p) => PathBuf::from(p),
+        None => std::env::temp_dir().join(format!("picl-ycsb-{}", std::process::id())),
+    };
+    if let Some(dir) = base.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ArgError(format!("cannot create {}: {e}", dir.display())))?;
+        }
+    }
+    let telemetry_prefix = args.get("telemetry").map(str::to_owned);
+
+    let mut cells = vec![
+        YcsbCell {
+            label: format!("picl x{sessions}"),
+            backend: "picl",
+            store_path: base.with_extension("multi.store"),
+            spec: spec.clone(),
+            cfg: cfg.clone(),
+            ops_per_epoch,
+            telemetry_prefix: telemetry_prefix.clone(),
+        },
+        YcsbCell {
+            label: "picl x1".into(),
+            backend: "picl",
+            store_path: base.with_extension("single.store"),
+            spec: LoadSpec {
+                sessions: 1,
+                ops_per_session: cell_total,
+                ..spec.clone()
+            },
+            cfg: cfg.clone(),
+            ops_per_epoch,
+            telemetry_prefix: None,
+        },
+    ];
+    if args.is_set("baseline") {
+        cells.push(YcsbCell {
+            label: format!("fsync x{sessions}"),
+            backend: "fsync",
+            store_path: base.with_extension("fsync.store"),
+            spec: spec.clone(),
+            cfg: cfg.clone(),
+            ops_per_epoch,
+            telemetry_prefix: None,
+        });
+    }
+
+    // One worker: cells time wall-clock and spawn their own session
+    // threads; the executor adds panic isolation and checkpoint/resume.
+    let mut opts = campaign_options(args)?;
+    opts.threads = 1;
+    let run = run_cells(&cells, &opts).map_err(ArgError)?;
+    if run.cached > 0 {
+        println!("resumed {} cell(s) from the checkpoint store", run.cached);
+    }
+    let failures = run.failures();
+    let results: Vec<YcsbResult> = run
+        .outcomes
+        .into_iter()
+        .filter_map(picl_campaign::CellOutcome::into_payload)
+        .collect();
+
+    println!(
+        "{:<12}{:>9}{:>12}{:>11}{:>11}{:>12}{:>12}",
+        "cell", "ops", "ops/s", "p50 us", "p99 us", "p99.9 us", "stall99 ms"
+    );
+    for r in &results {
+        println!(
+            "{:<12}{:>9}{:>12.0}{:>11.1}{:>11.1}{:>12.1}{:>12.3}",
+            r.label, r.ops, r.throughput, r.p50_us, r.p99_us, r.p999_us, r.commit_stall_p99_ms
+        );
+    }
+    if !failures.is_empty() {
+        let lines: Vec<String> = failures
+            .iter()
+            .map(|(i, m)| format!("  {}: {m}", cells[*i].label))
+            .collect();
+        return Err(ArgError(format!(
+            "{} ycsb cell(s) produced no measurement:\n{}",
+            failures.len(),
+            lines.join("\n")
+        )));
+    }
+
+    let multi = results
+        .iter()
+        .find(|r| r.backend == "picl" && r.sessions == sessions)
+        .ok_or_else(|| ArgError("multi-session cell missing from results".into()))?;
+    let single = results
+        .iter()
+        .find(|r| r.backend == "picl" && r.sessions == 1)
+        .ok_or_else(|| ArgError("single-session cell missing from results".into()))?;
+    let speedup = multi.throughput / single.throughput.max(1e-9);
+    println!(
+        "{} sessions vs 1: {speedup:.2}x aggregate throughput ({} audit events, \
+         {} dropped, {} violations)",
+        sessions, multi.audit_events, multi.audit_dropped, multi.audit_violations
+    );
+
+    let json = serve_report_json(&spec, &results, speedup);
+    validate_json(&json).map_err(|e| ArgError(format!("emitted JSON invalid: {e}")))?;
+    let out_path = args.get_or("out", "BENCH_7.json");
+    std::fs::write(out_path, &json)
+        .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
+    println!("wrote {out_path} ({} cells)", results.len());
+
+    let violations: u64 = results.iter().map(|r| r.audit_violations).sum();
+    if violations > 0 {
+        return Err(ArgError(format!(
+            "{violations} protocol-invariant violation(s) in the serving event stream"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("picl-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn parse(raw: &[&str]) -> Args {
+        Args::parse(raw.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn serve_run_round_trips_and_recovers() {
+        let path = temp_path("serve-run.store");
+        let p = path.display().to_string();
+        cmd_serve(&parse(&[
+            "serve",
+            "run",
+            "--path",
+            &p,
+            "--seed",
+            "9",
+            "--sessions",
+            "3",
+            "--ops-per-session",
+            "60",
+            "--ops-per-epoch",
+            "5",
+        ]))
+        .unwrap();
+        // Reopening the same file recovers and serves again.
+        cmd_serve(&parse(&[
+            "serve",
+            "run",
+            "--path",
+            &p,
+            "--seed",
+            "10",
+            "--sessions",
+            "2",
+            "--ops-per-session",
+            "20",
+            "--ops-per-epoch",
+            "5",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_rejects_unknown_subcommand() {
+        assert!(cmd_serve(&parse(&["serve", "frobnicate"])).is_err());
+        cmd_serve(&parse(&["serve", "help"])).unwrap();
+        cmd_serve(&parse(&["serve"])).unwrap();
+    }
+
+    #[test]
+    fn ycsb_smoke_produces_valid_report() {
+        let store = temp_path("ycsb-smoke");
+        let out = temp_path("ycsb-smoke.json");
+        let out_s = out.display().to_string();
+        cmd_ycsb(&parse(&[
+            "ycsb",
+            "--path",
+            &store.display().to_string(),
+            "--sessions",
+            "4",
+            "--ops",
+            "1200",
+            "--keys",
+            "800",
+            "--value-bytes",
+            "72",
+            "--mix",
+            "a",
+            "--out",
+            &out_s,
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"schema\": \"picl-serve-v1\""), "{json}");
+        assert!(json.contains("\"speedup_multi_over_single\""), "{json}");
+        assert!(json.contains("\"audit_violations\": 0"), "{json}");
+        assert!(json.contains("picl x4"), "{json}");
+        assert!(json.contains("picl x1"), "{json}");
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn ycsb_rejects_bad_mix_and_arrival() {
+        assert!(cmd_ycsb(&parse(&["ycsb", "--mix", "z"])).is_err());
+        assert!(cmd_ycsb(&parse(&["ycsb", "--arrival", "warp"])).is_err());
+        assert!(cmd_ycsb(&parse(&["ycsb", "--sessions", "0"])).is_err());
+    }
+
+    #[test]
+    fn geometry_autosizing_stays_valid() {
+        for (lines, window) in [(1024u32, 1u64), (1024, 8), (65_536, 4), (23, 1)] {
+            let cfg = EngineConfig {
+                lines,
+                log_blocks: auto_log_blocks(lines, window),
+                window,
+                persist_stall_ms: 0,
+                sabotage_skip_drain: false,
+            };
+            cfg.validate().unwrap();
+        }
+        assert_eq!(slots_per_record(8), 1);
+        assert_eq!(slots_per_record(16), 1);
+        assert_eq!(slots_per_record(17), 2);
+        assert_eq!(slots_per_record(100), 3);
+        assert_eq!(slots_per_record(255), 5);
+    }
+}

@@ -24,6 +24,11 @@
 //!   engine: `kill -9` a real child mid-epoch, recover its store file by
 //!   undo replay, and reuse the differential oracle (prefix consistency
 //!   plus the one-epoch RPO bound).
+//! - [`serve`] — the multi-session variant: `kill -9` a `picl serve`
+//!   child under concurrent load and judge recovery *per session* —
+//!   each session owns a disjoint key prefix, so the recovered image
+//!   restricted to a prefix must match some prefix of that session's
+//!   seeded stream, bounded below by the child's per-commit op counts.
 //! - [`storediff`] — the store-vs-simulator differential: one logical
 //!   workload through both implementations of the protocol, per-epoch
 //!   undo outcomes required to match line-for-line.
@@ -38,6 +43,7 @@ pub mod oracle;
 pub mod point;
 pub mod process;
 pub mod scheme;
+pub mod serve;
 pub mod shrink;
 pub mod storediff;
 
@@ -52,5 +58,9 @@ pub use process::{
     ProcessTrialOutcome, ProcessTrialSpec,
 };
 pub use scheme::LabScheme;
+pub use serve::{
+    judge_serve_recovery, parse_serve_commit_line, run_serve_campaign, run_serve_trial,
+    ServeCampaignReport, ServeJudgement, ServeTrialOutcome, ServeTrialSpec,
+};
 pub use shrink::{shrink_failure, ShrunkFailure};
 pub use storediff::{run_store_diff, StoreDiffReport, StoreDiffSpec};

@@ -1,0 +1,488 @@
+//! Multi-session process torture: `kill -9` a `picl serve` child under
+//! concurrent load and judge recovery per session.
+//!
+//! [`crate::process`] kills a single-session child whose op stream is
+//! totally ordered, so the oracle can demand the recovered store equal
+//! *the* model prefix at the recovered epoch. A serving child has no
+//! such total order: sessions interleave nondeterministically, and the
+//! interleaving dies with the process. The serve oracle instead leans on
+//! the stream design in `picl_serve::stream` — each session owns a
+//! disjoint key prefix — and on the child's extended progress lines:
+//!
+//! ```text
+//! commit <eid> ops <n0>,<n1>,...
+//! ```
+//!
+//! where `n_i` is a lower bound on how many of session `i`'s ops were
+//! included in epoch `eid` (the serve layer counts an op only after its
+//! mutation is in the epoch). After the kill, the parent recovers the
+//! file, restricts the contents to each session's prefix, and accepts
+//! the trial iff for every session there exists an op count `n` — at
+//! least the lower bound from the last commit line at or below the
+//! recovered epoch — whose seeded per-session model equals the
+//! restriction. That is prefix consistency per session; the RPO bound is
+//! judged exactly as in single-session mode.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use picl_serve::stream::session_model_after;
+use picl_store::{EngineConfig, FileMedium, Kv, Model};
+use picl_telemetry::Telemetry;
+use picl_types::Rng;
+
+use crate::process::KillClass;
+
+/// One multi-session kill -9 trial.
+#[derive(Debug, Clone)]
+pub struct ServeTrialSpec {
+    /// Path of the `picl` binary to spawn.
+    pub binary: PathBuf,
+    /// Store file the child serves and the parent recovers.
+    pub store_path: PathBuf,
+    /// Stream seed (shared by child and judging parent).
+    pub seed: u64,
+    /// Concurrent sessions in the child.
+    pub sessions: usize,
+    /// Ops each session attempts.
+    pub ops_per_session: u64,
+    /// Keys per session (under its own prefix).
+    pub key_space: u64,
+    /// Mutations per epoch in the child.
+    pub ops_per_epoch: u64,
+    /// In-order window (the RPO bound).
+    pub window: u64,
+    /// Which commit (1-based) arms the kill.
+    pub kill_after_commit: u64,
+    /// Kill class (rotated as in single-session mode).
+    pub class: KillClass,
+    /// Persister stall in ms (MidDrain wants > 0).
+    pub persist_stall_ms: u64,
+}
+
+/// Verdict of one serve-mode trial.
+#[derive(Debug, Clone)]
+pub struct ServeTrialOutcome {
+    /// Kill class exercised.
+    pub class: KillClass,
+    /// Whether SIGKILL was delivered (vs the child finishing first).
+    pub killed: bool,
+    /// Last commit epoch the parent observed.
+    pub observed_commit: u64,
+    /// Epoch recovery rolled back to.
+    pub recovered_to: u64,
+    /// Committed epochs lost (observed - recovered).
+    pub epochs_lost: u64,
+    /// Undo entries replayed during recovery.
+    pub entries_replayed: u64,
+    /// Recovery latency in nanoseconds.
+    pub recovery_ns: u64,
+    /// Per-session prefix-consistency verdicts.
+    pub sessions_consistent: Vec<bool>,
+    /// All sessions consistent and no foreign keys in the image.
+    pub consistent: bool,
+    /// `recovered_to + window >= observed_commit`.
+    pub rpo_ok: bool,
+}
+
+impl ServeTrialOutcome {
+    /// Whether the trial met the PiCL contract.
+    pub fn passed(&self) -> bool {
+        self.consistent && self.rpo_ok
+    }
+}
+
+/// Parses the serve child's extended progress line
+/// `commit <eid> ops <n0>,<n1>,...` into `(eid, per-session counts)`.
+pub fn parse_serve_commit_line(line: &str) -> Option<(u64, Vec<u64>)> {
+    let rest = line.trim().strip_prefix("commit ")?;
+    let (eid, rest) = rest.split_once(" ops ")?;
+    let eid = eid.trim().parse().ok()?;
+    let counts = rest
+        .trim()
+        .split(',')
+        .map(|t| t.trim().parse::<u64>())
+        .collect::<Result<Vec<u64>, _>>()
+        .ok()?;
+    Some((eid, counts))
+}
+
+/// Which session owns `key`, by its `s<N>-` prefix.
+fn session_of(key: &[u8], sessions: usize) -> Option<usize> {
+    let text = std::str::from_utf8(key).ok()?;
+    let rest = text.strip_prefix('s')?;
+    let dash = rest.find('-')?;
+    let sid: usize = rest[..dash].parse().ok()?;
+    (sid < sessions).then_some(sid)
+}
+
+/// What [`judge_serve_recovery`] concluded.
+#[derive(Debug, Clone)]
+pub struct ServeJudgement {
+    /// Epoch the rollback landed on.
+    pub recovered_to: u64,
+    /// Undo entries applied.
+    pub entries_replayed: u64,
+    /// Recovery latency in nanoseconds.
+    pub recovery_ns: u64,
+    /// Per-session verdicts.
+    pub sessions_consistent: Vec<bool>,
+    /// Every session consistent, no foreign keys.
+    pub consistent: bool,
+    /// Within the window of `observed_commit`.
+    pub rpo_ok: bool,
+}
+
+/// Recovers `store_path` and judges per-session prefix consistency
+/// against the seeded streams, using `commits` — the `(eid, counts)`
+/// lines observed before the kill — for the per-session lower bounds.
+///
+/// # Errors
+///
+/// Returns a message if the file cannot be opened or recovered (never
+/// for an oracle verdict).
+#[allow(clippy::too_many_arguments)]
+pub fn judge_serve_recovery(
+    store_path: &Path,
+    seed: u64,
+    sessions: usize,
+    ops_per_session: u64,
+    key_space: u64,
+    window: u64,
+    commits: &[(u64, Vec<u64>)],
+) -> Result<ServeJudgement, String> {
+    let medium = FileMedium::open_existing(store_path)
+        .map_err(|e| format!("open {}: {e}", store_path.display()))?;
+    let (kv, report) = Kv::open(
+        Arc::new(medium),
+        EngineConfig::default(),
+        Telemetry::off(),
+        1,
+    )
+    .map_err(|e| format!("recover {}: {e}", store_path.display()))?;
+    let recovered_to = report.recovered_to;
+    let observed_commit = commits.last().map_or(0, |(eid, _)| *eid);
+
+    // Partition the recovered image by owning session.
+    let mut by_session: Vec<Model> = vec![Model::new(); sessions];
+    let mut foreign_keys = false;
+    for (k, v) in kv.scan().map_err(|e| format!("scan: {e}"))? {
+        match session_of(&k, sessions) {
+            Some(sid) => {
+                by_session[sid].insert(k, v);
+            }
+            None => foreign_keys = true,
+        }
+    }
+
+    // Lower bounds: the counts from the last commit line the recovery
+    // actually kept. Later lines describe epochs that were rolled back.
+    let bounds: Vec<u64> = commits
+        .iter()
+        .rev()
+        .find(|(eid, _)| *eid <= recovered_to)
+        .map(|(_, counts)| counts.clone())
+        .unwrap_or_else(|| vec![0; sessions]);
+
+    let sessions_consistent: Vec<bool> = (0..sessions)
+        .map(|sid| {
+            let lb = bounds.get(sid).copied().unwrap_or(0);
+            (lb..=ops_per_session)
+                .any(|n| session_model_after(seed, sid, n, key_space) == by_session[sid])
+        })
+        .collect();
+    let consistent = !foreign_keys && sessions_consistent.iter().all(|&ok| ok);
+
+    Ok(ServeJudgement {
+        recovered_to,
+        entries_replayed: report.entries_applied,
+        recovery_ns: report.recovery_ns,
+        sessions_consistent,
+        consistent,
+        rpo_ok: recovered_to + window >= observed_commit,
+    })
+}
+
+fn spawn_serve_child(spec: &ServeTrialSpec) -> std::io::Result<Child> {
+    Command::new(&spec.binary)
+        .args([
+            "serve",
+            "run",
+            "--path",
+            &spec.store_path.display().to_string(),
+            "--seed",
+            &spec.seed.to_string(),
+            "--sessions",
+            &spec.sessions.to_string(),
+            "--ops-per-session",
+            &spec.ops_per_session.to_string(),
+            "--key-space",
+            &spec.key_space.to_string(),
+            "--ops-per-epoch",
+            &spec.ops_per_epoch.to_string(),
+            "--window",
+            &spec.window.to_string(),
+            "--persist-stall-ms",
+            &spec.persist_stall_ms.to_string(),
+            "--progress",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+}
+
+/// Runs one multi-session kill-and-recover trial end to end.
+///
+/// # Errors
+///
+/// Returns a message on harness failures (spawn, I/O) — never for an
+/// oracle verdict.
+pub fn run_serve_trial(spec: &ServeTrialSpec) -> Result<ServeTrialOutcome, String> {
+    let _ = std::fs::remove_file(&spec.store_path);
+    let mut child =
+        spawn_serve_child(spec).map_err(|e| format!("spawn {}: {e}", spec.binary.display()))?;
+    let stdout = child.stdout.take().ok_or("child stdout not captured")?;
+    let mut reader = BufReader::new(stdout);
+
+    let mut commits: Vec<(u64, Vec<u64>)> = Vec::new();
+    let mut killed = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break; // clean EOF: the child finished before the kill armed
+        }
+        let Some((eid, counts)) = parse_serve_commit_line(&line) else {
+            continue;
+        };
+        commits.push((eid, counts));
+        if eid >= spec.kill_after_commit {
+            match spec.class {
+                KillClass::Boundary => {}
+                KillClass::MidEpoch => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                KillClass::MidDrain => {
+                    std::thread::sleep(Duration::from_millis((spec.persist_stall_ms / 2).max(1)));
+                }
+            }
+            child.kill().map_err(|e| format!("kill: {e}"))?;
+            killed = true;
+            break;
+        }
+    }
+    let _ = child.wait();
+
+    let observed_commit = commits.last().map_or(0, |(eid, _)| *eid);
+    let judgement = judge_serve_recovery(
+        &spec.store_path,
+        spec.seed,
+        spec.sessions,
+        spec.ops_per_session,
+        spec.key_space,
+        spec.window,
+        &commits,
+    )?;
+    Ok(ServeTrialOutcome {
+        class: spec.class,
+        killed,
+        observed_commit,
+        recovered_to: judgement.recovered_to,
+        epochs_lost: observed_commit.saturating_sub(judgement.recovered_to),
+        entries_replayed: judgement.entries_replayed,
+        recovery_ns: judgement.recovery_ns,
+        sessions_consistent: judgement.sessions_consistent,
+        consistent: judgement.consistent,
+        rpo_ok: judgement.rpo_ok,
+    })
+}
+
+/// Summary of a seeded serve-mode campaign.
+#[derive(Debug, Clone, Default)]
+pub struct ServeCampaignReport {
+    /// All trial outcomes, in execution order.
+    pub outcomes: Vec<ServeTrialOutcome>,
+    /// Trials whose child was actually killed.
+    pub kills: u64,
+    /// Trials failing per-session prefix consistency.
+    pub inconsistent: u64,
+    /// Trials breaking the RPO bound.
+    pub rpo_violations: u64,
+    /// Wall-clock time of the whole campaign.
+    pub elapsed: Duration,
+}
+
+impl ServeCampaignReport {
+    /// Zero oracle mismatches across every trial.
+    pub fn passed(&self) -> bool {
+        self.inconsistent == 0 && self.rpo_violations == 0 && !self.outcomes.is_empty()
+    }
+}
+
+/// Runs `trials` seeded multi-session kill -9 trials, rotating kill
+/// classes and varying session count, stream shape, and kill point.
+///
+/// # Errors
+///
+/// Propagates harness (not oracle) failures from the first failing
+/// trial.
+pub fn run_serve_campaign(
+    binary: &Path,
+    scratch_dir: &Path,
+    trials: u64,
+    seed: u64,
+) -> Result<ServeCampaignReport, String> {
+    let mut rng = Rng::new(seed ^ 0x5E41_7E5E_5510_0000);
+    let mut report = ServeCampaignReport::default();
+    let started = Instant::now();
+    for t in 0..trials {
+        let class = KillClass::for_trial(t);
+        let spec = ServeTrialSpec {
+            binary: binary.to_path_buf(),
+            store_path: scratch_dir.join(format!("serve-torture-{t}.store")),
+            seed: rng.next_u64() & 0xFFFF,
+            sessions: rng.range(2, 6) as usize,
+            ops_per_session: rng.range(60, 160),
+            key_space: rng.range(8, 17),
+            ops_per_epoch: rng.range(3, 10),
+            window: 1,
+            kill_after_commit: rng.range(1, 11),
+            class,
+            persist_stall_ms: if class == KillClass::MidDrain { 6 } else { 0 },
+        };
+        let outcome =
+            run_serve_trial(&spec).map_err(|e| format!("trial {t} ({}): {e}", class.name()))?;
+        if outcome.killed {
+            report.kills += 1;
+        }
+        if !outcome.consistent {
+            report.inconsistent += 1;
+        }
+        if !outcome.rpo_ok {
+            report.rpo_violations += 1;
+        }
+        report.outcomes.push(outcome);
+        let _ = std::fs::remove_file(&spec.store_path);
+    }
+    report.elapsed = started.elapsed();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picl_serve::session::{Backend, ServeKv};
+    use picl_serve::stream::session_ops;
+    use picl_store::layout::Geometry;
+    use picl_store::workload::Op;
+    use std::sync::Mutex;
+
+    #[test]
+    fn serve_commit_lines_parse() {
+        assert_eq!(
+            parse_serve_commit_line("commit 7 ops 12,0,3\n"),
+            Some((7, vec![12, 0, 3]))
+        );
+        assert_eq!(
+            parse_serve_commit_line("  commit 1 ops 5"),
+            Some((1, vec![5]))
+        );
+        assert_eq!(parse_serve_commit_line("commit 7"), None);
+        assert_eq!(parse_serve_commit_line("commit x ops 1"), None);
+        assert_eq!(parse_serve_commit_line("commit 7 ops 1,x"), None);
+        assert_eq!(parse_serve_commit_line("op 5"), None);
+    }
+
+    #[test]
+    fn keys_map_to_their_sessions() {
+        assert_eq!(session_of(b"s0-k001", 4), Some(0));
+        assert_eq!(session_of(b"s3-k999", 4), Some(3));
+        assert_eq!(session_of(b"s4-k000", 4), None, "out of range");
+        assert_eq!(session_of(b"s12-k000", 16), Some(12));
+        assert_eq!(session_of(b"key-0001", 4), None);
+        assert_eq!(session_of(b"sx-k0", 4), None);
+    }
+
+    /// Builds a store by running the seeded session streams through a
+    /// real `ServeKv` (sequentially, so the test is deterministic),
+    /// closes it cleanly, and the judge must accept it.
+    #[test]
+    fn judgement_on_a_cleanly_closed_serve_store() {
+        let dir = std::env::temp_dir().join(format!("picl-serve-judge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.store");
+        let _ = std::fs::remove_file(&path);
+        let (seed, sessions, ops_per_session, key_space) = (21u64, 3usize, 80u64, 10u64);
+        let cfg = EngineConfig::default();
+        type CommitLog = Vec<(u64, Vec<u64>)>;
+        let commits: Arc<Mutex<CommitLog>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let g = Geometry {
+                lines: cfg.lines,
+                log_blocks: cfg.log_blocks,
+            };
+            let medium = FileMedium::open(&path, g.total_len()).unwrap();
+            let (mut kv, _) =
+                ServeKv::open(Arc::new(medium), cfg.clone(), Telemetry::off(), 7, sessions)
+                    .unwrap();
+            let sink = Arc::clone(&commits);
+            kv.set_commit_hook(Box::new(move |eid, counts| {
+                sink.lock().unwrap().push((eid, counts.to_vec()));
+            }));
+            for sid in 0..sessions {
+                for op in session_ops(seed, sid, ops_per_session, key_space) {
+                    match &op {
+                        Op::Put(k, v) => kv.put(sid, k, v).map(|_| ()).unwrap(),
+                        Op::Delete(k) => kv.delete(sid, k).map(|_| ()).unwrap(),
+                        Op::Get(k) => kv.get(sid, k).map(|_| ()).unwrap(),
+                    }
+                }
+            }
+            kv.commit().unwrap();
+            kv.close().unwrap();
+        }
+        let commits = commits.lock().unwrap().clone();
+        assert!(!commits.is_empty(), "the run must cross epoch boundaries");
+        let observed = commits.last().unwrap().0;
+        let j = judge_serve_recovery(
+            &path,
+            seed,
+            sessions,
+            ops_per_session,
+            key_space,
+            1,
+            &commits,
+        )
+        .unwrap();
+        assert_eq!(j.recovered_to, observed, "clean close loses nothing");
+        assert!(j.consistent, "verdicts: {:?}", j.sessions_consistent);
+        assert!(j.rpo_ok);
+
+        // The oracle is not vacuous: an unsatisfiable lower bound
+        // (claiming a session ran further than its whole stream) must
+        // fail that session.
+        let mut impossible = commits.clone();
+        if let Some((_, counts)) = impossible.last_mut() {
+            counts[0] = ops_per_session + 1;
+        }
+        let j2 = judge_serve_recovery(
+            &path,
+            seed,
+            sessions,
+            ops_per_session,
+            key_space,
+            1,
+            &impossible,
+        )
+        .unwrap();
+        assert!(
+            !j2.sessions_consistent[0],
+            "an unsatisfiable lower bound must fail"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,30 @@
+//! `picl-serve`: a concurrent serving front-end for `picl-store`, plus
+//! the load harness that stresses it.
+//!
+//! PiCL's pitch is software-transparent crash consistency under real
+//! application traffic, so the store needs to be *served*, not just
+//! scripted. This crate layers three things over the engine:
+//!
+//! - [`session`] — the serving layer. [`session::ServeKv`] shares one
+//!   engine between many client sessions: lookups run lock-free against
+//!   the engine's sharded image (optimistic, seqlock-validated record
+//!   assembly with a table-lock fallback), while mutations and epoch
+//!   commits serialize on one table lock so every multi-slot record
+//!   write stays inside a single epoch. [`session::FsyncKv`] is the
+//!   fdatasync-per-mutation baseline the benchmark compares against.
+//! - [`load`] — a YCSB-style load generator: zipfian key popularity over
+//!   large key spaces, A/B/C-style read/write mixes, closed-loop or
+//!   open-loop (Poisson and bursty square-wave) arrivals, per-op latency
+//!   into the shared log2 histogram.
+//! - [`stream`] — deterministic per-session operation streams for the
+//!   kill -9 torture harness: disjoint key prefixes per session, so a
+//!   recovered store can be judged session-by-session against a prefix
+//!   of each stream (prefix consistency within the RPO bound).
+
+pub mod load;
+pub mod session;
+pub mod stream;
+
+pub use load::{preload, run_load, Arrival, LoadReport, LoadSpec, MixPreset};
+pub use session::{Backend, FsyncKv, ServeKv};
+pub use stream::{session_model_after, session_ops, session_prefix};

@@ -1,0 +1,542 @@
+//! The serving layer: many client sessions, one engine.
+//!
+//! [`ServeKv`] is the concurrent front-end over a [`picl_store::Engine`].
+//! Mutations (and the epoch commits they trigger) serialize on one table
+//! lock — a multi-slot record write must stay inside a single epoch, and
+//! writers already serialize on the engine's protocol mutex underneath,
+//! so the table lock costs little extra. Lookups take *no* lock at all:
+//! they run the optimistic slot assembly from [`picl_store::slots`]
+//! against the engine's sharded image, retry on detected contention, and
+//! fall back to the table lock only if a writer keeps racing them. The
+//! engine's background persister does its media I/O outside every lock,
+//! so epoch persistence (including the fence) overlaps live traffic.
+//!
+//! Per-session completed-op counters feed the kill -9 oracle: the commit
+//! hook reports, for each committed epoch, a safe lower bound of how far
+//! each session's stream had executed. A parent that kills the process
+//! judges the recovered store per session against those bounds (see
+//! `picl-crashlab`'s serve mode).
+//!
+//! [`FsyncKv`] is the comparison baseline: the same slot table over a
+//! plain file, with an `fdatasync` after every mutation and no undo log,
+//! no epochs, and no crash-consistency story.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use picl_store::engine::{Engine, EngineConfig, EngineStats, OpenReport, StoreError};
+use picl_store::kv::KvPairs;
+use picl_store::persist::PersistOps;
+use picl_store::slots::{self, Deletion, Lines, Lookup};
+use picl_telemetry::Telemetry;
+use picl_types::stats::Histogram;
+use picl_types::LINE_BYTES;
+
+const LINE: usize = LINE_BYTES as usize;
+
+/// Optimistic lookup attempts before falling back to the table lock.
+const LOOKUP_RETRIES: usize = 64;
+
+/// Called under the table lock after each epoch commit with
+/// `(epoch id, per-session completed-op counts)`.
+pub type CommitHook = Box<dyn Fn(u64, &[u64]) + Send + Sync>;
+
+/// A KV backend the load harness can drive from many session threads.
+pub trait Backend: Sync {
+    /// Inserts or overwrites, attributed to `session`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures.
+    fn put(&self, session: usize, key: &[u8], value: &[u8]) -> Result<(), StoreError>;
+    /// Looks up, attributed to `session`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures.
+    fn get(&self, session: usize, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError>;
+    /// Deletes if present, attributed to `session`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures.
+    fn delete(&self, session: usize, key: &[u8]) -> Result<bool, StoreError>;
+    /// Untimed bulk insert for the load phase (may relax per-op
+    /// durability; [`FsyncKv`] skips its per-mutation fence here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures.
+    fn preload(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError>;
+}
+
+/// The concurrent serving front-end over one PiCL engine.
+pub struct ServeKv {
+    engine: Engine,
+    mutations_per_epoch: u64,
+    /// Table lock: serializes mutations and epoch commits. Holds the
+    /// count of mutations executed so far.
+    table: Mutex<u64>,
+    session_ops: Vec<AtomicU64>,
+    commit_hook: Option<CommitHook>,
+    commit_stall_ns: Mutex<Histogram>,
+}
+
+impl std::fmt::Debug for ServeKv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeKv")
+            .field("sessions", &self.session_ops.len())
+            .field("mutations_per_epoch", &self.mutations_per_epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeKv {
+    /// Opens a store for serving. Epochs close every
+    /// `mutations_per_epoch` *mutations* (lookups are lock-free and do
+    /// not advance the epoch clock, unlike the embedded
+    /// [`picl_store::Kv`]'s every-op count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine open/recovery failures; rejects a zero epoch
+    /// cadence or zero sessions.
+    pub fn open(
+        medium: Arc<dyn PersistOps>,
+        cfg: EngineConfig,
+        telemetry: Telemetry,
+        mutations_per_epoch: u64,
+        sessions: usize,
+    ) -> Result<(ServeKv, OpenReport), StoreError> {
+        if mutations_per_epoch == 0 {
+            return Err(StoreError::Config(
+                "mutations_per_epoch must be >= 1".into(),
+            ));
+        }
+        if sessions == 0 {
+            return Err(StoreError::Config("need at least one session".into()));
+        }
+        let (engine, report) = Engine::open(medium, cfg, telemetry)?;
+        Ok((
+            ServeKv {
+                engine,
+                mutations_per_epoch,
+                table: Mutex::new(0),
+                session_ops: (0..sessions).map(|_| AtomicU64::new(0)).collect(),
+                commit_hook: None,
+                commit_stall_ns: Mutex::new(Histogram::new()),
+            },
+            report,
+        ))
+    }
+
+    /// Installs the per-commit hook (before the store is shared).
+    pub fn set_commit_hook(&mut self, hook: CommitHook) {
+        self.commit_hook = Some(hook);
+    }
+
+    /// The underlying engine (frontiers, stats).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Completed operations per session (monotone, lock-free reads).
+    pub fn session_counts(&self) -> Vec<u64> {
+        self.session_ops
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Wall-clock nanoseconds each epoch commit took (drain + in-order
+    /// window stall). The tail of this histogram is the epoch-persist
+    /// stall a writer can observe.
+    pub fn commit_stalls(&self) -> Histogram {
+        self.commit_stall_ns
+            .lock()
+            .expect("stall histogram poisoned")
+            .clone()
+    }
+
+    fn bump(&self, session: usize) {
+        self.session_ops[session].fetch_add(1, Ordering::Release);
+    }
+
+    /// Commits under the table lock and reports to the hook.
+    fn commit_now(&self) -> Result<u64, StoreError> {
+        let t0 = Instant::now();
+        let eid = self.engine.commit_epoch()?;
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.commit_stall_ns
+            .lock()
+            .expect("stall histogram poisoned")
+            .record(ns);
+        if let Some(hook) = &self.commit_hook {
+            let counts = self.session_counts();
+            hook(eid, &counts);
+        }
+        Ok(eid)
+    }
+
+    /// Commits the executing epoch now (end-of-run flush, or a manual
+    /// boundary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn commit(&self) -> Result<u64, StoreError> {
+        let _table = self.table.lock().expect("serve table poisoned");
+        self.commit_now()
+    }
+
+    fn mutate<R>(
+        &self,
+        session: usize,
+        op: impl FnOnce(&Engine) -> Result<R, StoreError>,
+    ) -> Result<R, StoreError> {
+        let mut mutations = self.table.lock().expect("serve table poisoned");
+        let out = op(&self.engine)?;
+        *mutations += 1;
+        // Count the op while still holding the lock: a completed op's
+        // mutation is always included in any commit observed after it,
+        // which is exactly the lower-bound property the crash oracle
+        // needs.
+        self.bump(session);
+        if mutations.is_multiple_of(self.mutations_per_epoch) {
+            self.commit_now()?;
+        }
+        Ok(out)
+    }
+
+    /// All live pairs, sorted (takes the table lock; not for hot paths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn scan(&self) -> Result<KvPairs, StoreError> {
+        let _table = self.table.lock().expect("serve table poisoned");
+        slots::scan(&self.engine)
+    }
+
+    /// Closes the store (persists the committed backlog; the executing
+    /// epoch's work stays volatile, as a crash would leave it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn close(self) -> Result<EngineStats, StoreError> {
+        self.engine.close()
+    }
+}
+
+/// Optimistic lookup with bounded retries, then a serialized retry under
+/// `fallback` (any guard that excludes the writer).
+fn lookup_with_fallback<L: Lines>(
+    store: &L,
+    key: &[u8],
+    fallback: impl FnOnce() -> Result<(), StoreError>,
+) -> Result<Option<Vec<u8>>, StoreError> {
+    for _ in 0..LOOKUP_RETRIES {
+        match slots::lookup(store, key)? {
+            Lookup::Found { value, .. } => return Ok(Some(value)),
+            Lookup::Missing { .. } => return Ok(None),
+            Lookup::Contended => std::hint::spin_loop(),
+        }
+    }
+    fallback()?;
+    Err(StoreError::Corrupt(
+        "record stayed torn with the writer excluded".into(),
+    ))
+}
+
+impl Backend for ServeKv {
+    fn put(&self, session: usize, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.mutate(session, |engine| slots::put(engine, key, value).map(|_| ()))
+    }
+
+    fn get(&self, session: usize, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        for _ in 0..LOOKUP_RETRIES {
+            match slots::lookup(&self.engine, key)? {
+                Lookup::Found { value, .. } => {
+                    self.bump(session);
+                    return Ok(Some(value));
+                }
+                Lookup::Missing { .. } => {
+                    self.bump(session);
+                    return Ok(None);
+                }
+                Lookup::Contended => std::hint::spin_loop(),
+            }
+        }
+        // A writer kept racing this record; serialize against writers
+        // once. With the table lock held no mutation is in flight, so a
+        // torn record now is real corruption.
+        let _table = self.table.lock().expect("serve table poisoned");
+        match slots::lookup(&self.engine, key)? {
+            Lookup::Found { value, .. } => {
+                self.bump(session);
+                Ok(Some(value))
+            }
+            Lookup::Missing { .. } => {
+                self.bump(session);
+                Ok(None)
+            }
+            Lookup::Contended => Err(StoreError::Corrupt(
+                "record stayed torn with the writer excluded".into(),
+            )),
+        }
+    }
+
+    fn delete(&self, session: usize, key: &[u8]) -> Result<bool, StoreError> {
+        self.mutate(session, |engine| {
+            Ok(matches!(
+                slots::delete(engine, key)?,
+                Deletion::Deleted { .. }
+            ))
+        })
+    }
+
+    fn preload(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        // Same path as a put (epoch cadence included — the undo log
+        // needs commits to recycle), attributed to session 0.
+        self.put(0, key, value)
+    }
+}
+
+/// The fdatasync-only baseline: the same slot table over a flat file,
+/// one fence per mutation, no undo log, no epochs, no recovery. What a
+/// legacy store does when you bolt durability on without PiCL.
+pub struct FsyncKv {
+    medium: Arc<dyn PersistOps>,
+    lines: u32,
+    image: RwLock<Vec<u8>>,
+    /// Serializes mutations (and their fences).
+    table: Mutex<()>,
+}
+
+impl std::fmt::Debug for FsyncKv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsyncKv")
+            .field("lines", &self.lines)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FsyncKv {
+    /// Opens the baseline over `medium`, formatting `lines` empty slots
+    /// (the baseline has no recovery story to preserve).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a medium smaller than the table.
+    pub fn open(medium: Arc<dyn PersistOps>, lines: u32) -> Result<FsyncKv, StoreError> {
+        if lines == 0 {
+            return Err(StoreError::Config("need at least one line".into()));
+        }
+        let needed = u64::from(lines) * LINE as u64;
+        if medium.len() < needed {
+            return Err(StoreError::Config(format!(
+                "medium of {} bytes is too small for {lines} lines ({needed})",
+                medium.len()
+            )));
+        }
+        Ok(FsyncKv {
+            medium,
+            lines,
+            image: RwLock::new(vec![0u8; lines as usize * LINE]),
+            table: Mutex::new(()),
+        })
+    }
+
+    fn fence(&self) -> Result<(), StoreError> {
+        self.medium
+            .fence()
+            .map_err(|e| StoreError::Io(e.to_string()))
+    }
+
+    /// All live pairs, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates medium failures.
+    pub fn scan(&self) -> Result<KvPairs, StoreError> {
+        let _table = self.table.lock().expect("fsync table poisoned");
+        slots::scan(self)
+    }
+}
+
+impl Lines for FsyncKv {
+    fn line_count(&self) -> u32 {
+        self.lines
+    }
+
+    fn read_slot(&self, line: u32) -> Result<[u8; LINE], StoreError> {
+        let image = self.image.read().expect("fsync image poisoned");
+        let at = line as usize * LINE;
+        let mut out = [0u8; LINE];
+        out.copy_from_slice(&image[at..at + LINE]);
+        Ok(out)
+    }
+
+    fn write_slot(&self, line: u32, data: &[u8; LINE]) -> Result<(), StoreError> {
+        {
+            let mut image = self.image.write().expect("fsync image poisoned");
+            let at = line as usize * LINE;
+            image[at..at + LINE].copy_from_slice(data);
+        }
+        self.medium
+            .persist(u64::from(line) * LINE as u64, data)
+            .map_err(|e| StoreError::Io(e.to_string()))
+    }
+}
+
+impl Backend for FsyncKv {
+    fn put(&self, _session: usize, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let _table = self.table.lock().expect("fsync table poisoned");
+        slots::put(self, key, value)?;
+        self.fence()
+    }
+
+    fn get(&self, _session: usize, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        lookup_with_fallback(self, key, || {
+            let _table = self.table.lock().expect("fsync table poisoned");
+            Ok(())
+        })
+    }
+
+    fn delete(&self, _session: usize, key: &[u8]) -> Result<bool, StoreError> {
+        let _table = self.table.lock().expect("fsync table poisoned");
+        let deleted = matches!(slots::delete(self, key)?, Deletion::Deleted { .. });
+        self.fence()?;
+        Ok(deleted)
+    }
+
+    fn preload(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let _table = self.table.lock().expect("fsync table poisoned");
+        slots::put(self, key, value).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picl_store::layout::Geometry;
+    use picl_store::persist::CountingMedium;
+
+    fn open_serve(sessions: usize, mutations_per_epoch: u64) -> (ServeKv, Arc<CountingMedium>) {
+        let cfg = EngineConfig {
+            lines: 256,
+            log_blocks: 64,
+            ..EngineConfig::default()
+        };
+        let g = Geometry {
+            lines: cfg.lines,
+            log_blocks: cfg.log_blocks,
+        };
+        let medium = Arc::new(CountingMedium::new(g.total_len()));
+        let (kv, _) = ServeKv::open(
+            Arc::clone(&medium) as _,
+            cfg,
+            Telemetry::off(),
+            mutations_per_epoch,
+            sessions,
+        )
+        .unwrap();
+        (kv, medium)
+    }
+
+    #[test]
+    fn sessions_share_one_table() {
+        let (kv, _) = open_serve(2, 4);
+        kv.put(0, b"from-zero", b"a").unwrap();
+        kv.put(1, b"from-one", b"b").unwrap();
+        assert_eq!(kv.get(1, b"from-zero").unwrap(), Some(b"a".to_vec()));
+        assert_eq!(kv.get(0, b"from-one").unwrap(), Some(b"b".to_vec()));
+        assert!(kv.delete(0, b"from-one").unwrap());
+        assert_eq!(kv.get(1, b"from-one").unwrap(), None);
+        assert_eq!(kv.session_counts(), vec![3, 3]);
+    }
+
+    #[test]
+    fn concurrent_sessions_settle_consistently() {
+        // N writer sessions hammer disjoint keys while a reader session
+        // spins lock-free lookups; the final scan must match the sum of
+        // what the writers wrote.
+        let (kv, _) = open_serve(4, 8);
+        let per_session = 50u64;
+        std::thread::scope(|s| {
+            for sid in 0..3usize {
+                let kv = &kv;
+                s.spawn(move || {
+                    for i in 0..per_session {
+                        let key = format!("s{sid}-k{:02}", i % 10);
+                        let val = format!("v{sid}-{i:03}-{}", "x".repeat((i as usize * 7) % 150));
+                        kv.put(sid, key.as_bytes(), val.as_bytes()).unwrap();
+                        if i % 7 == 0 {
+                            kv.delete(sid, key.as_bytes()).unwrap();
+                        }
+                    }
+                });
+            }
+            let kv = &kv;
+            s.spawn(move || {
+                for i in 0..200u64 {
+                    let key = format!("s{}-k{:02}", i % 3, i % 10);
+                    // Any consistent answer is fine; torn reads are not.
+                    let _ = kv.get(3, key.as_bytes()).unwrap();
+                }
+            });
+        });
+        kv.commit().unwrap();
+        let pairs = kv.scan().unwrap();
+        for (k, v) in &pairs {
+            let k = String::from_utf8_lossy(k);
+            let v = String::from_utf8_lossy(v);
+            assert!(v.starts_with(&format!("v{}", &k[1..2])), "{k} -> {v}");
+        }
+        let counts = kv.session_counts();
+        assert!(counts[..3].iter().all(|&c| c >= per_session));
+        assert_eq!(counts[3], 200);
+        kv.close().unwrap();
+    }
+
+    #[test]
+    fn commit_hook_reports_monotone_lower_bounds() {
+        let (mut kv, _) = open_serve(2, 2);
+        type CommitLog = Vec<(u64, Vec<u64>)>;
+        let seen: Arc<Mutex<CommitLog>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        kv.set_commit_hook(Box::new(move |eid, counts| {
+            sink.lock().unwrap().push((eid, counts.to_vec()));
+        }));
+        for i in 0..8u32 {
+            kv.put((i % 2) as usize, format!("k{i}").as_bytes(), b"v")
+                .unwrap();
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 4, "8 mutations at cadence 2");
+        let mut last_eid = 0;
+        let mut last_total = 0;
+        for (eid, counts) in seen.iter() {
+            assert!(*eid > last_eid);
+            let total: u64 = counts.iter().sum();
+            assert!(total >= last_total, "counts are monotone");
+            last_eid = *eid;
+            last_total = total;
+        }
+    }
+
+    #[test]
+    fn fsync_baseline_round_trips() {
+        let medium = Arc::new(CountingMedium::new(64 * LINE as u64));
+        let kv = FsyncKv::open(medium, 64).unwrap();
+        kv.preload(b"warm", b"start").unwrap();
+        kv.put(0, b"a", &[7u8; 200]).unwrap();
+        assert_eq!(kv.get(0, b"a").unwrap(), Some(vec![7u8; 200]));
+        assert_eq!(kv.get(0, b"warm").unwrap(), Some(b"start".to_vec()));
+        assert!(kv.delete(0, b"a").unwrap());
+        assert_eq!(kv.get(0, b"a").unwrap(), None);
+        assert_eq!(kv.scan().unwrap().len(), 1);
+    }
+}

@@ -28,13 +28,30 @@
 //! rolled-back timeline's log (its epoch numbers are about to be reused).
 //! Execution resumes at epoch `P + 1`.
 //!
-//! All state mutations and telemetry emissions happen under one mutex
-//! with a logical tick clock, so the exported event stream is totally
-//! ordered and passes `picl audit` even though the persister is a real
-//! thread.
+//! # Concurrency
+//!
+//! The engine serves multiple front-end sessions at once. Protocol state
+//! (frontiers, tags, the undo buffer, the log window) lives under one
+//! *protocol mutex* with a logical tick clock — every telemetry emission
+//! happens under it, so the exported event stream is totally ordered and
+//! passes `picl audit` even with real threads racing. The volatile image
+//! itself is split out into sharded `RwLock`s: reads take only their
+//! shard's read lock (no protocol mutex at all), writes take the
+//! protocol mutex for the whole operation (the undo append and the image
+//! update must be atomic against a commit), and the persister does its
+//! media I/O with *no* locks held — it bloom-probes and snapshots each
+//! line under the protocol mutex, then writes the snapshots back off to
+//! the side while the front end keeps executing. The snapshot discipline
+//! keeps undo-before-writeback intact: every undo entry covering a
+//! snapshotted line is durable (forced drain) at snapshot time, and any
+//! image write landing after the snapshot logs a pre-image that chains
+//! from the snapshot value, so rollback to the advancing frontier is
+//! correct whether or not those later entries survive. Lock order is
+//! protocol mutex, then shard.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 
 use picl_telemetry::{EventKind, Telemetry};
 use picl_types::hash::FastSet;
@@ -185,6 +202,60 @@ struct EpochWork {
     lines: Vec<u32>,
 }
 
+/// How many `RwLock` shards the volatile image splits into. Sixteen is
+/// plenty to keep reader collisions rare at the session counts a single
+/// store serves, while keeping the persister's snapshot loop cheap.
+const IMAGE_SHARDS: usize = 16;
+
+/// The volatile image, sharded so concurrent readers never touch the
+/// protocol mutex. Each shard owns a contiguous line range.
+struct ImageShards {
+    lines_per_shard: usize,
+    shards: Vec<RwLock<Vec<u8>>>,
+}
+
+impl ImageShards {
+    fn new(lines: u32, mut image: Vec<u8>) -> ImageShards {
+        let lines = lines as usize;
+        debug_assert_eq!(image.len(), lines * LINE);
+        let shard_count = IMAGE_SHARDS.min(lines.max(1));
+        let lines_per_shard = lines.div_ceil(shard_count);
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let take = (lines_per_shard * LINE).min(image.len());
+            let rest = image.split_off(take);
+            shards.push(RwLock::new(image));
+            image = rest;
+        }
+        ImageShards {
+            lines_per_shard,
+            shards,
+        }
+    }
+
+    fn locate(&self, line: u32) -> (usize, usize) {
+        let line = line as usize;
+        (
+            line / self.lines_per_shard,
+            (line % self.lines_per_shard) * LINE,
+        )
+    }
+
+    fn read(&self, line: u32) -> [u8; LINE] {
+        let (shard, at) = self.locate(line);
+        let data = self.shards[shard].read().expect("image shard poisoned");
+        let mut out = [0u8; LINE];
+        out.copy_from_slice(&data[at..at + LINE]);
+        out
+    }
+
+    fn write(&self, line: u32, data: &[u8; LINE]) {
+        let (shard, at) = self.locate(line);
+        let mut shard = self.shards[shard].write().expect("image shard poisoned");
+        shard[at..at + LINE].copy_from_slice(data);
+    }
+}
+
 struct Inner {
     sys_eid: u64,
     committed: u64,
@@ -196,7 +267,6 @@ struct Inner {
     /// Per-line epoch tag: last epoch whose first write logged an undo
     /// entry for the line (`0` = untagged).
     tags: Vec<u64>,
-    image: Vec<u8>,
     buffer: Vec<UndoEntry>,
     buffer_lines: FastSet<u32>,
     dirty_cur: FastSet<u32>,
@@ -217,6 +287,11 @@ struct Shared {
     cfg: EngineConfig,
     telemetry: Telemetry,
     state: Mutex<Inner>,
+    /// The volatile image, sharded for lock-free-of-the-mutex reads.
+    image: ImageShards,
+    /// Mirrors `Inner::dead` so the read path can check for death
+    /// without taking the protocol mutex.
+    dead_flag: AtomicBool,
     /// Wakes the persister (new committed epoch, or shutdown).
     work: Condvar,
     /// Wakes writers (persist frontier advanced, log space freed, death).
@@ -233,6 +308,7 @@ impl Shared {
         if st.dead.is_none() {
             st.dead = Some(msg.clone());
         }
+        self.dead_flag.store(true, Ordering::Release);
         self.work.notify_all();
         self.done.notify_all();
         StoreError::Io(msg)
@@ -325,64 +401,90 @@ impl Shared {
         }
     }
 
-    /// Persists one committed epoch: in-place line writes (each ordered
-    /// behind its undo entries), fence, superblock frontier advance,
-    /// fence. Runs on the persister thread with the state lock held.
-    fn persist_epoch(&self, st: &mut Inner, work: EpochWork) -> Result<(), StoreError> {
-        debug_assert_eq!(work.eid, st.persisted + 1, "epochs persist in order");
-        let started = st.tick + 1;
-        let stall_at = work.lines.len() / 2;
-        for (i, &line) in work.lines.iter().enumerate() {
-            if st.buffer_lines.contains(&line) {
-                // The line's newest undo entry is still volatile: writing
-                // the (possibly newer) image in place first would break
-                // undo-before-eviction. Probe + forced drain, as the
-                // hardware does on a bloom hit.
+    /// Persists one committed epoch in three phases. Phase 1, under the
+    /// protocol mutex: per line, bloom-probe the undo buffer (forced
+    /// drain on a hit — undo-before-eviction) and snapshot the line's
+    /// image bytes. Phase 2, with no locks held: write every snapshot in
+    /// place and fence, while the front end keeps executing — this is
+    /// where the stall knob and the real media latency live. Phase 3,
+    /// relocked: advance the superblock's persist frontier and wake
+    /// stalled writers.
+    ///
+    /// Persisting the *snapshot* (not the live line) is what keeps this
+    /// safe off-lock: all undo entries covering a snapshotted line are
+    /// durable at snapshot time, and any image write that lands after
+    /// the snapshot logs a pre-image chaining from the snapshot value,
+    /// so recovery to `work.eid` rolls the line to its end-of-epoch
+    /// value whether or not those later entries survive the crash.
+    fn persist_epoch(&self, work: EpochWork) -> Result<(), StoreError> {
+        let mut batch: Vec<(u32, [u8; LINE])> = Vec::with_capacity(work.lines.len());
+        let started;
+        {
+            let mut st = self.state.lock().expect("store engine poisoned");
+            self.check_alive(&st)?;
+            debug_assert_eq!(work.eid, st.persisted + 1, "epochs persist in order");
+            started = st.tick + 1;
+            for &line in &work.lines {
+                if st.buffer_lines.contains(&line) {
+                    // The line's newest undo entry is still volatile:
+                    // writing the (possibly newer) image in place first
+                    // would break undo-before-eviction. Probe + forced
+                    // drain, as the hardware does on a bloom hit.
+                    self.emit(
+                        &mut st,
+                        EventKind::BloomCheck {
+                            addr: LineAddr::new(u64::from(line)),
+                            hit: true,
+                        },
+                    );
+                    st.stats.bloom_hits += 1;
+                    self.drain(&mut st, true)?;
+                }
+                batch.push((line, self.image.read(line)));
+                st.stats.line_writebacks += 1;
                 self.emit(
-                    st,
-                    EventKind::BloomCheck {
+                    &mut st,
+                    EventKind::AcsLineWriteback {
                         addr: LineAddr::new(u64::from(line)),
-                        hit: true,
                     },
                 );
-                st.stats.bloom_hits += 1;
-                self.drain(st, true)?;
             }
-            let mut data = [0u8; LINE];
-            let at = line as usize * LINE;
-            data.copy_from_slice(&st.image[at..at + LINE]);
-            self.medium
-                .persist(self.geometry.data_off(line), &data)
-                .map_err(|e| self.die(st, e.to_string()))?;
-            st.stats.line_writebacks += 1;
-            self.emit(
-                st,
-                EventKind::AcsLineWriteback {
-                    addr: LineAddr::new(u64::from(line)),
-                },
-            );
+        }
+        let stall_at = batch.len() / 2;
+        let mut io: Result<(), std::io::Error> = Ok(());
+        for (i, (line, data)) in batch.iter().enumerate() {
+            if let Err(e) = self.medium.persist(self.geometry.data_off(*line), data) {
+                io = Err(e);
+                break;
+            }
             if self.cfg.persist_stall_ms > 0 && i + 1 == stall_at {
-                // Hold the mid-drain crash window open (data partially in
-                // place, frontier not yet advanced) for the kill harness.
+                // Hold the mid-persist crash window open (data partially
+                // in place, frontier not yet advanced) for the kill
+                // harness. The front end is NOT blocked: no locks held.
                 std::thread::sleep(std::time::Duration::from_millis(self.cfg.persist_stall_ms));
             }
         }
-        self.medium
-            .fence()
-            .map_err(|e| self.die(st, e.to_string()))?;
+        if io.is_ok() {
+            io = self.medium.fence();
+        }
+        let mut st = self.state.lock().expect("store engine poisoned");
+        if let Err(e) = io {
+            return Err(self.die(&mut st, e.to_string()));
+        }
+        self.check_alive(&st)?;
         st.persisted = work.eid;
-        let sb = self.superblock(st).encode();
+        let sb = self.superblock(&st).encode();
         let sb_result = self
             .medium
             .persist(0, &sb)
             .and_then(|()| self.medium.fence());
         if let Err(e) = sb_result {
             st.persisted = work.eid - 1;
-            return Err(self.die(st, e.to_string()));
+            return Err(self.die(&mut st, e.to_string()));
         }
         st.stats.persists += 1;
         self.emit(
-            st,
+            &mut st,
             EventKind::AcsScan {
                 target: EpochId(work.eid),
                 lines: work.lines.len() as u64,
@@ -390,32 +492,36 @@ impl Shared {
             },
         );
         self.emit(
-            st,
+            &mut st,
             EventKind::EpochPersist {
                 eid: EpochId(work.eid),
             },
         );
-        self.gc(st);
+        self.gc(&mut st);
         self.done.notify_all();
         Ok(())
     }
 
     fn persister_loop(self: &Arc<Self>) {
-        let mut st = self.state.lock().expect("store engine poisoned");
         loop {
-            if st.dead.is_some() {
-                return;
-            }
-            if let Some(work) = st.queue.pop_front() {
-                if self.persist_epoch(&mut st, work).is_err() {
-                    return;
+            let work = {
+                let mut st = self.state.lock().expect("store engine poisoned");
+                loop {
+                    if st.dead.is_some() {
+                        return;
+                    }
+                    if let Some(work) = st.queue.pop_front() {
+                        break work;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = self.work.wait(st).expect("store engine poisoned");
                 }
-                continue;
-            }
-            if st.shutdown {
+            };
+            if self.persist_epoch(work).is_err() {
                 return;
             }
-            st = self.work.wait(st).expect("store engine poisoned");
         }
     }
 }
@@ -453,7 +559,7 @@ impl Engine {
         medium.read(0, &mut head)?;
         let blank = head.iter().all(|&b| b == 0);
         let started = std::time::Instant::now();
-        let (geometry, mut inner, report) = if blank {
+        let (geometry, mut inner, image, report) = if blank {
             let geometry = Geometry {
                 lines: cfg.lines,
                 log_blocks: cfg.log_blocks,
@@ -472,7 +578,6 @@ impl Engine {
                 generation: 1,
                 floor: 0,
                 tags: vec![0; geometry.lines as usize],
-                image: vec![0; geometry.lines as usize * LINE],
                 buffer: Vec::new(),
                 buffer_lines: FastSet::default(),
                 dirty_cur: FastSet::default(),
@@ -501,7 +606,8 @@ impl Engine {
                 lines_restored: 0,
                 recovery_ns: 0,
             };
-            (geometry, inner, report)
+            let image = vec![0u8; geometry.lines as usize * LINE];
+            (geometry, inner, image, report)
         } else {
             let sb = Superblock::decode(&head).map_err(StoreError::Corrupt)?;
             let geometry = sb.geometry;
@@ -574,7 +680,6 @@ impl Engine {
                 generation: new_sb.generation,
                 floor: point,
                 tags: vec![0; geometry.lines as usize],
-                image,
                 buffer: Vec::new(),
                 buffer_lines: FastSet::default(),
                 dirty_cur: FastSet::default(),
@@ -594,7 +699,7 @@ impl Engine {
                 lines_restored: lines_restored.len() as u64,
                 recovery_ns: started.elapsed().as_nanos() as u64,
             };
-            (geometry, inner, report)
+            (geometry, inner, image, report)
         };
         let begin = EventKind::EpochBegin {
             eid: EpochId(inner.sys_eid),
@@ -607,6 +712,8 @@ impl Engine {
             cfg,
             telemetry,
             state: Mutex::new(inner),
+            image: ImageShards::new(geometry.lines, image),
+            dead_flag: AtomicBool::new(false),
             work: Condvar::new(),
             done: Condvar::new(),
         });
@@ -633,7 +740,9 @@ impl Engine {
         self.shared.geometry
     }
 
-    /// Reads one line from the volatile image.
+    /// Reads one line from the volatile image. Takes only the line's
+    /// image-shard read lock — never the protocol mutex — so concurrent
+    /// sessions read in parallel with writers and the persister.
     ///
     /// # Errors
     ///
@@ -643,12 +752,11 @@ impl Engine {
     ///
     /// Panics if `line` is out of range.
     pub fn read_line(&self, line: u32) -> Result<[u8; LINE], StoreError> {
-        let st = self.lock();
-        self.shared.check_alive(&st)?;
-        let at = line as usize * LINE;
-        let mut out = [0u8; LINE];
-        out.copy_from_slice(&st.image[at..at + LINE]);
-        Ok(out)
+        if self.shared.dead_flag.load(Ordering::Acquire) {
+            let st = self.lock();
+            self.shared.check_alive(&st)?;
+        }
+        Ok(self.shared.image.read(line))
     }
 
     /// Writes one line: logs the pre-image on the epoch's first touch,
@@ -678,9 +786,7 @@ impl Engine {
             }
             let valid_from = st.tags[line as usize].max(st.floor);
             let valid_till = st.sys_eid;
-            let at = line as usize * LINE;
-            let mut pre = [0u8; LINE];
-            pre.copy_from_slice(&st.image[at..at + LINE]);
+            let pre = self.shared.image.read(line);
             st.buffer.push(UndoEntry {
                 line,
                 valid_from,
@@ -703,8 +809,10 @@ impl Engine {
                 self.shared.drain(&mut st, false)?;
             }
         }
-        let at = line as usize * LINE;
-        st.image[at..at + LINE].copy_from_slice(data);
+        // Still under the protocol mutex: the undo append and the image
+        // update must be atomic against a commit boundary, or a crash
+        // could recover a torn prefix.
+        self.shared.image.write(line, data);
         Ok(())
     }
 

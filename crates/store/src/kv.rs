@@ -9,36 +9,20 @@
 //! brings back the whole table (index included) at the persist frontier
 //! with no KV-level replay.
 //!
-//! Each 64-byte line is one open-addressing slot:
-//!
-//! ```text
-//! [ state u8 | klen u8 | vlen u8 | pad u8 | key 28B | value 32B ]
-//! ```
-//!
-//! probed linearly from `fnv1a_64(key) % lines`.
+//! The slot layout (open addressing, values spanning up to five slots
+//! via explicit continuation pointers) lives in [`crate::slots`]; this
+//! type adds the epoch clock — every `ops_per_epoch` operations one
+//! epoch commits — and the per-op access log the trace adapter consumes.
 
 use std::sync::Arc;
 
 use picl_telemetry::Telemetry;
-use picl_types::hash::fnv1a_64;
-use picl_types::LINE_BYTES;
 
 use crate::engine::{Engine, EngineConfig, EngineStats, OpenReport, StoreError};
 use crate::persist::PersistOps;
+use crate::slots::{self, Deletion, Lookup};
 
-const LINE: usize = LINE_BYTES as usize;
-
-const SLOT_EMPTY: u8 = 0;
-const SLOT_LIVE: u8 = 1;
-const SLOT_TOMBSTONE: u8 = 2;
-
-/// Maximum key length a slot can hold.
-pub const MAX_KEY_BYTES: usize = 28;
-/// Maximum value length a slot can hold.
-pub const MAX_VALUE_BYTES: usize = 32;
-
-const KEY_AT: usize = 4;
-const VAL_AT: usize = KEY_AT + MAX_KEY_BYTES;
+pub use crate::slots::{MAX_KEY_BYTES, MAX_VALUE_BYTES};
 
 /// Sorted `(key, value)` pairs as returned by [`Kv::scan`].
 pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
@@ -47,7 +31,8 @@ pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
 /// line an operation landed on and whether it wrote it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
-    /// Slot line the operation terminated at.
+    /// Slot line the operation terminated at (a spanning record reports
+    /// its head slot).
     pub line: u32,
     /// Whether the slot was written (put/delete) vs only probed (get).
     pub write: bool,
@@ -57,7 +42,6 @@ pub struct Access {
 /// `ops_per_epoch` operations.
 pub struct Kv {
     engine: Engine,
-    lines: u32,
     ops_per_epoch: u64,
     ops: u64,
     access_log: Option<Vec<Access>>,
@@ -66,7 +50,6 @@ pub struct Kv {
 impl std::fmt::Debug for Kv {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Kv")
-            .field("lines", &self.lines)
             .field("ops_per_epoch", &self.ops_per_epoch)
             .field("ops", &self.ops)
             .finish_non_exhaustive()
@@ -93,11 +76,9 @@ impl Kv {
             return Err(StoreError::Config("ops_per_epoch must be >= 1".into()));
         }
         let (engine, report) = Engine::open(medium, cfg, telemetry)?;
-        let lines = engine.geometry().lines;
         Ok((
             Kv {
                 engine,
-                lines,
                 ops_per_epoch,
                 ops: 0,
                 access_log: None,
@@ -130,53 +111,6 @@ impl Kv {
         self.ops
     }
 
-    fn slot_of(&self, key: &[u8]) -> u32 {
-        (fnv1a_64(key) % u64::from(self.lines)) as u32
-    }
-
-    fn decode_slot(slot: &[u8; LINE]) -> (u8, &[u8], &[u8]) {
-        let klen = (slot[1] as usize).min(MAX_KEY_BYTES);
-        let vlen = (slot[2] as usize).min(MAX_VALUE_BYTES);
-        (
-            slot[0],
-            &slot[KEY_AT..KEY_AT + klen],
-            &slot[VAL_AT..VAL_AT + vlen],
-        )
-    }
-
-    fn check_key(key: &[u8]) -> Result<(), StoreError> {
-        if key.is_empty() || key.len() > MAX_KEY_BYTES {
-            return Err(StoreError::Invalid(format!(
-                "key length {} not in 1..={MAX_KEY_BYTES}",
-                key.len()
-            )));
-        }
-        Ok(())
-    }
-
-    /// Probes for `key`. Returns `(line, Some(value))` of the live slot
-    /// holding it, or `(line, None)` where `line` is the terminating slot
-    /// (first empty, or first tombstone usable for insert).
-    fn probe(&self, key: &[u8]) -> Result<(u32, Option<Vec<u8>>), StoreError> {
-        let start = self.slot_of(key);
-        let mut first_tombstone: Option<u32> = None;
-        for i in 0..self.lines {
-            let line = (start + i) % self.lines;
-            let slot = self.engine.read_line(line)?;
-            let (state, k, v) = Self::decode_slot(&slot);
-            match state {
-                SLOT_LIVE if k == key => return Ok((line, Some(v.to_vec()))),
-                SLOT_EMPTY => return Ok((first_tombstone.unwrap_or(line), None)),
-                SLOT_TOMBSTONE if first_tombstone.is_none() => first_tombstone = Some(line),
-                _ => {}
-            }
-        }
-        match first_tombstone {
-            Some(line) => Ok((line, None)),
-            None => Err(StoreError::Invalid("table full".into())),
-        }
-    }
-
     fn note(&mut self, line: u32, write: bool) {
         if let Some(log) = &mut self.access_log {
             log.push(Access { line, write });
@@ -199,21 +133,7 @@ impl Kv {
     /// Rejects oversized keys/values and a full table; propagates engine
     /// failures.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<Option<u64>, StoreError> {
-        Self::check_key(key)?;
-        if value.len() > MAX_VALUE_BYTES {
-            return Err(StoreError::Invalid(format!(
-                "value length {} exceeds {MAX_VALUE_BYTES}",
-                value.len()
-            )));
-        }
-        let (line, _) = self.probe(key)?;
-        let mut slot = [0u8; LINE];
-        slot[0] = SLOT_LIVE;
-        slot[1] = key.len() as u8;
-        slot[2] = value.len() as u8;
-        slot[KEY_AT..KEY_AT + key.len()].copy_from_slice(key);
-        slot[VAL_AT..VAL_AT + value.len()].copy_from_slice(value);
-        self.engine.write_line(line, &slot)?;
+        let line = slots::put(&self.engine, key, value)?;
         self.note(line, true);
         self.tick_epoch()
     }
@@ -224,9 +144,23 @@ impl Kv {
     ///
     /// Propagates engine failures.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
-        Self::check_key(key)?;
-        let (line, found) = self.probe(key)?;
-        self.note(line, false);
+        // `&mut self` means no concurrent writer, so a lookup can never
+        // be contended; a torn record here is table corruption.
+        let found = match slots::lookup(&self.engine, key)? {
+            Lookup::Found { line, value } => {
+                self.note(line, false);
+                Some(value)
+            }
+            Lookup::Missing { line } => {
+                self.note(line, false);
+                None
+            }
+            Lookup::Contended => {
+                return Err(StoreError::Corrupt(
+                    "torn record under an exclusive reader".into(),
+                ))
+            }
+        };
         self.tick_epoch()?;
         Ok(found)
     }
@@ -237,18 +171,18 @@ impl Kv {
     ///
     /// Propagates engine failures.
     pub fn delete(&mut self, key: &[u8]) -> Result<(bool, Option<u64>), StoreError> {
-        Self::check_key(key)?;
-        let (line, found) = self.probe(key)?;
-        if found.is_some() {
-            let mut slot = self.engine.read_line(line)?;
-            slot[0] = SLOT_TOMBSTONE;
-            self.engine.write_line(line, &slot)?;
-            self.note(line, true);
-        } else {
-            self.note(line, false);
-        }
+        let present = match slots::delete(&self.engine, key)? {
+            Deletion::Deleted { line } => {
+                self.note(line, true);
+                true
+            }
+            Deletion::Missing { line } => {
+                self.note(line, false);
+                false
+            }
+        };
         let committed = self.tick_epoch()?;
-        Ok((found.is_some(), committed))
+        Ok((present, committed))
     }
 
     /// All live pairs, sorted by key. Reads the volatile image directly —
@@ -259,16 +193,7 @@ impl Kv {
     ///
     /// Propagates engine failures.
     pub fn scan(&self) -> Result<KvPairs, StoreError> {
-        let mut out = Vec::new();
-        for line in 0..self.lines {
-            let slot = self.engine.read_line(line)?;
-            let (state, k, v) = Self::decode_slot(&slot);
-            if state == SLOT_LIVE {
-                out.push((k.to_vec(), v.to_vec()));
-            }
-        }
-        out.sort();
-        Ok(out)
+        slots::scan(&self.engine)
     }
 
     /// Commits the executing epoch regardless of the op counter, and
@@ -375,9 +300,37 @@ mod tests {
     fn oversized_keys_and_values_rejected() {
         let (mut kv, _) = open_kv(64, 8);
         assert!(kv.put(&[b'k'; 29], b"v").is_err());
-        assert!(kv.put(b"k", &[b'v'; 33]).is_err());
+        assert!(kv.put(b"k", &[b'v'; 256]).is_err());
         assert!(kv.put(b"", b"v").is_err());
-        assert!(kv.put(&[b'k'; 28], &[b'v'; 32]).is_ok());
+        assert!(kv.put(&[b'k'; 28], &[b'v'; 255]).is_ok());
+        assert_eq!(
+            kv.get(&[b'k'; 28]).unwrap(),
+            Some(vec![b'v'; 255]),
+            "maximum-size record survives"
+        );
+    }
+
+    #[test]
+    fn spanning_values_round_trip_and_commit() {
+        let (mut kv, _) = open_kv(64, 4);
+        let big: Vec<u8> = (0..224).map(|i| (i % 250) as u8).collect();
+        kv.put(b"big", &big).unwrap();
+        kv.put(b"small", b"s").unwrap();
+        assert_eq!(kv.get(b"big").unwrap(), Some(big.clone()));
+        // Shrink in place, then grow past the old size.
+        kv.put(b"big", b"tiny").unwrap();
+        assert_eq!(kv.get(b"big").unwrap(), Some(b"tiny".to_vec()));
+        let bigger: Vec<u8> = (0..255).map(|i| (i % 249) as u8).collect();
+        kv.put(b"big", &bigger).unwrap();
+        kv.commit().unwrap();
+        assert_eq!(kv.get(b"big").unwrap(), Some(bigger.clone()));
+        assert_eq!(
+            kv.scan().unwrap(),
+            vec![
+                (b"big".to_vec(), bigger),
+                (b"small".to_vec(), b"s".to_vec())
+            ]
+        );
     }
 
     #[test]
@@ -403,6 +356,38 @@ mod tests {
         let (mut kv, report) = Kv::open(survivor, cfg, Telemetry::off(), 4).unwrap();
         assert!(report.recovered);
         assert_eq!(kv.get(b"persist").unwrap(), Some(b"me".to_vec()));
+    }
+
+    #[test]
+    fn spanning_record_survives_reopen() {
+        // Satellite regression: a committed multi-slot record (head + 4
+        // continuations) must come back whole through crash recovery,
+        // while an uncommitted overwrite of it rolls back.
+        let cfg = EngineConfig {
+            lines: 64,
+            log_blocks: 32,
+            ..EngineConfig::default()
+        };
+        let g = Geometry {
+            lines: 64,
+            log_blocks: 32,
+        };
+        let medium = Arc::new(CountingMedium::new(g.total_len()));
+        let big: Vec<u8> = (0..255).map(|i| (i % 241) as u8).collect();
+        {
+            let (mut kv, _) =
+                Kv::open(Arc::clone(&medium) as _, cfg.clone(), Telemetry::off(), 4).unwrap();
+            kv.put(b"span", &big).unwrap();
+            kv.commit().unwrap();
+            kv.engine().drain_persister().unwrap();
+            // Uncommitted epoch rewrites the record; dropping without
+            // close leaves it volatile — the kill loses it.
+            kv.put(b"span", b"short-lived").unwrap();
+        }
+        let survivor = Arc::new(CountingMedium::from_image(medium.surviving_image()));
+        let (mut kv, report) = Kv::open(survivor, cfg, Telemetry::off(), 4).unwrap();
+        assert!(report.recovered);
+        assert_eq!(kv.get(b"span").unwrap(), Some(big), "chain recovered whole");
     }
 
     #[test]

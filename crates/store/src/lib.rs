@@ -20,6 +20,10 @@
 //! - [`engine`] — the protocol: per-line epoch tags, the 2 KB coalescing
 //!   undo buffer, the background persister (the ACS), the in-order
 //!   persist window, and multi-undo rollback recovery.
+//! - [`slots`] — the slot-level record layout: open addressing with
+//!   values spanning up to five slots via explicit continuation
+//!   pointers, plus the optimistic (seqlock-style) concurrent lookup
+//!   the serving layer builds on.
 //! - [`kv`] — an embedded get/put/delete/scan API whose hash table lives
 //!   entirely in the persistent region (software transparency: the KV
 //!   layer does nothing for durability).
@@ -36,12 +40,14 @@ pub mod engine;
 pub mod kv;
 pub mod layout;
 pub mod persist;
+pub mod slots;
 pub mod workload;
 
 pub use engine::{Engine, EngineConfig, EngineStats, OpenReport, StoreError};
 pub use kv::{Access, Kv, MAX_KEY_BYTES, MAX_VALUE_BYTES};
 pub use layout::{Geometry, UndoEntry, UNDO_BUFFER_BYTES, UNDO_BUFFER_ENTRIES};
 pub use persist::{CountingMedium, FileMedium, LatencyMedium, PersistOps, PersistStats};
+pub use slots::Lines;
 pub use workload::{
     apply_to_model, apply_to_store, generate, model_after, parse_workload, Model, Op,
 };

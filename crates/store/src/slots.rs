@@ -1,0 +1,577 @@
+//! Slot-level record layout: open addressing with multi-slot spanning
+//! values.
+//!
+//! A record's head slot holds the key, up to 16 value bytes, and explicit
+//! pointers to up to four continuation slots of 60 value bytes each — so
+//! values span `16 + 4*60 = 256` bytes of capacity, capped at
+//! [`MAX_VALUE_BYTES`] (255, the reach of the one-byte length field):
+//!
+//! ```text
+//! head: [ state u8 | klen u8 | vlen u8 | ver u8 | key 28B | 4 x u32 cont ptrs | value 16B ]
+//! cont: [ state u8 | seq  u8 | len  u8 | ver u8 |               payload 60B             ]
+//! ```
+//!
+//! Heads are probed linearly from `fnv1a_64(key) % lines`; continuation
+//! slots are allocated from any free slot and reached only through the
+//! head's pointers, never by probing. Turning an `EMPTY` slot into a
+//! `CONT` can lengthen probe chains but never shorten one (no transition
+//! ever re-creates `EMPTY`), so probes stay correct.
+//!
+//! All mutation functions assume one writer at a time — callers serialize
+//! `put`/`delete` (the embedded [`crate::kv::Kv`] is `&mut self`; the
+//! serving layer holds a table lock). `lookup` is safe *concurrently
+//! with* that one writer: it validates each continuation against the
+//! head's version byte and re-reads the head before returning, reporting
+//! [`Lookup::Contended`] when a racing mutation is detected so the caller
+//! can retry or fall back to the table lock. (As with any seqlock, a
+//! reader that stalls across exactly 256 mutations of one record could
+//! miss the version wrap; reads are a handful of slot copies and writers
+//! take a lock per mutation, so the window is not reachable in practice.)
+//!
+//! Crash atomicity is *not* this module's job: the engine's undo log
+//! rolls the whole table back to an epoch boundary, and callers keep
+//! every multi-slot mutation inside one epoch, so recovery never sees a
+//! half-written record.
+
+use picl_types::hash::fnv1a_64;
+use picl_types::LINE_BYTES;
+
+use crate::engine::{Engine, StoreError};
+
+const LINE: usize = LINE_BYTES as usize;
+
+/// Slot states.
+pub const SLOT_EMPTY: u8 = 0;
+/// A record head.
+pub const SLOT_LIVE: u8 = 1;
+/// A freed slot (still non-terminating for probes).
+pub const SLOT_TOMBSTONE: u8 = 2;
+/// A continuation slot, reached only via head pointers.
+pub const SLOT_CONT: u8 = 3;
+
+/// Maximum key length a head slot can hold.
+pub const MAX_KEY_BYTES: usize = 28;
+/// Value bytes stored in the head slot itself.
+pub const HEAD_VALUE_BYTES: usize = 16;
+/// Value bytes per continuation slot.
+pub const CONT_VALUE_BYTES: usize = 60;
+/// Maximum continuation slots per record.
+pub const MAX_CONTS: usize = 4;
+/// Maximum value length: one byte of length, so 255 even though the slot
+/// chain could carry 256.
+pub const MAX_VALUE_BYTES: usize = 255;
+
+const KEY_AT: usize = 4;
+const PTRS_AT: usize = KEY_AT + MAX_KEY_BYTES;
+const HEAD_VAL_AT: usize = PTRS_AT + 4 * MAX_CONTS;
+const CONT_VAL_AT: usize = 4;
+/// Pointer slot value for "no continuation".
+const NO_CONT: u32 = u32::MAX;
+
+/// Line-granularity access to the slot table. Implemented by the engine
+/// (undo-logged persistent lines) and by test/baseline backings.
+pub trait Lines {
+    /// Slots in the table.
+    fn line_count(&self) -> u32;
+    /// Reads one slot (atomically with respect to concurrent writes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store failures.
+    fn read_slot(&self, line: u32) -> Result<[u8; LINE], StoreError>;
+    /// Writes one slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-store failures.
+    fn write_slot(&self, line: u32, data: &[u8; LINE]) -> Result<(), StoreError>;
+}
+
+impl Lines for Engine {
+    fn line_count(&self) -> u32 {
+        self.geometry().lines
+    }
+
+    fn read_slot(&self, line: u32) -> Result<[u8; LINE], StoreError> {
+        self.read_line(line)
+    }
+
+    fn write_slot(&self, line: u32, data: &[u8; LINE]) -> Result<(), StoreError> {
+        self.write_line(line, data)
+    }
+}
+
+/// Rejects an unusable key.
+///
+/// # Errors
+///
+/// Empty and oversized keys are invalid.
+pub fn check_key(key: &[u8]) -> Result<(), StoreError> {
+    if key.is_empty() || key.len() > MAX_KEY_BYTES {
+        return Err(StoreError::Invalid(format!(
+            "key length {} not in 1..={MAX_KEY_BYTES}",
+            key.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Rejects an oversized value.
+///
+/// # Errors
+///
+/// Values longer than [`MAX_VALUE_BYTES`] are invalid.
+pub fn check_value(value: &[u8]) -> Result<(), StoreError> {
+    if value.len() > MAX_VALUE_BYTES {
+        return Err(StoreError::Invalid(format!(
+            "value length {} exceeds {MAX_VALUE_BYTES}",
+            value.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Continuation slots a value of `vlen` bytes needs.
+fn cont_count(vlen: usize) -> usize {
+    vlen.saturating_sub(HEAD_VALUE_BYTES)
+        .div_ceil(CONT_VALUE_BYTES)
+}
+
+fn head_key(slot: &[u8; LINE]) -> &[u8] {
+    let klen = (slot[1] as usize).min(MAX_KEY_BYTES);
+    &slot[KEY_AT..KEY_AT + klen]
+}
+
+fn ptr_at(slot: &[u8; LINE], i: usize) -> u32 {
+    let at = PTRS_AT + 4 * i;
+    u32::from_le_bytes(slot[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn encode_head(key: &[u8], value: &[u8], ptrs: &[u32], ver: u8) -> [u8; LINE] {
+    let mut slot = [0u8; LINE];
+    slot[0] = SLOT_LIVE;
+    slot[1] = key.len() as u8;
+    slot[2] = value.len() as u8;
+    slot[3] = ver;
+    slot[KEY_AT..KEY_AT + key.len()].copy_from_slice(key);
+    for i in 0..MAX_CONTS {
+        let ptr = ptrs.get(i).copied().unwrap_or(NO_CONT);
+        let at = PTRS_AT + 4 * i;
+        slot[at..at + 4].copy_from_slice(&ptr.to_le_bytes());
+    }
+    let take = value.len().min(HEAD_VALUE_BYTES);
+    slot[HEAD_VAL_AT..HEAD_VAL_AT + take].copy_from_slice(&value[..take]);
+    slot
+}
+
+fn encode_cont(seq: usize, chunk: &[u8], ver: u8) -> [u8; LINE] {
+    let mut slot = [0u8; LINE];
+    slot[0] = SLOT_CONT;
+    slot[1] = seq as u8;
+    slot[2] = chunk.len() as u8;
+    slot[3] = ver;
+    slot[CONT_VAL_AT..CONT_VAL_AT + chunk.len()].copy_from_slice(chunk);
+    slot
+}
+
+/// Frees one slot, preserving (and bumping) its version byte so readers
+/// parked on the old contents always see a change.
+fn write_tombstone(store: &impl Lines, line: u32) -> Result<(), StoreError> {
+    let old = store.read_slot(line)?;
+    let mut slot = [0u8; LINE];
+    slot[0] = SLOT_TOMBSTONE;
+    slot[3] = old[3].wrapping_add(1);
+    store.write_slot(line, &slot)
+}
+
+/// Where a probe for a key ended.
+#[derive(Debug)]
+pub enum Probe {
+    /// The live head slot holding the key, with its snapshot.
+    Found {
+        /// Head slot line.
+        line: u32,
+        /// The head slot's contents at probe time.
+        slot: [u8; LINE],
+    },
+    /// Not present; `line` is where an insert would land (first reusable
+    /// tombstone, else the terminating empty slot).
+    Free {
+        /// Insertion slot line.
+        line: u32,
+    },
+}
+
+/// Probes linearly for `key`'s head slot.
+///
+/// # Errors
+///
+/// Propagates backing-store failures; a table with no empty or reusable
+/// slot left is `Invalid`.
+pub fn probe(store: &impl Lines, key: &[u8]) -> Result<Probe, StoreError> {
+    let lines = store.line_count();
+    let start = (fnv1a_64(key) % u64::from(lines)) as u32;
+    let mut first_tombstone: Option<u32> = None;
+    for i in 0..lines {
+        let line = (start + i) % lines;
+        let slot = store.read_slot(line)?;
+        match slot[0] {
+            SLOT_LIVE if head_key(&slot) == key => return Ok(Probe::Found { line, slot }),
+            SLOT_EMPTY => {
+                return Ok(Probe::Free {
+                    line: first_tombstone.unwrap_or(line),
+                })
+            }
+            SLOT_TOMBSTONE if first_tombstone.is_none() => first_tombstone = Some(line),
+            _ => {}
+        }
+    }
+    match first_tombstone {
+        Some(line) => Ok(Probe::Free { line }),
+        None => Err(StoreError::Invalid("table full".into())),
+    }
+}
+
+/// Reassembles the value behind a head snapshot. Returns `None` when a
+/// concurrent mutation raced the read (version/state mismatch on a
+/// continuation, or the head changed before the final re-read).
+fn assemble(
+    store: &impl Lines,
+    line: u32,
+    head: &[u8; LINE],
+) -> Result<Option<Vec<u8>>, StoreError> {
+    let vlen = head[2] as usize;
+    if vlen > MAX_VALUE_BYTES {
+        return Ok(None);
+    }
+    let ver = head[3];
+    let take = vlen.min(HEAD_VALUE_BYTES);
+    let mut value = head[HEAD_VAL_AT..HEAD_VAL_AT + take].to_vec();
+    let mut remaining = vlen - take;
+    for i in 0..cont_count(vlen) {
+        let ptr = ptr_at(head, i);
+        if ptr == NO_CONT || ptr >= store.line_count() {
+            return Ok(None);
+        }
+        let cont = store.read_slot(ptr)?;
+        let chunk = remaining.min(CONT_VALUE_BYTES);
+        if cont[0] != SLOT_CONT
+            || cont[1] as usize != i + 1
+            || cont[2] as usize != chunk
+            || cont[3] != ver
+        {
+            return Ok(None);
+        }
+        value.extend_from_slice(&cont[CONT_VAL_AT..CONT_VAL_AT + chunk]);
+        remaining -= chunk;
+    }
+    if store.read_slot(line)? != *head {
+        return Ok(None);
+    }
+    Ok(Some(value))
+}
+
+/// What one optimistic lookup attempt observed.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The key's value, read consistently.
+    Found {
+        /// Head slot line.
+        line: u32,
+        /// The assembled value.
+        value: Vec<u8>,
+    },
+    /// Consistently absent; `line` is the probe's terminal slot.
+    Missing {
+        /// Terminal probe slot.
+        line: u32,
+    },
+    /// A concurrent mutation raced this read; retry (or serialize).
+    Contended,
+}
+
+/// One optimistic lookup attempt. Safe concurrently with one writer.
+///
+/// # Errors
+///
+/// Propagates backing-store failures and invalid keys.
+pub fn lookup(store: &impl Lines, key: &[u8]) -> Result<Lookup, StoreError> {
+    check_key(key)?;
+    match probe(store, key)? {
+        Probe::Free { line } => Ok(Lookup::Missing { line }),
+        Probe::Found { line, slot } => match assemble(store, line, &slot)? {
+            Some(value) => Ok(Lookup::Found { line, value }),
+            None => Ok(Lookup::Contended),
+        },
+    }
+}
+
+/// Allocates `n` continuation slots, scanning from the head. Free means
+/// `EMPTY` or `TOMBSTONE`; slots in `taken` (reused pointers) are
+/// skipped.
+fn alloc_conts(
+    store: &impl Lines,
+    head_line: u32,
+    taken: &[u32],
+    n: usize,
+) -> Result<Vec<u32>, StoreError> {
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return Ok(out);
+    }
+    let lines = store.line_count();
+    for step in 1..lines {
+        let line = (head_line + step) % lines;
+        if taken.contains(&line) || out.contains(&line) {
+            continue;
+        }
+        let state = store.read_slot(line)?[0];
+        if state == SLOT_EMPTY || state == SLOT_TOMBSTONE {
+            out.push(line);
+            if out.len() == n {
+                return Ok(out);
+            }
+        }
+    }
+    Err(StoreError::Invalid(
+        "table full (no free slots for a spanning value)".into(),
+    ))
+}
+
+/// Writes a record: continuations first, then the head. A concurrent
+/// reader either holds the old head (and trips on the bumped version in
+/// any rewritten continuation) or picks up the new head over the already
+/// written new continuations.
+fn write_record(
+    store: &impl Lines,
+    head_line: u32,
+    key: &[u8],
+    value: &[u8],
+    ptrs: &[u32],
+    ver: u8,
+) -> Result<(), StoreError> {
+    let mut rest = &value[value.len().min(HEAD_VALUE_BYTES)..];
+    for (i, &ptr) in ptrs.iter().enumerate() {
+        let chunk = rest.len().min(CONT_VALUE_BYTES);
+        store.write_slot(ptr, &encode_cont(i + 1, &rest[..chunk], ver))?;
+        rest = &rest[chunk..];
+    }
+    debug_assert!(rest.is_empty());
+    store.write_slot(head_line, &encode_head(key, value, ptrs, ver))
+}
+
+/// Inserts or overwrites `key`, reusing the old record's continuation
+/// slots where possible and tombstoning the surplus. Requires the single
+/// writer. Returns the head slot line.
+///
+/// # Errors
+///
+/// Rejects oversized keys/values and a table too full to hold the
+/// record; propagates backing-store failures.
+pub fn put(store: &impl Lines, key: &[u8], value: &[u8]) -> Result<u32, StoreError> {
+    check_key(key)?;
+    check_value(value)?;
+    let new_conts = cont_count(value.len());
+    match probe(store, key)? {
+        Probe::Found { line, slot } => {
+            let old_conts = cont_count(slot[2] as usize);
+            let old_ptrs: Vec<u32> = (0..old_conts).map(|i| ptr_at(&slot, i)).collect();
+            let ver = slot[3].wrapping_add(1);
+            let mut ptrs: Vec<u32> = old_ptrs.iter().copied().take(new_conts).collect();
+            if new_conts > old_conts {
+                let extra = alloc_conts(store, line, &ptrs, new_conts - old_conts)?;
+                ptrs.extend(extra);
+            }
+            write_record(store, line, key, value, &ptrs, ver)?;
+            for &surplus in &old_ptrs[new_conts.min(old_conts)..] {
+                if surplus != NO_CONT && surplus < store.line_count() {
+                    write_tombstone(store, surplus)?;
+                }
+            }
+            Ok(line)
+        }
+        Probe::Free { line } => {
+            let ver = store.read_slot(line)?[3].wrapping_add(1);
+            let ptrs = alloc_conts(store, line, &[], new_conts)?;
+            write_record(store, line, key, value, &ptrs, ver)?;
+            Ok(line)
+        }
+    }
+}
+
+/// How a delete resolved.
+#[derive(Debug)]
+pub enum Deletion {
+    /// The key was present; its head slot was tombstoned.
+    Deleted {
+        /// Head slot line.
+        line: u32,
+    },
+    /// The key was absent; `line` is the probe's terminal slot.
+    Missing {
+        /// Terminal probe slot.
+        line: u32,
+    },
+}
+
+/// Deletes `key` if present: head slot first (the key vanishes in one
+/// slot write), then its continuations. Requires the single writer.
+///
+/// # Errors
+///
+/// Propagates backing-store failures and invalid keys.
+pub fn delete(store: &impl Lines, key: &[u8]) -> Result<Deletion, StoreError> {
+    check_key(key)?;
+    match probe(store, key)? {
+        Probe::Found { line, slot } => {
+            write_tombstone(store, line)?;
+            for i in 0..cont_count(slot[2] as usize) {
+                let ptr = ptr_at(&slot, i);
+                if ptr != NO_CONT && ptr < store.line_count() {
+                    write_tombstone(store, ptr)?;
+                }
+            }
+            Ok(Deletion::Deleted { line })
+        }
+        Probe::Free { line } => Ok(Deletion::Missing { line }),
+    }
+}
+
+/// All live pairs, sorted by key. Requires exclusive access (no
+/// concurrent writer): a torn record here means corruption, not
+/// contention.
+///
+/// # Errors
+///
+/// Propagates backing-store failures; reports torn records as `Corrupt`.
+pub fn scan(store: &impl Lines) -> Result<crate::kv::KvPairs, StoreError> {
+    let mut out = Vec::new();
+    for line in 0..store.line_count() {
+        let slot = store.read_slot(line)?;
+        if slot[0] != SLOT_LIVE {
+            continue;
+        }
+        match assemble(store, line, &slot)? {
+            Some(value) => out.push((head_key(&slot).to_vec(), value)),
+            None => {
+                return Err(StoreError::Corrupt(format!(
+                    "torn record at slot {line} during exclusive scan"
+                )))
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// A plain in-memory slot table (single-threaded test backing).
+    struct MemLines(RefCell<Vec<[u8; LINE]>>);
+
+    impl MemLines {
+        fn new(lines: u32) -> MemLines {
+            MemLines(RefCell::new(vec![[0u8; LINE]; lines as usize]))
+        }
+    }
+
+    impl Lines for MemLines {
+        fn line_count(&self) -> u32 {
+            self.0.borrow().len() as u32
+        }
+
+        fn read_slot(&self, line: u32) -> Result<[u8; LINE], StoreError> {
+            Ok(self.0.borrow()[line as usize])
+        }
+
+        fn write_slot(&self, line: u32, data: &[u8; LINE]) -> Result<(), StoreError> {
+            self.0.borrow_mut()[line as usize] = *data;
+            Ok(())
+        }
+    }
+
+    fn value_of(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    fn get(store: &impl Lines, key: &[u8]) -> Option<Vec<u8>> {
+        match lookup(store, key).unwrap() {
+            Lookup::Found { value, .. } => Some(value),
+            Lookup::Missing { .. } => None,
+            Lookup::Contended => panic!("contended without concurrency"),
+        }
+    }
+
+    #[test]
+    fn spanning_round_trip_at_every_boundary() {
+        let store = MemLines::new(64);
+        for len in [0, 1, 15, 16, 17, 76, 77, 136, 196, 224, 254, 255] {
+            let key = format!("k{len}");
+            put(&store, key.as_bytes(), &value_of(len)).unwrap();
+            assert_eq!(
+                get(&store, key.as_bytes()),
+                Some(value_of(len)),
+                "len {len}"
+            );
+        }
+        assert!(put(&store, b"big", &value_of(256)).is_err());
+    }
+
+    #[test]
+    fn overwrite_grows_and_shrinks_cont_chains() {
+        let store = MemLines::new(32);
+        put(&store, b"k", &value_of(255)).unwrap();
+        put(&store, b"other", &value_of(200)).unwrap();
+        // Shrink to a single slot: four continuations must come free.
+        put(&store, b"k", &value_of(5)).unwrap();
+        assert_eq!(get(&store, b"k"), Some(value_of(5)));
+        // Grow again; the freed slots are reusable.
+        put(&store, b"k", &value_of(230)).unwrap();
+        assert_eq!(get(&store, b"k"), Some(value_of(230)));
+        assert_eq!(get(&store, b"other"), Some(value_of(200)));
+        let pairs = scan(&store).unwrap();
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn delete_frees_spanned_slots() {
+        // 6 slots: one 255-byte record consumes 5 of them.
+        let store = MemLines::new(6);
+        put(&store, b"a", &value_of(255)).unwrap();
+        assert!(put(&store, b"b", &value_of(100)).is_err(), "table is full");
+        match delete(&store, b"a").unwrap() {
+            Deletion::Deleted { .. } => {}
+            Deletion::Missing { .. } => panic!("a was present"),
+        }
+        assert_eq!(get(&store, b"a"), None);
+        put(&store, b"b", &value_of(255)).unwrap();
+        assert_eq!(get(&store, b"b"), Some(value_of(255)));
+    }
+
+    #[test]
+    fn cont_slots_do_not_break_probe_chains() {
+        // Force everything to hash-collide into a tiny table so probes
+        // must walk across CONT and TOMBSTONE slots.
+        let store = MemLines::new(8);
+        put(&store, b"a", &value_of(60)).unwrap(); // head + 1 cont
+        put(&store, b"b", &value_of(1)).unwrap();
+        put(&store, b"c", &value_of(100)).unwrap(); // head + 2 conts
+        assert_eq!(get(&store, b"a"), Some(value_of(60)));
+        assert_eq!(get(&store, b"b"), Some(value_of(1)));
+        assert_eq!(get(&store, b"c"), Some(value_of(100)));
+        delete(&store, b"b").unwrap();
+        assert_eq!(
+            get(&store, b"c"),
+            Some(value_of(100)),
+            "probes pass tombstones"
+        );
+        let pairs = scan(&store).unwrap();
+        assert_eq!(
+            pairs.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![b"a".to_vec(), b"c".to_vec()]
+        );
+    }
+}

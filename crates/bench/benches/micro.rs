@@ -101,6 +101,55 @@ fn bench_cache_array(c: &mut Criterion) {
     group.finish();
 }
 
+/// The packed SoA line table against the struct cache above, same shapes
+/// and access patterns — the before/after pair for the data-oriented
+/// hierarchy rewrite.
+fn bench_packed_table(c: &mut Criterion) {
+    use picl_cache::packed::{encode_line, DIRTY, TAGGED};
+    use picl_cache::{CacheLineMeta, PackedLineCache};
+    let mut group = c.benchmark_group("packed_table");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("probe_touch_hit", |b| {
+        let mut cache = PackedLineCache::new(4096, 8);
+        for i in 0..4096u64 {
+            let (w, v) = encode_line(&CacheLineMeta::clean(i));
+            cache.insert(LineAddr::new(i), w, v);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            let slot = cache.probe(LineAddr::new(i)).expect("resident");
+            cache.touch(slot);
+            black_box(cache.value(slot));
+        });
+    });
+    group.bench_function("insert_evict", |b| {
+        let mut cache = PackedLineCache::new(4096, 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let (w, v) = encode_line(&CacheLineMeta::clean(i));
+            black_box(cache.insert(LineAddr::new(i), w, v));
+        });
+    });
+    group.bench_function("store_retag", |b| {
+        // The store fast path: probe, touch, set dirty + EID in the word.
+        let mut cache = PackedLineCache::new(4096, 8);
+        for i in 0..4096u64 {
+            let (w, v) = encode_line(&CacheLineMeta::clean(i));
+            cache.insert(LineAddr::new(i), w, v);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            let slot = cache.probe(LineAddr::new(i)).expect("resident");
+            cache.touch(slot);
+            cache.set_word(slot, DIRTY | TAGGED | (i & 0xff));
+        });
+    });
+    group.finish();
+}
+
 fn bench_hierarchy(c: &mut Criterion) {
     let mut group = c.benchmark_group("hierarchy");
     group.throughput(Throughput::Elements(1));
@@ -394,6 +443,7 @@ criterion_group!(
     bench_bloom,
     bench_undo_buffer,
     bench_cache_array,
+    bench_packed_table,
     bench_hierarchy,
     bench_acs_pass,
     bench_llc_hit,

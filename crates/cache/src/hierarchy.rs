@@ -3,12 +3,17 @@
 //! Geometry and latencies come from Table IV. Private L1 and L2 are
 //! *exclusive* of each other (a line lives in exactly one of them), which
 //! keeps a single authoritative copy of every line's metadata; the shared
-//! LLC is *inclusive* of all private caches via directory slots:
+//! LLC is *inclusive* of all private caches via directory slots. Each LLC
+//! slot is either the line itself (data + metadata) or a directory pointer
+//! naming the one core whose private caches hold it (single-owner
+//! coherence; a second core's access recalls it, and an LLC eviction
+//! back-invalidates it).
 //!
-//! * [`LlcSlot::Present`] — data and metadata live in the LLC;
-//! * [`LlcSlot::Owned`] — the line is held by one core's private caches
-//!   (single-owner coherence; a second core's access recalls it, and an LLC
-//!   eviction back-invalidates it).
+//! All three levels are [`PackedLineCache`] tables: per-line state packs
+//! into one metadata `u64` (dirty bit, PiCL's optional EID tag, and — for
+//! LLC directory slots — the owner core; see [`crate::packed`] for the bit
+//! layout), so the hot access path is a handful of contiguous word loads
+//! instead of struct walks.
 //!
 //! Consistency-scheme hooks fire exactly where the paper's Figs. 7 and 8
 //! put them: on every store (with pre-store metadata, wherever the line is
@@ -19,7 +24,7 @@
 //! The ACS pass ([`Hierarchy::take_lines_with_eid`]) and the baselines'
 //! synchronous flushes ([`Hierarchy::take_dirty_lines`]) used to walk every
 //! slot of every cache — O(capacity) per epoch regardless of how much work
-//! an epoch actually dirtied. The hierarchy now maintains a side-index of
+//! an epoch actually dirtied. The hierarchy maintains a side-index of
 //! *candidate* dirty lines, bucketed by EID tag, plus O(1) dirty counters:
 //!
 //! * every store that dirties a clean line, or moves a line to a new EID
@@ -45,17 +50,8 @@ use picl_types::hash::FastMap;
 use picl_types::{config::SystemConfig, stats::Counter, CoreId, Cycle, EpochId, LineAddr};
 
 use crate::line::{CacheLineMeta, FlushLine};
+use crate::packed::{decode_line, PackedInsertion, PackedLineCache, DIRTY, FIELD, OWNED, TAGGED};
 use crate::scheme::{ConsistencyScheme, EvictRoute, EvictionEvent, StoreEvent};
-use crate::set_assoc::SetAssocCache;
-
-/// An LLC slot: either the data itself or a pointer to the owning core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LlcSlot {
-    /// Data and metadata are resident in the LLC.
-    Present(CacheLineMeta),
-    /// The line is held in this core's private caches.
-    Owned(CoreId),
-}
 
 /// Which level serviced an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,9 +115,9 @@ pub struct HierarchyStats {
 /// The three-level hierarchy shared by all cores.
 #[derive(Debug)]
 pub struct Hierarchy {
-    l1: Vec<SetAssocCache<CacheLineMeta>>,
-    l2: Vec<SetAssocCache<CacheLineMeta>>,
-    llc: SetAssocCache<LlcSlot>,
+    l1: Vec<PackedLineCache>,
+    l2: Vec<PackedLineCache>,
+    llc: PackedLineCache,
     l1_lat: Cycle,
     l2_lat: Cycle,
     llc_lat: Cycle,
@@ -141,6 +137,12 @@ pub struct Hierarchy {
     reference_scan: bool,
 }
 
+/// LLC directory word naming `core` as the line's owner.
+#[inline]
+fn owned_word(core: usize) -> u64 {
+    OWNED | core as u64
+}
+
 impl Hierarchy {
     /// Builds the hierarchy for a system configuration.
     ///
@@ -153,12 +155,12 @@ impl Hierarchy {
         let llc_cfg = cfg.llc_total();
         Hierarchy {
             l1: (0..cfg.cores)
-                .map(|_| SetAssocCache::new(cfg.l1.sets(), cfg.l1.ways))
+                .map(|_| PackedLineCache::new(cfg.l1.sets(), cfg.l1.ways))
                 .collect(),
             l2: (0..cfg.cores)
-                .map(|_| SetAssocCache::new(cfg.l2.sets(), cfg.l2.ways))
+                .map(|_| PackedLineCache::new(cfg.l2.sets(), cfg.l2.ways))
                 .collect(),
-            llc: SetAssocCache::new(llc_cfg.sets(), llc_cfg.ways),
+            llc: PackedLineCache::new(llc_cfg.sets(), llc_cfg.ways),
             l1_lat: cfg.l1.latency,
             l2_lat: cfg.l2.latency,
             llc_lat: cfg.llc_per_core.latency,
@@ -217,15 +219,17 @@ impl Hierarchy {
             AccessType::Store { .. } => self.stats.stores.incr(),
         }
 
-        // L1 hit: the fast path.
-        if self.l1[c].contains(addr) {
+        // L1 hit: the fast path — one probe, one recency stamp, and (for
+        // stores) the metadata word updated in place.
+        if let Some(slot) = self.l1[c].probe(addr) {
             self.stats.l1_hits.incr();
+            self.l1[c].touch(slot);
             if let AccessType::Store { new_value } = access {
-                let mut m = *self.l1[c].get(addr).expect("checked contains");
-                self.do_store(&mut m, addr, new_value, scheme, mem, now);
-                *self.l1[c].get(addr).expect("still resident") = m;
-            } else {
-                self.l1[c].get(addr);
+                let word = self.l1[c].word(slot);
+                let value = self.l1[c].value(slot);
+                let (word, value) =
+                    self.apply_store(addr, word, value, new_value, scheme, mem, now);
+                self.l1[c].set_slot(slot, word, value);
             }
             return AccessResult {
                 data_ready: now + self.l1_lat,
@@ -234,101 +238,127 @@ impl Hierarchy {
         }
 
         // L2 hit: move the line up (exclusive L1/L2).
-        let (mut meta, level, data_ready) = if let Some(meta) = self.l2[c].remove(addr) {
+        let (word, value, level, data_ready) = if let Some(slot) = self.l2[c].probe(addr) {
             self.stats.l2_hits.incr();
-            (meta, HitLevel::L2, now + self.l2_lat)
-        } else {
-            match self.llc.get(addr).copied() {
-                Some(LlcSlot::Present(meta)) => {
-                    self.stats.llc_hits.incr();
-                    *self.llc.peek_mut(addr).expect("slot present") = LlcSlot::Owned(core);
-                    (meta, HitLevel::Llc, now + self.llc_lat)
-                }
-                Some(LlcSlot::Owned(owner)) if owner != core => {
-                    // Another core holds it: recall through the LLC.
-                    self.stats.llc_hits.incr();
-                    self.stats.recalls.incr();
-                    let meta = self.recall_private(owner, addr);
-                    *self.llc.peek_mut(addr).expect("slot present") = LlcSlot::Owned(core);
-                    (meta, HitLevel::Llc, now + self.llc_lat)
-                }
-                Some(LlcSlot::Owned(_)) => {
-                    unreachable!("line owned by {core} but missing from its private caches")
-                }
-                None => {
-                    // Miss: fetch from the scheme (redo forwarding) or NVM.
-                    self.stats.memory_accesses.incr();
-                    let (value, ready) = match scheme.forward_read(addr, mem, now) {
-                        Some(hit) => hit,
-                        None => mem.read(now, addr, AccessClass::DemandRead),
-                    };
-                    let victim = self.llc.insert(addr, LlcSlot::Owned(core)).into_victim();
-                    if let Some((vaddr, vslot)) = victim {
-                        self.dispose_llc_victim(vaddr, vslot, scheme, mem, now);
-                    }
-                    (CacheLineMeta::clean(value), HitLevel::Memory, ready)
-                }
+            let (word, value) = self.l2[c].take_at(slot);
+            (word, value, HitLevel::L2, now + self.l2_lat)
+        } else if let Some(slot) = self.llc.probe(addr) {
+            self.stats.llc_hits.incr();
+            self.llc.touch(slot);
+            let lword = self.llc.word(slot);
+            if lword & OWNED != 0 {
+                let owner = (lword & FIELD) as usize;
+                assert!(
+                    owner != c,
+                    "line owned by {core} but missing from its private caches"
+                );
+                // Another core holds it: recall through the LLC.
+                self.stats.recalls.incr();
+                let (word, value) = self.recall_private(owner, addr);
+                self.llc.set_word(slot, owned_word(c));
+                (word, value, HitLevel::Llc, now + self.llc_lat)
+            } else {
+                let value = self.llc.value(slot);
+                self.llc.set_word(slot, owned_word(c));
+                (lword, value, HitLevel::Llc, now + self.llc_lat)
             }
+        } else {
+            // Miss: fetch from the scheme (redo forwarding) or NVM.
+            self.stats.memory_accesses.incr();
+            let (value, ready) = match scheme.forward_read(addr, mem, now) {
+                Some(hit) => hit,
+                None => mem.read(now, addr, AccessClass::DemandRead),
+            };
+            if let PackedInsertion::Evicted {
+                addr: vaddr,
+                word: vword,
+                value: vvalue,
+            } = self.llc.insert(addr, owned_word(c), 0)
+            {
+                self.dispose_llc_victim(vaddr, vword, vvalue, scheme, mem, now);
+            }
+            // A line filled from memory is clean and untagged: word 0.
+            (0, value, HitLevel::Memory, ready)
         };
 
-        if let AccessType::Store { new_value } = access {
-            self.do_store(&mut meta, addr, new_value, scheme, mem, now);
-        }
-        self.fill_l1(core, addr, meta, scheme, mem, now);
+        let (word, value) = match access {
+            AccessType::Store { new_value } => {
+                self.apply_store(addr, word, value, new_value, scheme, mem, now)
+            }
+            AccessType::Load => (word, value),
+        };
+        self.fill_l1(c, addr, word, value, scheme, mem, now);
 
         AccessResult { data_ready, level }
     }
 
-    /// Applies a store to a line's metadata, firing the scheme hook with
-    /// the pre-store state (Figs. 7/8 transitions) and keeping the epoch
-    /// index coherent.
-    fn do_store(
+    /// Applies a store to a line's packed state, firing the scheme hook
+    /// with the pre-store metadata (Figs. 7/8 transitions) and keeping the
+    /// epoch index coherent. Returns the post-store `(word, value)`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn apply_store(
         &mut self,
-        meta: &mut CacheLineMeta,
         addr: LineAddr,
+        word: u64,
+        value: u64,
         new_value: u64,
         scheme: &mut dyn ConsistencyScheme,
         mem: &mut Nvm,
         now: Cycle,
-    ) {
+    ) -> (u64, u64) {
+        let was_dirty = word & DIRTY != 0;
+        let was_tagged = word & TAGGED != 0;
         let ev = StoreEvent {
             addr,
-            old_value: meta.value,
-            old_eid: meta.eid,
-            was_dirty: meta.dirty,
+            old_value: value,
+            old_eid: if was_tagged {
+                Some(EpochId(word & FIELD))
+            } else {
+                None
+            },
+            was_dirty,
         };
         let directive = scheme.on_store(&ev, mem, now);
-        let was_dirty = meta.dirty;
-        let old_eid = meta.eid;
-        meta.value = new_value;
-        meta.dirty = true;
-        if let Some(eid) = directive.new_eid {
-            meta.eid = Some(eid);
-        }
+        // No directive: the line keeps its old tag (or stays untagged).
+        let new_word = match directive.new_eid {
+            Some(eid) => {
+                debug_assert!(eid.0 <= FIELD, "EID overflows the packed field");
+                DIRTY | TAGGED | eid.0
+            }
+            None => DIRTY | (word & (TAGGED | FIELD)),
+        };
 
         if !was_dirty {
             self.dirty_total += 1;
         }
-        if meta.eid.is_some() && !(was_dirty && old_eid.is_some()) {
+        let now_tagged = new_word & TAGGED != 0;
+        if now_tagged && !(was_dirty && was_tagged) {
             self.dirty_tagged += 1;
         }
         // A line enters a bucket when it turns dirty or changes tag; a
-        // dirty line keeping its tag is already a candidate there.
-        if !was_dirty || meta.eid != old_eid {
-            match meta.eid {
-                Some(eid) => self.epoch_index.entry(eid).or_default().push(addr),
-                None => self.push_untagged(addr),
+        // dirty line keeping its tag is already a candidate there. Untagged
+        // words keep zero FIELD bits, so the XOR compares tags exactly.
+        if !was_dirty || (new_word ^ word) & (TAGGED | FIELD) != 0 {
+            if now_tagged {
+                self.epoch_index
+                    .entry(EpochId(new_word & FIELD))
+                    .or_default()
+                    .push(addr);
+            } else {
+                self.push_untagged(addr);
             }
         }
+        (new_word, new_value)
     }
 
     /// Appends an untagged dirty candidate, compacting the bucket when
     /// stale entries dominate (schemes that never flush — Ideal — would
     /// otherwise grow it with one stale entry per re-dirtied eviction).
     fn push_untagged(&mut self, addr: LineAddr) {
-        // Compact BEFORE pushing: during `do_store` the stored line's
-        // metadata is a detached copy not yet written back to the arrays,
-        // so a post-push compaction would see it clean and drop it.
+        // Compact BEFORE pushing: during `apply_store` the stored line's
+        // state is a detached copy not yet written back to the arrays, so a
+        // post-push compaction would see it clean and drop it.
         if self.untagged_dirty.len() > 64 && self.untagged_dirty.len() > 4 * self.dirty_total {
             let mut keep = std::mem::take(&mut self.untagged_dirty);
             keep.sort_unstable();
@@ -341,44 +371,56 @@ impl Hierarchy {
 
     /// Installs a line into `core`'s L1, rippling victims down: L1 victim →
     /// L2; L2 victim → its (guaranteed-present) LLC slot.
+    #[allow(clippy::too_many_arguments)]
     fn fill_l1(
         &mut self,
-        core: CoreId,
+        c: usize,
         addr: LineAddr,
-        meta: CacheLineMeta,
+        word: u64,
+        value: u64,
         scheme: &mut dyn ConsistencyScheme,
         mem: &mut Nvm,
         now: Cycle,
     ) {
-        let c = core.index();
-        if let Some((v1_addr, v1_meta)) = self.l1[c].insert(addr, meta).into_victim() {
-            if let Some((v2_addr, v2_meta)) = self.l2[c].insert(v1_addr, v1_meta).into_victim() {
+        if let PackedInsertion::Evicted {
+            addr: v1_addr,
+            word: v1_word,
+            value: v1_value,
+        } = self.l1[c].insert(addr, word, value)
+        {
+            if let PackedInsertion::Evicted {
+                addr: v2_addr,
+                word: v2_word,
+                value: v2_value,
+            } = self.l2[c].insert(v1_addr, v1_word, v1_value)
+            {
                 // The L2 victim leaves the private caches: deposit its data
-                // into its LLC directory slot.
-                match self.llc.peek_mut(v2_addr) {
-                    Some(slot @ LlcSlot::Owned(_)) => *slot = LlcSlot::Present(v2_meta),
-                    Some(LlcSlot::Present(_)) => {
-                        unreachable!("private line {v2_addr} already present in LLC")
-                    }
-                    None => {
-                        // Its slot was evicted concurrently — cannot happen
-                        // because LLC evictions back-invalidate first.
-                        unreachable!("private line {v2_addr} lost its LLC slot");
-                    }
-                }
+                // into its LLC directory slot. The slot must exist and be a
+                // directory pointer — LLC evictions back-invalidate first.
+                let slot = self
+                    .llc
+                    .probe(v2_addr)
+                    .unwrap_or_else(|| panic!("private line {v2_addr} lost its LLC slot"));
+                debug_assert!(
+                    self.llc.word(slot) & OWNED != 0,
+                    "private line {v2_addr} already present in LLC"
+                );
+                self.llc.set_slot(slot, v2_word, v2_value);
                 let _ = (scheme, mem, now);
             }
         }
     }
 
     /// Removes a line from `owner`'s private caches, returning its
-    /// authoritative metadata.
-    fn recall_private(&mut self, owner: CoreId, addr: LineAddr) -> CacheLineMeta {
-        let o = owner.index();
-        self.l1[o]
-            .remove(addr)
-            .or_else(|| self.l2[o].remove(addr))
-            .unwrap_or_else(|| panic!("directory says {owner} holds {addr}, but it does not"))
+    /// authoritative packed state.
+    fn recall_private(&mut self, owner: usize, addr: LineAddr) -> (u64, u64) {
+        if let Some(slot) = self.l1[owner].probe(addr) {
+            self.l1[owner].take_at(slot)
+        } else if let Some(slot) = self.l2[owner].probe(addr) {
+            self.l2[owner].take_at(slot)
+        } else {
+            panic!("directory says core {owner} holds {addr}, but it does not")
+        }
     }
 
     /// Disposes of an evicted LLC slot: back-invalidate if owned, then let
@@ -386,23 +428,24 @@ impl Hierarchy {
     fn dispose_llc_victim(
         &mut self,
         addr: LineAddr,
-        slot: LlcSlot,
+        word: u64,
+        value: u64,
         scheme: &mut dyn ConsistencyScheme,
         mem: &mut Nvm,
         now: Cycle,
     ) {
-        let meta = match slot {
-            LlcSlot::Present(meta) => meta,
-            LlcSlot::Owned(owner) => {
-                self.stats.back_invalidations.incr();
-                self.recall_private(owner, addr)
-            }
+        let (word, value) = if word & OWNED != 0 {
+            self.stats.back_invalidations.incr();
+            self.recall_private((word & FIELD) as usize, addr)
+        } else {
+            (word, value)
         };
-        if meta.dirty {
+        if word & DIRTY != 0 {
             // The line leaves the hierarchy; its bucket candidate goes
             // stale and is filtered at the next drain.
             self.dirty_total -= 1;
-            if meta.eid.is_some() {
+            let tagged = word & TAGGED != 0;
+            if tagged {
                 self.dirty_tagged -= 1;
             }
             self.stats.dirty_evictions.incr();
@@ -410,11 +453,11 @@ impl Hierarchy {
                 .record(now, None, EventKind::DirtyWriteback { addr });
             let ev = EvictionEvent {
                 addr,
-                value: meta.value,
-                eid: meta.eid,
+                value,
+                eid: tagged.then_some(EpochId(word & FIELD)),
             };
             if scheme.on_dirty_eviction(&ev, mem, now) == EvictRoute::InPlace {
-                mem.write(now, addr, meta.value, AccessClass::WriteBack);
+                mem.write(now, addr, value, AccessClass::WriteBack);
             }
         } else {
             self.stats.clean_evictions.incr();
@@ -486,18 +529,40 @@ impl Hierarchy {
         out: &mut Vec<FlushLine>,
     ) {
         for &addr in candidates {
-            let grabbed = match self.llc.peek_mut(addr) {
-                None => None,
-                Some(LlcSlot::Present(meta)) => try_grab(meta, addr, filter, out),
-                Some(LlcSlot::Owned(owner)) => {
-                    let o = owner.index();
-                    let meta = match self.l1[o].peek_mut(addr) {
-                        Some(m) => m,
-                        None => self.l2[o]
-                            .peek_mut(addr)
+            let Some(lslot) = self.llc.probe(addr) else {
+                continue;
+            };
+            let lword = self.llc.word(lslot);
+            let grabbed = if lword & OWNED != 0 {
+                let o = (lword & FIELD) as usize;
+                let (in_l1, slot) = match self.l1[o].probe(addr) {
+                    Some(s) => (true, s),
+                    None => (
+                        false,
+                        self.l2[o]
+                            .probe(addr)
                             .expect("owned line missing from owner's private caches"),
-                    };
-                    try_grab(meta, addr, filter, out)
+                    ),
+                };
+                let table = if in_l1 {
+                    &mut self.l1[o]
+                } else {
+                    &mut self.l2[o]
+                };
+                match grab_word(table.word(slot), table.value(slot), addr, filter, out) {
+                    Some((cleared, was_tagged)) => {
+                        table.set_word(slot, cleared);
+                        Some(was_tagged)
+                    }
+                    None => None,
+                }
+            } else {
+                match grab_word(lword, self.llc.value(lslot), addr, filter, out) {
+                    Some((cleared, was_tagged)) => {
+                        self.llc.set_word(lslot, cleared);
+                        Some(was_tagged)
+                    }
+                    None => None,
                 }
             };
             if let Some(was_tagged) = grabbed {
@@ -519,8 +584,12 @@ impl Hierarchy {
         let mut grabbed = 0usize;
         let mut tagged = 0usize;
         {
-            let mut grab = |addr: LineAddr, meta: &mut CacheLineMeta| {
-                if pred(meta) {
+            let mut grab = |addr: LineAddr, word: &mut u64, value: &mut u64| {
+                if *word & OWNED != 0 {
+                    return;
+                }
+                let meta = decode_line(*word, *value);
+                if pred(&meta) {
                     out.push(FlushLine {
                         addr,
                         value: meta.value,
@@ -530,20 +599,13 @@ impl Hierarchy {
                     if meta.eid.is_some() {
                         tagged += 1;
                     }
-                    meta.dirty = false;
-                    meta.eid = None;
+                    *word &= !(DIRTY | TAGGED | FIELD);
                 }
             };
             for cache in self.l1.iter_mut().chain(self.l2.iter_mut()) {
-                for (addr, meta) in cache.iter_mut() {
-                    grab(addr, meta);
-                }
+                cache.for_each_mut(&mut grab);
             }
-            for (addr, slot) in self.llc.iter_mut() {
-                if let LlcSlot::Present(meta) = slot {
-                    grab(addr, meta);
-                }
-            }
+            self.llc.for_each_mut(&mut grab);
         }
         self.dirty_total -= grabbed;
         self.dirty_tagged -= tagged;
@@ -562,24 +624,24 @@ impl Hierarchy {
 
     fn scan_matching(&self, pred: impl Fn(&CacheLineMeta) -> bool) -> Vec<FlushLine> {
         let mut out = Vec::new();
-        let mut scan = |addr: LineAddr, meta: &CacheLineMeta| {
-            if pred(meta) {
-                out.push(FlushLine {
-                    addr,
-                    value: meta.value,
-                    eid: meta.eid,
-                });
+        {
+            let mut scan = |(addr, word, value): (LineAddr, u64, u64)| {
+                if word & OWNED != 0 {
+                    return;
+                }
+                let meta = decode_line(word, value);
+                if pred(&meta) {
+                    out.push(FlushLine {
+                        addr,
+                        value: meta.value,
+                        eid: meta.eid,
+                    });
+                }
+            };
+            for cache in self.l1.iter().chain(self.l2.iter()) {
+                cache.iter().for_each(&mut scan);
             }
-        };
-        for cache in self.l1.iter().chain(self.l2.iter()) {
-            for (addr, meta) in cache.iter() {
-                scan(addr, meta);
-            }
-        }
-        for (addr, slot) in self.llc.iter() {
-            if let LlcSlot::Present(meta) = slot {
-                scan(addr, meta);
-            }
+            self.llc.iter().for_each(&mut scan);
         }
         out.sort_unstable_by_key(|f| f.addr);
         out
@@ -607,30 +669,32 @@ impl Hierarchy {
     }
 
     fn recount(&self, pred: impl Fn(&CacheLineMeta) -> bool) -> usize {
-        let private: usize = self
-            .l1
+        self.l1
             .iter()
             .chain(self.l2.iter())
-            .map(|c| c.iter().filter(|(_, m)| pred(m)).count())
-            .sum();
-        let llc = self
-            .llc
-            .iter()
-            .filter(|(_, s)| matches!(s, LlcSlot::Present(m) if pred(m)))
-            .count();
-        private + llc
+            .chain(std::iter::once(&self.llc))
+            .map(|c| {
+                c.iter()
+                    .filter(|&(_, w, v)| w & OWNED == 0 && pred(&decode_line(w, v)))
+                    .count()
+            })
+            .sum()
     }
 
     /// Authoritative metadata of `addr` if resident anywhere, located in
     /// O(1) through the inclusive LLC directory.
-    fn locate(&self, addr: LineAddr) -> Option<&CacheLineMeta> {
-        match self.llc.peek(addr) {
-            None => None,
-            Some(LlcSlot::Present(meta)) => Some(meta),
-            Some(LlcSlot::Owned(owner)) => {
-                let o = owner.index();
-                self.l1[o].peek(addr).or_else(|| self.l2[o].peek(addr))
-            }
+    fn locate(&self, addr: LineAddr) -> Option<CacheLineMeta> {
+        let slot = self.llc.probe(addr)?;
+        let word = self.llc.word(slot);
+        if word & OWNED != 0 {
+            let o = (word & FIELD) as usize;
+            let (table, slot) = match self.l1[o].probe(addr) {
+                Some(s) => (&self.l1[o], s),
+                None => (&self.l2[o], self.l2[o].probe(addr)?),
+            };
+            Some(decode_line(table.word(slot), table.value(slot)))
+        } else {
+            Some(decode_line(word, self.llc.value(slot)))
         }
     }
 
@@ -657,32 +721,29 @@ impl Hierarchy {
     }
 }
 
-/// Takes `meta`'s line if it is dirty (and tagged `filter`, when given):
-/// pushes the flush record and marks the line clean. Returns whether the
-/// grabbed line carried a tag, `None` if it did not match.
-fn try_grab(
-    meta: &mut CacheLineMeta,
+/// Takes a line's packed state if it is dirty (and tagged `filter`, when
+/// given): pushes the flush record and returns the cleaned word plus
+/// whether the grabbed line carried a tag. `None` if it did not match.
+#[inline]
+fn grab_word(
+    word: u64,
+    value: u64,
     addr: LineAddr,
     filter: Option<EpochId>,
     out: &mut Vec<FlushLine>,
-) -> Option<bool> {
-    if !meta.dirty {
+) -> Option<(u64, bool)> {
+    if word & DIRTY == 0 {
         return None;
     }
-    if let Some(eid) = filter {
-        if meta.eid != Some(eid) {
+    let tagged = word & TAGGED != 0;
+    let eid = tagged.then_some(EpochId(word & FIELD));
+    if let Some(f) = filter {
+        if eid != Some(f) {
             return None;
         }
     }
-    out.push(FlushLine {
-        addr,
-        value: meta.value,
-        eid: meta.eid,
-    });
-    let was_tagged = meta.eid.is_some();
-    meta.dirty = false;
-    meta.eid = None;
-    Some(was_tagged)
+    out.push(FlushLine { addr, value, eid });
+    Some((word & !(DIRTY | TAGGED | FIELD), tagged))
 }
 
 #[cfg(test)]

@@ -6,7 +6,11 @@
 //! optional epoch-ID tag (§IV-A, Fig. 5b).
 //!
 //! * [`mod@line`] — cache-line metadata, including the EID tag.
-//! * [`set_assoc`] — a single set-associative LRU cache array.
+//! * [`packed`] — the struct-of-arrays line table the hierarchy runs on:
+//!   per-line state bitfield-packed into parallel flat `u64` arrays.
+//! * [`set_assoc`] — the generic set-associative LRU cache array, retained
+//!   as the baselines' translation tables and as the reference structure
+//!   the packed table is property-tested against.
 //! * [`hierarchy`] — the multicore L1/L2/LLC composition with an
 //!   MESI-lite single-owner coherence model and inclusive back-
 //!   invalidation; produces the store/eviction events consistency schemes
@@ -26,11 +30,13 @@
 
 pub mod hierarchy;
 pub mod line;
+pub mod packed;
 pub mod scheme;
 pub mod set_assoc;
 
 pub use hierarchy::{AccessResult, Hierarchy, HierarchyStats, HitLevel};
 pub use line::{CacheLineMeta, FlushLine};
+pub use packed::{PackedInsertion, PackedLineCache};
 pub use scheme::{
     BoundaryOutcome, ConsistencyScheme, EvictRoute, EvictionEvent, RecoveryOutcome, SchemeStats,
     StoreDirective, StoreEvent,

@@ -1,0 +1,172 @@
+//! Property test: [`PackedLineCache`] against the retained reference
+//! structure, [`SetAssocCache<CacheLineMeta>`].
+//!
+//! The packed table is the hot-path representation (flat word arrays,
+//! bitfield metadata); the struct cache is the readable reference the
+//! rest of the crate is specified against. Arbitrary interleavings of
+//! the operations the hierarchy actually performs — fills, stores that
+//! re-tag a line's EID, capacity evictions, asynchronous cache scans
+//! draining one epoch, and crash-style clears — must keep the two
+//! structures in lockstep: same hits, same victims, same survivors.
+
+use proptest::prelude::*;
+
+use picl_cache::packed::{decode_line, encode_line};
+use picl_cache::set_assoc::Insertion;
+use picl_cache::{CacheLineMeta, PackedLineCache, SetAssocCache};
+use picl_types::{EpochId, LineAddr};
+
+const SETS: usize = 4;
+const WAYS: usize = 2;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// A load hit/miss probe: hits refresh recency in both structures.
+    Access(u64),
+    /// A fill or store: insert (or overwrite) the line with this metadata.
+    Insert(u64, CacheLineMeta),
+    /// A store to a resident line: mark dirty and re-tag its EID in place.
+    Store(u64, u64, u64),
+    /// An invalidation: remove the line outright.
+    Remove(u64),
+    /// The asynchronous cache scan: extract every dirty line tagged `eid`,
+    /// leaving it clean and untagged in place.
+    Acs(u64),
+    /// A crash: all volatile state is lost.
+    Crash,
+}
+
+fn meta_strategy() -> impl Strategy<Value = CacheLineMeta> {
+    (any::<u64>(), any::<bool>(), 0u64..16).prop_map(|(value, dirty, eid)| CacheLineMeta {
+        value,
+        dirty,
+        // Odd draws are untagged: lines filled from memory have no EID.
+        eid: (eid % 2 == 0).then_some(EpochId(eid / 2)),
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..32).prop_map(Op::Access),
+        ((0u64..32), meta_strategy()).prop_map(|(a, m)| Op::Insert(a, m)),
+        ((0u64..32), any::<u64>(), 0u64..8).prop_map(|(a, v, e)| Op::Store(a, v, e)),
+        (0u64..32).prop_map(Op::Remove),
+        (0u64..8).prop_map(Op::Acs),
+        Just(Op::Crash),
+    ]
+}
+
+/// Every resident line, sorted by address, decoded to plain metadata.
+fn packed_contents(packed: &PackedLineCache) -> Vec<(LineAddr, CacheLineMeta)> {
+    let mut out: Vec<_> = packed
+        .iter()
+        .map(|(addr, word, value)| (addr, decode_line(word, value)))
+        .collect();
+    out.sort_unstable_by_key(|&(a, _)| a);
+    out
+}
+
+fn struct_contents(cache: &SetAssocCache<CacheLineMeta>) -> Vec<(LineAddr, CacheLineMeta)> {
+    let mut out: Vec<_> = cache.iter().map(|(addr, m)| (addr, *m)).collect();
+    out.sort_unstable_by_key(|&(a, _)| a);
+    out
+}
+
+proptest! {
+    #[test]
+    fn packed_vs_struct(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut packed = PackedLineCache::new(SETS, WAYS);
+        let mut model: SetAssocCache<CacheLineMeta> = SetAssocCache::new(SETS, WAYS);
+
+        for op in ops {
+            match op {
+                Op::Access(raw) => {
+                    let addr = LineAddr::new(raw);
+                    let packed_hit = packed.probe(addr);
+                    let model_hit = model.get(addr).map(|m| *m);
+                    prop_assert_eq!(packed_hit.is_some(), model_hit.is_some());
+                    if let Some(slot) = packed_hit {
+                        packed.touch(slot);
+                        prop_assert_eq!(
+                            decode_line(packed.word(slot), packed.value(slot)),
+                            model_hit.unwrap()
+                        );
+                    }
+                }
+                Op::Insert(raw, meta) => {
+                    let addr = LineAddr::new(raw);
+                    let (word, value) = encode_line(&meta);
+                    let packed_out = packed.insert(addr, word, value);
+                    let model_out = model.insert(addr, meta);
+                    match (packed_out, model_out) {
+                        (picl_cache::PackedInsertion::Fit, Insertion::Fit) => {}
+                        (
+                            picl_cache::PackedInsertion::Replaced { word, value },
+                            Insertion::Replaced(old),
+                        ) => prop_assert_eq!(decode_line(word, value), old),
+                        (
+                            picl_cache::PackedInsertion::Evicted { addr, word, value },
+                            Insertion::Evicted(m_addr, m_meta),
+                        ) => {
+                            prop_assert_eq!(addr, m_addr, "victim choice diverged");
+                            prop_assert_eq!(decode_line(word, value), m_meta);
+                        }
+                        (p, m) => {
+                            return Err(TestCaseError::fail(format!(
+                                "insertion outcome diverged: packed {p:?} vs struct {m:?}"
+                            )))
+                        }
+                    }
+                }
+                Op::Store(raw, value, eid) => {
+                    let addr = LineAddr::new(raw);
+                    let slot = packed.probe(addr);
+                    let meta = model.get(addr);
+                    prop_assert_eq!(slot.is_some(), meta.is_some());
+                    if let (Some(slot), Some(meta)) = (slot, meta) {
+                        packed.touch(slot);
+                        let stored = CacheLineMeta::dirty(value, EpochId(eid));
+                        let (word, value) = encode_line(&stored);
+                        packed.set_slot(slot, word, value);
+                        *meta = stored;
+                    }
+                }
+                Op::Remove(raw) => {
+                    let addr = LineAddr::new(raw);
+                    let packed_out = packed.remove(addr).map(|(w, v)| decode_line(w, v));
+                    let model_out = model.remove(addr);
+                    prop_assert_eq!(packed_out, model_out);
+                }
+                Op::Acs(eid) => {
+                    let eid = EpochId(eid);
+                    let mut drained_packed = Vec::new();
+                    packed.for_each_mut(|addr, word, value| {
+                        let meta = decode_line(*word, *value);
+                        if meta.dirty && meta.eid == Some(eid) {
+                            drained_packed.push((addr, *value));
+                            let (w, v) = encode_line(&CacheLineMeta::clean(*value));
+                            *word = w;
+                            *value = v;
+                        }
+                    });
+                    drained_packed.sort_unstable_by_key(|&(a, _)| a);
+                    let mut drained_model = Vec::new();
+                    for (addr, meta) in model.iter_mut() {
+                        if meta.dirty && meta.eid == Some(eid) {
+                            drained_model.push((addr, meta.value));
+                            *meta = CacheLineMeta::clean(meta.value);
+                        }
+                    }
+                    drained_model.sort_unstable_by_key(|&(a, _)| a);
+                    prop_assert_eq!(drained_packed, drained_model);
+                }
+                Op::Crash => {
+                    packed.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(packed.len(), model.len());
+        }
+        prop_assert_eq!(packed_contents(&packed), struct_contents(&model));
+    }
+}

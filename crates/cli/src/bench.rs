@@ -8,7 +8,7 @@
 //! events/sec (simulated instructions per wall-clock second), the
 //! fast-vs-reference speedup, and peak RSS, and emits the results as a
 //! `picl-bench-v1` JSON document so the repo carries a perf trajectory
-//! (`BENCH_3.json`).
+//! (`BENCH_3.json`, `BENCH_8.json`).
 
 use std::time::Instant;
 
@@ -161,6 +161,19 @@ fn paper_cell(scale: f64) -> (String, Simulation) {
         .footprint_scale(1.0)
         .keep_snapshots(true);
     ("PiCL/W0 x8 paper".to_owned(), sim)
+}
+
+/// Multi-lane variants of the paper cell: identical workload, decode fanned
+/// out to N lane threads. The differential check inside [`run_cell`] then
+/// enforces that laned decode reproduces the reference report bit-for-bit.
+fn lane_cells(scale: f64) -> Vec<(String, Simulation)> {
+    [2usize, 4]
+        .into_iter()
+        .map(|lanes| {
+            let (_, sim) = paper_cell(scale);
+            (format!("PiCL/W0 x8 lanes{lanes}"), sim.decode_lanes(lanes))
+        })
+        .collect()
 }
 
 /// Runs one cell on both paths, enforcing the differential check.
@@ -342,11 +355,12 @@ pub fn cmd_bench(args: &Args) -> Result<(), ArgError> {
     if scale.is_nan() || scale <= 0.0 {
         return Err(ArgError("--scale must be positive".into()));
     }
-    let out_path = args.get_or("out", "BENCH_3.json");
+    let out_path = args.get_or("out", "BENCH_8.json");
 
     let mut matrix = quick_cells(scale);
     if !quick {
         matrix.push(paper_cell(scale));
+        matrix.extend(lane_cells(scale));
     }
     let bench_cells: Vec<BenchCell> = matrix
         .into_iter()

@@ -70,7 +70,7 @@ audit / analyze flags:
 
 bench flags:
   --quick               skip the 8-core paper cell (the CI smoke matrix)
-  --out FILE            results JSON path (default BENCH_3.json)
+  --out FILE            results JSON path (default BENCH_8.json)
   --check FILE          validate FILE's picl-bench-v1 schema and fail if
                         this run's events/sec falls >20% below it
   --scale F             scale instruction/epoch budgets (default 1.0)

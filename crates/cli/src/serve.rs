@@ -439,6 +439,9 @@ struct YcsbResult {
     reads: u64,
     updates: u64,
     preload_s: f64,
+    /// Preload keys inserted per second (the untimed bulk-load phase has
+    /// its own throughput now that it batches puts per epoch commit).
+    preload_keys_per_s: f64,
     elapsed_s: f64,
     throughput: f64,
     p50_us: f64,
@@ -455,7 +458,8 @@ impl CellPayload for YcsbResult {
     fn encode(&self) -> String {
         format!(
             "{{\"label\": \"{}\", \"backend\": \"{}\", \"sessions\": {}, \"ops\": {}, \
-             \"reads\": {}, \"updates\": {}, \"preload_s\": {}, \"elapsed_s\": {}, \
+             \"reads\": {}, \"updates\": {}, \"preload_s\": {}, \
+             \"preload_keys_per_s\": {}, \"elapsed_s\": {}, \
              \"throughput\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
              \"commit_stall_p99_ms\": {}, \"audit_events\": {}, \"audit_dropped\": {}, \
              \"audit_violations\": {}}}",
@@ -466,6 +470,7 @@ impl CellPayload for YcsbResult {
             self.reads,
             self.updates,
             self.preload_s,
+            self.preload_keys_per_s,
             self.elapsed_s,
             self.throughput,
             self.p50_us,
@@ -495,6 +500,7 @@ impl CellPayload for YcsbResult {
             reads: v.field_u64("reads")?,
             updates: v.field_u64("updates")?,
             preload_s: float("preload_s")?,
+            preload_keys_per_s: float("preload_keys_per_s")?,
             elapsed_s: float("elapsed_s")?,
             throughput: float("throughput")?,
             p50_us: float("p50_us")?,
@@ -631,6 +637,7 @@ impl YcsbCell {
             reads: report.reads,
             updates: report.updates,
             preload_s,
+            preload_keys_per_s: self.spec.keys as f64 / preload_s.max(1e-9),
             elapsed_s: report.elapsed.as_secs_f64(),
             throughput: report.throughput(),
             p50_us,
@@ -662,6 +669,7 @@ impl YcsbCell {
             reads: report.reads,
             updates: report.updates,
             preload_s,
+            preload_keys_per_s: self.spec.keys as f64 / preload_s.max(1e-9),
             elapsed_s: report.elapsed.as_secs_f64(),
             throughput: report.throughput(),
             p50_us,
@@ -851,13 +859,20 @@ pub fn cmd_ycsb(args: &Args) -> Result<(), ArgError> {
         .collect();
 
     println!(
-        "{:<12}{:>9}{:>12}{:>11}{:>11}{:>12}{:>12}",
-        "cell", "ops", "ops/s", "p50 us", "p99 us", "p99.9 us", "stall99 ms"
+        "{:<12}{:>9}{:>12}{:>12}{:>11}{:>11}{:>12}{:>12}",
+        "cell", "ops", "ops/s", "preload/s", "p50 us", "p99 us", "p99.9 us", "stall99 ms"
     );
     for r in &results {
         println!(
-            "{:<12}{:>9}{:>12.0}{:>11.1}{:>11.1}{:>12.1}{:>12.3}",
-            r.label, r.ops, r.throughput, r.p50_us, r.p99_us, r.p999_us, r.commit_stall_p99_ms
+            "{:<12}{:>9}{:>12.0}{:>12.0}{:>11.1}{:>11.1}{:>12.1}{:>12.3}",
+            r.label,
+            r.ops,
+            r.throughput,
+            r.preload_keys_per_s,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.commit_stall_p99_ms
         );
     }
     if !failures.is_empty() {

@@ -38,6 +38,13 @@ const LINE: usize = LINE_BYTES as usize;
 /// Optimistic lookup attempts before falling back to the table lock.
 const LOOKUP_RETRIES: usize = 64;
 
+/// Preload puts per epoch commit. The serving cadence (often single-digit)
+/// would pay one drain-and-fence commit stall every few keys; first-write-
+/// per-line deduplication caps any epoch's undo traffic at `lines` entries,
+/// which the validated log geometry always accommodates, so preload can
+/// batch thousands of puts into each epoch safely.
+const PRELOAD_BATCH: u64 = 1024;
+
 /// Called under the table lock after each epoch commit with
 /// `(epoch id, per-session completed-op counts)`.
 pub type CommitHook = Box<dyn Fn(u64, &[u64]) + Send + Sync>;
@@ -298,9 +305,18 @@ impl Backend for ServeKv {
     }
 
     fn preload(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
-        // Same path as a put (epoch cadence included — the undo log
-        // needs commits to recycle), attributed to session 0.
-        self.put(0, key, value)
+        // Same put path, attributed to session 0, but on the batched
+        // [`PRELOAD_BATCH`] epoch cadence: commits still happen (the undo
+        // log needs them to recycle), just thousands of keys apart
+        // instead of every few mutations.
+        let mut mutations = self.table.lock().expect("serve table poisoned");
+        slots::put(&self.engine, key, value)?;
+        *mutations += 1;
+        self.bump(0);
+        if mutations.is_multiple_of(PRELOAD_BATCH) {
+            self.commit_now()?;
+        }
+        Ok(())
     }
 }
 

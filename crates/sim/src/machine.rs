@@ -13,13 +13,16 @@
 //! recovered — the end-to-end crash-consistency check the paper's FPGA
 //! prototype performed with micro-benchmarks (§V).
 
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
 use picl::os::boundary_handler_line;
 use picl_cache::hierarchy::AccessType;
 use picl_cache::{ConsistencyScheme, Hierarchy};
 use picl_nvm::{DeltaSnapshots, MainMemory, Nvm};
 use picl_telemetry::{EventKind, Sampler, Telemetry};
-use picl_trace::{AccessKind, TraceSource};
-use picl_types::hash::{FastMap, FastSet};
+use picl_trace::{AccessKind, EventBatch, TraceEvent, TraceSource};
+use picl_types::hash::FastMap;
 use picl_types::{CoreId, Cycle, EpochId, LineAddr, SystemConfig};
 
 use crate::report::RunReport;
@@ -29,10 +32,107 @@ use crate::report::RunReport;
 /// comparisons.
 const WORKLOAD_LINE_LIMIT: u64 = 1 << 40;
 
+/// Events decoded per [`TraceSource::fill`] call. Large enough to amortize
+/// the per-batch virtual dispatch and channel traffic, small enough that
+/// decode-ahead stays a few tens of KiB per core.
+const DECODE_CHUNK: usize = 1024;
+
+/// Where a core's decoded event batches come from.
+enum Feed {
+    /// Decode on the simulation thread, one chunk at a time.
+    Inline(Box<dyn TraceSource + Send>),
+    /// Batches are decoded ahead of time by a lane thread and arrive over
+    /// a bounded channel; drained batches are sent back for reuse.
+    Lane {
+        rx: Receiver<EventBatch>,
+        recycle: Sender<EventBatch>,
+    },
+    /// Detached during shutdown; no further events may be requested.
+    Closed,
+}
+
 struct Core {
     clock: Cycle,
     instructions: u64,
-    trace: Box<dyn TraceSource + Send>,
+    feed: Feed,
+    batch: EventBatch,
+    pos: usize,
+}
+
+impl Core {
+    /// The next event of this core's stream, refilling the batch when the
+    /// current one is exhausted. The canonical event order is identical
+    /// whatever the feed: a core's stream is always decoded sequentially
+    /// in chunk order by exactly one producer.
+    #[inline]
+    fn next_event(&mut self) -> TraceEvent {
+        if self.pos == self.batch.len() {
+            self.refill();
+        }
+        let ev = self.batch.get(self.pos);
+        self.pos += 1;
+        ev
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        match &mut self.feed {
+            Feed::Inline(src) => src.fill(&mut self.batch, DECODE_CHUNK),
+            Feed::Lane { rx, recycle } => {
+                let fresh = rx.recv().expect("decode lane disconnected");
+                let spent = std::mem::replace(&mut self.batch, fresh);
+                // The lane may already have exited; a failed recycle only
+                // costs the allocation.
+                let _ = recycle.send(spent);
+            }
+            Feed::Closed => panic!("event requested from a closed feed"),
+        }
+        self.pos = 0;
+    }
+}
+
+/// One decode lane's share of the cores: the trace source it advances plus
+/// the channels to its consumer.
+struct LaneCore {
+    src: Box<dyn TraceSource + Send>,
+    tx: SyncSender<EventBatch>,
+    recycle: Receiver<EventBatch>,
+    pending: Option<EventBatch>,
+    closed: bool,
+}
+
+/// Decode-lane thread body: round-robin over the owned cores, keeping each
+/// core's bounded channel topped up. Sends never block — a full channel
+/// parks the batch in `pending` — so one budget-exhausted core can never
+/// wedge a lane that other cores are still draining.
+fn lane_main(mut cores: Vec<LaneCore>) {
+    loop {
+        let mut progressed = false;
+        let mut live = 0usize;
+        for lc in cores.iter_mut() {
+            if lc.closed {
+                continue;
+            }
+            live += 1;
+            if lc.pending.is_none() {
+                let mut batch = lc.recycle.try_recv().unwrap_or_default();
+                lc.src.fill(&mut batch, DECODE_CHUNK);
+                lc.pending = Some(batch);
+            }
+            let batch = lc.pending.take().expect("pending batch present");
+            match lc.tx.try_send(batch) {
+                Ok(()) => progressed = true,
+                Err(mpsc::TrySendError::Full(b)) => lc.pending = Some(b),
+                Err(mpsc::TrySendError::Disconnected(_)) => lc.closed = true,
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
 }
 
 /// Golden-snapshot storage backing crash validation.
@@ -75,7 +175,7 @@ impl SnapshotStore {
 }
 
 /// Result of an injected crash and recovery.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrashReport {
     /// What the scheme recovered (target epoch, entries applied, time).
     pub outcome: picl_cache::RecoveryOutcome,
@@ -98,8 +198,14 @@ pub struct Machine {
     cores: Vec<Core>,
     logical: MainMemory,
     snapshots: SnapshotStore,
-    /// Lines written (logically) since the last commit — the next delta.
-    pending_dirty: FastSet<LineAddr>,
+    /// `(line, token)` writes since the last commit — the next delta.
+    /// Kept as a plain push list on the store fast path (duplicates fine);
+    /// deduplication happens once per commit when the delta map is built,
+    /// where later pushes overwrite earlier ones, matching the final
+    /// logical value without a per-line image lookup.
+    pending_dirty: Vec<(LineAddr, u64)>,
+    /// Decode-lane threads, when enabled; joined on drop.
+    lane_handles: Vec<JoinHandle<()>>,
     /// Reused across crash validations.
     diff_scratch: Vec<LineAddr>,
     token: u64,
@@ -152,12 +258,15 @@ impl Machine {
                 .map(|trace| Core {
                     clock: Cycle::ZERO,
                     instructions: 0,
-                    trace,
+                    feed: Feed::Inline(trace),
+                    batch: EventBatch::with_capacity(DECODE_CHUNK),
+                    pos: 0,
                 })
                 .collect(),
             logical: MainMemory::new(),
             snapshots,
-            pending_dirty: FastSet::default(),
+            pending_dirty: Vec::new(),
+            lane_handles: Vec::new(),
             diff_scratch: Vec::new(),
             token: 0,
             instr_since_boundary: 0,
@@ -166,6 +275,57 @@ impl Machine {
             sampler: None,
             cfg,
         }
+    }
+
+    /// Moves trace decoding onto `lanes` background threads (clamped to
+    /// the core count; 0 is a no-op that keeps decoding inline).
+    ///
+    /// Cores are assigned to lanes round-robin; each core's source is
+    /// still advanced sequentially by exactly one producer and its batches
+    /// arrive in decode order, so simulation results are bit-identical to
+    /// inline decoding for every lane count. Call before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lanes were already enabled on this machine.
+    pub fn set_decode_lanes(&mut self, lanes: usize) {
+        assert!(self.lane_handles.is_empty(), "decode lanes already enabled");
+        if lanes == 0 {
+            return;
+        }
+        let lanes = lanes.min(self.cores.len());
+        let mut shares: Vec<Vec<LaneCore>> = (0..lanes).map(|_| Vec::new()).collect();
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let Feed::Inline(src) = std::mem::replace(&mut core.feed, Feed::Closed) else {
+                unreachable!("fresh machine cores decode inline");
+            };
+            // Capacity 2 gives double buffering: the lane decodes the next
+            // chunk while the simulator drains the current one. A partially
+            // drained inline batch (if any) finishes first, so the stream
+            // position is preserved across the switch.
+            let (tx, rx) = mpsc::sync_channel(2);
+            let (recycle_tx, recycle_rx) = mpsc::channel();
+            core.feed = Feed::Lane {
+                rx,
+                recycle: recycle_tx,
+            };
+            shares[i % lanes].push(LaneCore {
+                src,
+                tx,
+                recycle: recycle_rx,
+                pending: None,
+                closed: false,
+            });
+        }
+        for share in shares {
+            self.lane_handles
+                .push(std::thread::spawn(move || lane_main(share)));
+        }
+    }
+
+    /// Number of decode-lane threads currently attached (0 = inline).
+    pub fn decode_lanes(&self) -> usize {
+        self.lane_handles.len()
     }
 
     /// Turns tracing on: events from the scheme, the hierarchy, and the
@@ -315,7 +475,7 @@ impl Machine {
     /// next snapshot delta.
     fn logical_write(&mut self, line: LineAddr, token: u64) {
         self.logical.write_line(line, token);
-        self.pending_dirty.insert(line);
+        self.pending_dirty.push((line, token));
     }
 
     /// Records the golden snapshot for a just-committed epoch.
@@ -323,11 +483,9 @@ impl Machine {
         match &mut self.snapshots {
             SnapshotStore::Off => self.pending_dirty.clear(),
             SnapshotStore::Delta(deltas) => {
-                let delta: FastMap<LineAddr, u64> = self
-                    .pending_dirty
-                    .drain()
-                    .map(|line| (line, self.logical.read_line(line)))
-                    .collect();
+                // Duplicate pushes collapse here; insertion order means the
+                // last write to a line wins, which is its committed value.
+                let delta: FastMap<LineAddr, u64> = self.pending_dirty.drain(..).collect();
                 deltas.commit(committed, delta);
             }
             SnapshotStore::Full(map) => {
@@ -341,19 +499,28 @@ impl Machine {
     /// those with fewer than `budget_per_core` instructions. Returns
     /// `false` when every core has reached the budget.
     pub fn step(&mut self, budget_per_core: u64) -> bool {
-        let Some(idx) = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.instructions < budget_per_core)
-            .min_by_key(|(_, c)| c.clock)
-            .map(|(i, _)| i)
-        else {
-            return false;
+        let idx = if self.cores.len() == 1 {
+            // Single-core fast path: no laggard scan.
+            if self.cores[0].instructions >= budget_per_core {
+                return false;
+            }
+            0
+        } else {
+            let Some(idx) = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.instructions < budget_per_core)
+                .min_by_key(|(_, c)| c.clock)
+                .map(|(i, _)| i)
+            else {
+                return false;
+            };
+            idx
         };
 
-        let ev = self.cores[idx].trace.next_event();
         let core = &mut self.cores[idx];
+        let ev = core.next_event();
         core.clock += u64::from(ev.gap_instructions);
         core.instructions += ev.instructions();
         self.instr_since_boundary += ev.instructions();
@@ -557,6 +724,24 @@ impl Machine {
             scheme_stats: stats,
             nvm: self.mem.stats().clone(),
             hierarchy: self.hier.stats().clone(),
+        }
+    }
+}
+
+impl Drop for Machine {
+    fn drop(&mut self) {
+        if self.lane_handles.is_empty() {
+            return;
+        }
+        // Dropping each core's receiver makes the lanes observe
+        // disconnection on their next send attempt and exit.
+        for core in &mut self.cores {
+            if matches!(core.feed, Feed::Lane { .. }) {
+                core.feed = Feed::Closed;
+            }
+        }
+        for handle in self.lane_handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }

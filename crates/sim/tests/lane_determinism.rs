@@ -1,0 +1,89 @@
+//! Decode-lane determinism: the lane count is a throughput knob, never a
+//! semantics knob. Each core's trace source is advanced sequentially by
+//! exactly one producer in chunk order, so the canonical per-core event
+//! stream — and with it the merged simulation — is identical whether
+//! decode runs inline or fanned out over any number of lane threads.
+
+use picl_sim::{RunReport, SchemeKind, Simulation, WorkloadSpec};
+use picl_trace::mixes::table_v_mixes;
+use picl_trace::spec::SpecBenchmark;
+use picl_types::SystemConfig;
+
+fn run_with_lanes(scheme: SchemeKind, lanes: usize, reference: bool) -> RunReport {
+    let mut cfg = SystemConfig::paper_multicore(8);
+    cfg.epoch.epoch_len_instructions = 2_000;
+    Simulation::builder(cfg)
+        .scheme(scheme)
+        .workload_spec(WorkloadSpec::mix(&table_v_mixes()[0]))
+        .instructions_per_core(20_000)
+        .seed(42)
+        .footprint_scale(0.02)
+        .keep_snapshots(true)
+        .reference_mode(reference)
+        .decode_lanes(lanes)
+        .run()
+        .expect("simulation runs")
+}
+
+#[test]
+fn reports_identical_across_lane_counts() {
+    for scheme in [SchemeKind::Ideal, SchemeKind::Picl] {
+        let inline = run_with_lanes(scheme, 0, false);
+        for lanes in [1usize, 2, 4, 8] {
+            let laned = run_with_lanes(scheme, lanes, false);
+            assert_eq!(
+                inline, laned,
+                "{scheme:?}: report diverged at {lanes} decode lanes"
+            );
+        }
+    }
+}
+
+#[test]
+fn laned_decode_matches_reference_path() {
+    // Lanes compose with the reference (retained-struct scan) mode: both
+    // axes must leave the report untouched.
+    let reference = run_with_lanes(SchemeKind::Picl, 0, true);
+    let laned_fast = run_with_lanes(SchemeKind::Picl, 4, false);
+    assert_eq!(reference, laned_fast);
+}
+
+#[test]
+fn lane_count_clamps_to_core_count() {
+    // More lanes than cores must behave exactly like lanes == cores.
+    let eight = run_with_lanes(SchemeKind::Picl, 8, false);
+    let mut cfg = SystemConfig::paper_multicore(8);
+    cfg.epoch.epoch_len_instructions = 2_000;
+    let over = Simulation::builder(cfg)
+        .scheme(SchemeKind::Picl)
+        .workload_spec(WorkloadSpec::mix(&table_v_mixes()[0]))
+        .instructions_per_core(20_000)
+        .seed(42)
+        .footprint_scale(0.02)
+        .keep_snapshots(true)
+        .decode_lanes(64)
+        .run()
+        .expect("simulation runs");
+    assert_eq!(eight, over);
+}
+
+#[test]
+fn single_core_lane_matches_inline() {
+    let mut cfg = SystemConfig::paper_single_core();
+    cfg.epoch.epoch_len_instructions = 5_000;
+    let build = |lanes: usize| {
+        let mut cfg = cfg.clone();
+        cfg.epoch.epoch_len_instructions = 5_000;
+        Simulation::builder(cfg)
+            .scheme(SchemeKind::Picl)
+            .workload(&[SpecBenchmark::Gcc])
+            .instructions_per_core(50_000)
+            .seed(7)
+            .footprint_scale(0.05)
+            .keep_snapshots(true)
+            .decode_lanes(lanes)
+            .run()
+            .expect("simulation runs")
+    };
+    assert_eq!(build(0), build(1));
+}

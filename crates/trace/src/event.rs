@@ -40,6 +40,88 @@ impl TraceEvent {
     }
 }
 
+/// A flat struct-of-arrays buffer of decoded trace events.
+///
+/// The simulator consumes events in batches: a source decodes a run of
+/// events into one of these (see [`TraceSource::fill`]), and the machine
+/// drains the parallel arrays with plain indexed loads instead of paying a
+/// virtual `next_event` call per event. The arrays are parallel by index;
+/// event `i` is (`gaps[i]`, `store_flags[i]`, `addrs[i]`).
+#[derive(Debug, Clone, Default)]
+pub struct EventBatch {
+    gaps: Vec<u32>,
+    store_flags: Vec<u8>,
+    addrs: Vec<u64>,
+}
+
+impl EventBatch {
+    /// Creates an empty batch with room for `n` events.
+    pub fn with_capacity(n: usize) -> Self {
+        EventBatch {
+            gaps: Vec::with_capacity(n),
+            store_flags: Vec::with_capacity(n),
+            addrs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// Drops all buffered events, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.gaps.clear();
+        self.store_flags.clear();
+        self.addrs.clear();
+    }
+
+    /// Appends one event.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.gaps.push(ev.gap_instructions);
+        self.store_flags.push(ev.is_store() as u8);
+        self.addrs.push(ev.addr.raw());
+    }
+
+    /// The gap (non-memory instructions) of event `i`.
+    #[inline]
+    pub fn gap(&self, i: usize) -> u32 {
+        self.gaps[i]
+    }
+
+    /// Whether event `i` is a store.
+    #[inline]
+    pub fn is_store(&self, i: usize) -> bool {
+        self.store_flags[i] != 0
+    }
+
+    /// The byte address of event `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> Address {
+        Address::new(self.addrs[i])
+    }
+
+    /// Reconstructs event `i` as a [`TraceEvent`].
+    #[inline]
+    pub fn get(&self, i: usize) -> TraceEvent {
+        TraceEvent {
+            gap_instructions: self.gaps[i],
+            kind: if self.store_flags[i] != 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            },
+            addr: Address::new(self.addrs[i]),
+        }
+    }
+}
+
 /// An endless, deterministic stream of trace events.
 ///
 /// Object-safe so the simulator can run heterogeneous workload mixes and so
@@ -52,6 +134,20 @@ pub trait TraceSource {
 
     /// A short human-readable label for reports.
     fn label(&self) -> &str;
+
+    /// Decodes the next `n` events into `batch`, replacing its contents.
+    ///
+    /// The default body loops over [`next_event`](Self::next_event); because
+    /// it is monomorphized per implementing type, the inner calls dispatch
+    /// statically even when the source itself is held as `dyn TraceSource`,
+    /// so a batched caller pays one virtual call per `n` events rather than
+    /// per event.
+    fn fill(&mut self, batch: &mut EventBatch, n: usize) {
+        batch.clear();
+        for _ in 0..n {
+            batch.push(self.next_event());
+        }
+    }
 }
 
 /// A scripted, finite-then-repeating source built from an explicit event
@@ -137,5 +233,32 @@ mod tests {
         let mut boxed: Box<dyn TraceSource> =
             Box::new(ScriptedSource::new("x", vec![ev(0, AccessKind::Load, 0)]));
         assert_eq!(boxed.next_event().gap_instructions, 0);
+    }
+
+    #[test]
+    fn fill_matches_next_event_stream() {
+        let events = vec![
+            ev(1, AccessKind::Load, 64),
+            ev(2, AccessKind::Store, 128),
+            ev(0, AccessKind::Load, 192),
+        ];
+        let mut a = ScriptedSource::new("a", events.clone());
+        let mut b: Box<dyn TraceSource> = Box::new(ScriptedSource::new("b", events));
+        let mut batch = EventBatch::with_capacity(8);
+        b.fill(&mut batch, 8);
+        assert_eq!(batch.len(), 8);
+        for i in 0..8 {
+            let want = a.next_event();
+            assert_eq!(batch.get(i), want);
+            assert_eq!(batch.gap(i), want.gap_instructions);
+            assert_eq!(batch.is_store(i), want.is_store());
+            assert_eq!(batch.addr(i), want.addr);
+        }
+        // Refill replaces, reusing allocations.
+        b.fill(&mut batch, 2);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        batch.clear();
+        assert!(batch.is_empty());
     }
 }

@@ -32,4 +32,4 @@ pub mod generators;
 pub mod mixes;
 pub mod spec;
 
-pub use event::{AccessKind, TraceEvent, TraceSource};
+pub use event::{AccessKind, EventBatch, TraceEvent, TraceSource};

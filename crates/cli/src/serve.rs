@@ -447,8 +447,12 @@ struct YcsbResult {
     p50_us: f64,
     p99_us: f64,
     p999_us: f64,
-    /// p99 of the epoch-commit stall a writer observes (0 for fsync).
-    commit_stall_p99_ms: f64,
+    /// p99 of the group-commit leader's full commit cost in nanoseconds —
+    /// boundary publish plus any in-order-window wait (0 for fsync).
+    commit_stall_p99_ns: f64,
+    /// Key-shard mutation locks the serving layer ran with (0 for fsync,
+    /// which serializes on one table lock).
+    shards: usize,
     audit_events: u64,
     audit_dropped: u64,
     audit_violations: u64,
@@ -461,8 +465,8 @@ impl CellPayload for YcsbResult {
              \"reads\": {}, \"updates\": {}, \"preload_s\": {}, \
              \"preload_keys_per_s\": {}, \"elapsed_s\": {}, \
              \"throughput\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
-             \"commit_stall_p99_ms\": {}, \"audit_events\": {}, \"audit_dropped\": {}, \
-             \"audit_violations\": {}}}",
+             \"commit_stall_p99_ns\": {}, \"shards\": {}, \"audit_events\": {}, \
+             \"audit_dropped\": {}, \"audit_violations\": {}}}",
             json_escape(&self.label),
             json_escape(&self.backend),
             self.sessions,
@@ -476,7 +480,8 @@ impl CellPayload for YcsbResult {
             self.p50_us,
             self.p99_us,
             self.p999_us,
-            self.commit_stall_p99_ms,
+            self.commit_stall_p99_ns,
+            self.shards,
             self.audit_events,
             self.audit_dropped,
             self.audit_violations
@@ -506,7 +511,11 @@ impl CellPayload for YcsbResult {
             p50_us: float("p50_us")?,
             p99_us: float("p99_us")?,
             p999_us: float("p999_us")?,
-            commit_stall_p99_ms: float("commit_stall_p99_ms")?,
+            commit_stall_p99_ns: float("commit_stall_p99_ns")?,
+            shards: v
+                .get("shards")
+                .and_then(Value::as_usize)
+                .ok_or("missing or non-integer field \"shards\"")?,
             audit_events: v.field_u64("audit_events")?,
             audit_dropped: v.field_u64("audit_dropped")?,
             audit_violations: v.field_u64("audit_violations")?,
@@ -600,16 +609,17 @@ impl YcsbCell {
         )
         .map_err(|e| ArgError(format!("open store: {e}")))?;
 
+        // `preload` settles its own batched-epoch tail via `end_preload`,
+        // so the timed phase starts from a clean epoch boundary.
         let preload_started = Instant::now();
         preload(&kv, &self.spec).map_err(|e| ArgError(format!("preload: {e}")))?;
-        kv.commit()
-            .map_err(|e| ArgError(format!("preload commit: {e}")))?;
         let preload_s = preload_started.elapsed().as_secs_f64();
 
         let report = run_load(&kv, &self.spec).map_err(|e| ArgError(format!("load: {e}")))?;
         kv.commit()
             .map_err(|e| ArgError(format!("final commit: {e}")))?;
         let stalls = kv.commit_stalls();
+        let shards = kv.shard_count();
         kv.close().map_err(|e| ArgError(format!("close: {e}")))?;
 
         // Audit the event stream in-process: the benchmark only counts if
@@ -643,7 +653,8 @@ impl YcsbCell {
             p50_us,
             p99_us,
             p999_us,
-            commit_stall_p99_ms: stalls.percentile_interpolated(99.0).unwrap_or(0.0) / 1e6,
+            commit_stall_p99_ns: stalls.percentile_interpolated(99.0).unwrap_or(0.0),
+            shards,
             audit_events: snap.events.len() as u64,
             audit_dropped: snap.dropped,
             audit_violations: audit.violations.len() as u64,
@@ -675,7 +686,8 @@ impl YcsbCell {
             p50_us,
             p99_us,
             p999_us,
-            commit_stall_p99_ms: 0.0,
+            commit_stall_p99_ns: 0.0,
+            shards: 0,
             audit_events: 0,
             audit_dropped: 0,
             audit_violations: 0,
@@ -872,7 +884,7 @@ pub fn cmd_ycsb(args: &Args) -> Result<(), ArgError> {
             r.p50_us,
             r.p99_us,
             r.p999_us,
-            r.commit_stall_p99_ms
+            r.commit_stall_p99_ns / 1e6
         );
     }
     if !failures.is_empty() {
@@ -904,7 +916,7 @@ pub fn cmd_ycsb(args: &Args) -> Result<(), ArgError> {
 
     let json = serve_report_json(&spec, &results, speedup);
     validate_json(&json).map_err(|e| ArgError(format!("emitted JSON invalid: {e}")))?;
-    let out_path = args.get_or("out", "BENCH_7.json");
+    let out_path = args.get_or("out", "BENCH_9.json");
     std::fs::write(out_path, &json)
         .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
     println!("wrote {out_path} ({} cells)", results.len());
@@ -1006,6 +1018,8 @@ mod tests {
         assert!(json.contains("\"schema\": \"picl-serve-v1\""), "{json}");
         assert!(json.contains("\"speedup_multi_over_single\""), "{json}");
         assert!(json.contains("\"audit_violations\": 0"), "{json}");
+        assert!(json.contains("\"commit_stall_p99_ns\""), "{json}");
+        assert!(json.contains("\"shards\": 16"), "{json}");
         assert!(json.contains("picl x4"), "{json}");
         assert!(json.contains("picl x1"), "{json}");
         let _ = std::fs::remove_file(&out);

@@ -14,8 +14,12 @@
 //! ```
 //!
 //! where `n_i` is a lower bound on how many of session `i`'s ops were
-//! included in epoch `eid` (the serve layer counts an op only after its
-//! mutation is in the epoch). After the kill, the parent recovers the
+//! included in epoch `eid`. The serve layer bumps a session's count
+//! inside the mutation's shard critical section and the group-commit
+//! leader snapshots the counters while holding every shard lock at the
+//! epoch boundary, so any count it reports belongs to a mutation that
+//! finished before the boundary — a true lower bound even with sharded
+//! writers racing the commit. After the kill, the parent recovers the
 //! file, restricts the contents to each session's prefix, and accepts
 //! the trial iff for every session there exists an op count `n` — at
 //! least the lower bound from the last commit line at or below the
@@ -483,6 +487,79 @@ mod tests {
             !j2.sessions_consistent[0],
             "an unsatisfiable lower bound must fail"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The same judge, but with the session streams running on real
+    /// concurrent threads against the sharded write path — the
+    /// interleaving is nondeterministic, group commits fire from
+    /// whichever writer trips the cadence, and the hook's lower bounds
+    /// must still let every session's recovered prefix be judged
+    /// consistent.
+    #[test]
+    fn judgement_on_a_concurrently_written_serve_store() {
+        let dir = std::env::temp_dir().join(format!("picl-serve-judge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("concurrent.store");
+        let _ = std::fs::remove_file(&path);
+        let (seed, sessions, ops_per_session, key_space) = (33u64, 4usize, 120u64, 12u64);
+        let cfg = EngineConfig::default();
+        type CommitLog = Vec<(u64, Vec<u64>)>;
+        let commits: Arc<Mutex<CommitLog>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let g = Geometry {
+                lines: cfg.lines,
+                log_blocks: cfg.log_blocks,
+            };
+            let medium = FileMedium::open(&path, g.total_len()).unwrap();
+            let (mut kv, _) =
+                ServeKv::open(Arc::new(medium), cfg.clone(), Telemetry::off(), 7, sessions)
+                    .unwrap();
+            let sink = Arc::clone(&commits);
+            kv.set_commit_hook(Box::new(move |eid, counts| {
+                sink.lock().unwrap().push((eid, counts.to_vec()));
+            }));
+            std::thread::scope(|s| {
+                for sid in 0..sessions {
+                    let kv = &kv;
+                    s.spawn(move || {
+                        for op in session_ops(seed, sid, ops_per_session, key_space) {
+                            match &op {
+                                Op::Put(k, v) => kv.put(sid, k, v).unwrap(),
+                                Op::Delete(k) => {
+                                    kv.delete(sid, k).unwrap();
+                                }
+                                Op::Get(k) => {
+                                    kv.get(sid, k).unwrap();
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            kv.commit().unwrap();
+            kv.close().unwrap();
+        }
+        let commits = commits.lock().unwrap().clone();
+        assert!(!commits.is_empty(), "the run must cross epoch boundaries");
+        for pair in commits.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "commit eids must be ordered");
+            for (a, b) in pair[0].1.iter().zip(&pair[1].1) {
+                assert!(a <= b, "a session's lower bound regressed");
+            }
+        }
+        let j = judge_serve_recovery(
+            &path,
+            seed,
+            sessions,
+            ops_per_session,
+            key_space,
+            1,
+            &commits,
+        )
+        .unwrap();
+        assert!(j.consistent, "verdicts: {:?}", j.sessions_consistent);
+        assert!(j.rpo_ok);
         let _ = std::fs::remove_file(&path);
     }
 }

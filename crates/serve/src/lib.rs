@@ -8,10 +8,15 @@
 //! - [`session`] — the serving layer. [`session::ServeKv`] shares one
 //!   engine between many client sessions: lookups run lock-free against
 //!   the engine's sharded image (optimistic, seqlock-validated record
-//!   assembly with a table-lock fallback), while mutations and epoch
-//!   commits serialize on one table lock so every multi-slot record
-//!   write stays inside a single epoch. [`session::FsyncKv`] is the
-//!   fdatasync-per-mutation baseline the benchmark compares against.
+//!   assembly with a writer-exclusion fallback), while mutations take
+//!   only their key's shard lock (one lock per engine image shard,
+//!   escalating to all shards in index order when a record needs lines
+//!   outside its home shard). Epoch commits are group commits: the
+//!   mutation that trips the cadence becomes the leader, publishes the
+//!   epoch boundary under all shard locks, and waits out the §IV-A
+//!   in-order window only after the other writers have been released.
+//!   [`session::FsyncKv`] is the fdatasync-per-mutation baseline the
+//!   benchmark compares against.
 //! - [`load`] — a YCSB-style load generator: zipfian key popularity over
 //!   large key spaces, A/B/C-style read/write mixes, closed-loop or
 //!   open-loop (Poisson and bursty square-wave) arrivals, per-op latency

@@ -202,6 +202,18 @@ struct EpochWork {
     lines: Vec<u32>,
 }
 
+/// Phase-one receipt from [`Engine::commit_epoch_async`]: the epoch is
+/// committed and its dirty lines are queued for the persister.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitTicket {
+    /// The epoch that just committed.
+    pub eid: u64,
+    /// Whether `committed - persisted` exceeded the in-order window at
+    /// the boundary; if so the committer owes an [`Engine::wait_window`]
+    /// before the RPO bound covers further commits.
+    pub window_full: bool,
+}
+
 /// How many `RwLock` shards the volatile image splits into. Sixteen is
 /// plenty to keep reader collisions rare at the session counts a single
 /// store serves, while keeping the persister's snapshot loop cheap.
@@ -401,53 +413,71 @@ impl Shared {
         }
     }
 
-    /// Persists one committed epoch in three phases. Phase 1, under the
-    /// protocol mutex: per line, bloom-probe the undo buffer (forced
-    /// drain on a hit — undo-before-eviction) and snapshot the line's
-    /// image bytes. Phase 2, with no locks held: write every snapshot in
-    /// place and fence, while the front end keeps executing — this is
-    /// where the stall knob and the real media latency live. Phase 3,
-    /// relocked: advance the superblock's persist frontier and wake
-    /// stalled writers.
+    /// Persists a run of consecutive committed epochs in three phases.
+    /// Phase 1, under the protocol mutex: per line, bloom-probe the undo
+    /// buffer (forced drain on a hit — undo-before-eviction) and
+    /// snapshot the line's image bytes. Phase 2, with no locks held:
+    /// write every snapshot in place and fence, while the front end
+    /// keeps executing — this is where the stall knob and the real media
+    /// latency live. Phase 3, relocked: advance the superblock's persist
+    /// frontier and wake stalled writers.
     ///
-    /// Persisting the *snapshot* (not the live line) is what keeps this
-    /// safe off-lock: all undo entries covering a snapshotted line are
-    /// durable at snapshot time, and any image write that lands after
-    /// the snapshot logs a pre-image chaining from the snapshot value,
-    /// so recovery to `work.eid` rolls the line to its end-of-epoch
-    /// value whether or not those later entries survive the crash.
-    fn persist_epoch(&self, work: EpochWork) -> Result<(), StoreError> {
-        let mut batch: Vec<(u32, [u8; LINE])> = Vec::with_capacity(work.lines.len());
-        let started;
+    /// Taking the whole queued backlog per cycle is the group-persist
+    /// half of the serving layer's pipelined group commit: the line
+    /// fence and the superblock fence amortize over every backlogged
+    /// epoch, so when commits outrun the medium the frontier catches up
+    /// in one cycle instead of paying two fences per epoch — which is
+    /// what bounds a commit leader's in-order-window wait.
+    ///
+    /// Persisting the *snapshots* (not the live lines) is what keeps
+    /// this safe off-lock: all undo entries covering a snapshotted line
+    /// are durable at snapshot time, and any image write that lands
+    /// after the snapshot logs a pre-image chaining from the snapshot
+    /// value, so recovery to any epoch in the run rolls the line to its
+    /// end-of-epoch value whether or not those later entries survive
+    /// the crash.
+    fn persist_epochs(&self, works: Vec<EpochWork>) -> Result<(), StoreError> {
+        let total: usize = works.iter().map(|w| w.lines.len()).sum();
+        let mut batch: Vec<(u32, [u8; LINE])> = Vec::with_capacity(total);
+        // `(lines, snapshot tick)` per epoch, for the per-epoch events.
+        let mut spans: Vec<(u64, u64)> = Vec::with_capacity(works.len());
         {
             let mut st = self.state.lock().expect("store engine poisoned");
             self.check_alive(&st)?;
-            debug_assert_eq!(work.eid, st.persisted + 1, "epochs persist in order");
-            started = st.tick + 1;
-            for &line in &work.lines {
-                if st.buffer_lines.contains(&line) {
-                    // The line's newest undo entry is still volatile:
-                    // writing the (possibly newer) image in place first
-                    // would break undo-before-eviction. Probe + forced
-                    // drain, as the hardware does on a bloom hit.
+            for (i, work) in works.iter().enumerate() {
+                debug_assert_eq!(
+                    work.eid,
+                    st.persisted + 1 + i as u64,
+                    "epochs persist in order"
+                );
+                let started = st.tick + 1;
+                for &line in &work.lines {
+                    if st.buffer_lines.contains(&line) {
+                        // The line's newest undo entry is still volatile:
+                        // writing the (possibly newer) image in place
+                        // first would break undo-before-eviction. Probe +
+                        // forced drain, as the hardware does on a bloom
+                        // hit.
+                        self.emit(
+                            &mut st,
+                            EventKind::BloomCheck {
+                                addr: LineAddr::new(u64::from(line)),
+                                hit: true,
+                            },
+                        );
+                        st.stats.bloom_hits += 1;
+                        self.drain(&mut st, true)?;
+                    }
+                    batch.push((line, self.image.read(line)));
+                    st.stats.line_writebacks += 1;
                     self.emit(
                         &mut st,
-                        EventKind::BloomCheck {
+                        EventKind::AcsLineWriteback {
                             addr: LineAddr::new(u64::from(line)),
-                            hit: true,
                         },
                     );
-                    st.stats.bloom_hits += 1;
-                    self.drain(&mut st, true)?;
                 }
-                batch.push((line, self.image.read(line)));
-                st.stats.line_writebacks += 1;
-                self.emit(
-                    &mut st,
-                    EventKind::AcsLineWriteback {
-                        addr: LineAddr::new(u64::from(line)),
-                    },
-                );
+                spans.push((work.lines.len() as u64, started));
             }
         }
         let stall_at = batch.len() / 2;
@@ -472,31 +502,35 @@ impl Shared {
             return Err(self.die(&mut st, e.to_string()));
         }
         self.check_alive(&st)?;
-        st.persisted = work.eid;
+        let prev = st.persisted;
+        let last = works.last().map_or(prev, |w| w.eid);
+        st.persisted = last;
         let sb = self.superblock(&st).encode();
         let sb_result = self
             .medium
             .persist(0, &sb)
             .and_then(|()| self.medium.fence());
         if let Err(e) = sb_result {
-            st.persisted = work.eid - 1;
+            st.persisted = prev;
             return Err(self.die(&mut st, e.to_string()));
         }
-        st.stats.persists += 1;
-        self.emit(
-            &mut st,
-            EventKind::AcsScan {
-                target: EpochId(work.eid),
-                lines: work.lines.len() as u64,
-                started: Cycle(started),
-            },
-        );
-        self.emit(
-            &mut st,
-            EventKind::EpochPersist {
-                eid: EpochId(work.eid),
-            },
-        );
+        for (work, (lines, started)) in works.iter().zip(&spans) {
+            st.stats.persists += 1;
+            self.emit(
+                &mut st,
+                EventKind::AcsScan {
+                    target: EpochId(work.eid),
+                    lines: *lines,
+                    started: Cycle(*started),
+                },
+            );
+            self.emit(
+                &mut st,
+                EventKind::EpochPersist {
+                    eid: EpochId(work.eid),
+                },
+            );
+        }
         self.gc(&mut st);
         self.done.notify_all();
         Ok(())
@@ -504,14 +538,14 @@ impl Shared {
 
     fn persister_loop(self: &Arc<Self>) {
         loop {
-            let work = {
+            let works: Vec<EpochWork> = {
                 let mut st = self.state.lock().expect("store engine poisoned");
                 loop {
                     if st.dead.is_some() {
                         return;
                     }
-                    if let Some(work) = st.queue.pop_front() {
-                        break work;
+                    if !st.queue.is_empty() {
+                        break st.queue.drain(..).collect();
                     }
                     if st.shutdown {
                         return;
@@ -519,7 +553,7 @@ impl Shared {
                     st = self.work.wait(st).expect("store engine poisoned");
                 }
             };
-            if self.persist_epoch(work).is_err() {
+            if self.persist_epochs(works).is_err() {
                 return;
             }
         }
@@ -820,10 +854,35 @@ impl Engine {
     /// dirty lines to the persister, begins the next epoch, and stalls on
     /// the in-order window. Returns the committed epoch id.
     ///
+    /// This is [`Engine::commit_epoch_async`] followed by
+    /// [`Engine::wait_window`] when the ticket says the window was full —
+    /// callers that can overlap the stall with other work (the serving
+    /// layer's group commit) use the two phases directly.
+    ///
     /// # Errors
     ///
     /// Fails after the medium has died.
     pub fn commit_epoch(&self) -> Result<u64, StoreError> {
+        let ticket = self.commit_epoch_async()?;
+        if ticket.window_full {
+            self.wait_window(ticket)?;
+        }
+        Ok(ticket.eid)
+    }
+
+    /// Phase one of a commit, entirely under the protocol mutex and never
+    /// blocking on media: drains the undo buffer, publishes the epoch
+    /// boundary, hands the epoch's dirty lines to the persister, and
+    /// begins the next executing epoch. The returned ticket says whether
+    /// the §IV-A in-order window was full at the boundary — if so, a
+    /// caller honoring the RPO bound must [`Engine::wait_window`] before
+    /// treating the commit as flow-controlled, but it may do useful work
+    /// (or let other writers run) first.
+    ///
+    /// # Errors
+    ///
+    /// Fails after the medium has died.
+    pub fn commit_epoch_async(&self) -> Result<CommitTicket, StoreError> {
         let mut st = self.lock();
         self.shared.check_alive(&st)?;
         self.shared.drain(&mut st, false)?;
@@ -843,19 +902,64 @@ impl Engine {
                 eid: EpochId(eid + 1),
             },
         );
+        let window_full = st.committed - st.persisted > self.shared.cfg.window;
+        Ok(CommitTicket { eid, window_full })
+    }
+
+    /// Phase two of a commit: blocks until the in-order window has room
+    /// again (`committed - persisted <= window`), i.e. until the persister
+    /// has caught up enough that the RPO bound holds for further commits.
+    /// Returns immediately if the persister already caught up since the
+    /// ticket was issued.
+    ///
+    /// # Errors
+    ///
+    /// Fails after the medium has died.
+    pub fn wait_window(&self, ticket: CommitTicket) -> Result<(), StoreError> {
+        let mut st = self.lock();
         while st.committed - st.persisted > self.shared.cfg.window && st.dead.is_none() {
             st.stats.window_stalls += 1;
             self.shared.emit(
                 &mut st,
                 EventKind::Marker {
                     name: "inorder_window_stall",
-                    value: eid,
+                    value: ticket.eid,
                 },
             );
             st = self.shared.done.wait(st).expect("store engine poisoned");
         }
-        self.shared.check_alive(&st)?;
-        Ok(eid)
+        self.shared.check_alive(&st)
+    }
+
+    /// How many shards the volatile image splits into. The serving layer
+    /// reuses this granularity for its key-shard mutation locks.
+    pub fn image_shard_count(&self) -> usize {
+        self.shared.image.shards.len()
+    }
+
+    /// Which image shard owns `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn image_shard_of_line(&self, line: u32) -> usize {
+        assert!(line < self.shared.geometry.lines, "line out of range");
+        self.shared.image.locate(line).0
+    }
+
+    /// The `[start, end)` line range owned by `shard` (empty for the
+    /// trailing shards of a table smaller than the shard count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= image_shard_count()`.
+    pub fn image_shard_span(&self, shard: usize) -> (u32, u32) {
+        assert!(shard < self.shared.image.shards.len(), "shard out of range");
+        let lines = self.shared.geometry.lines as usize;
+        let per = self.shared.image.lines_per_shard;
+        let start = (shard * per).min(lines);
+        let end = ((shard + 1) * per).min(lines);
+        (start as u32, end as u32)
     }
 
     /// `(executing, committed, persisted)` epoch frontiers.
@@ -1080,6 +1184,65 @@ mod tests {
                 "window violated: committed {committed}, persisted {persisted}"
             );
         }
+        engine.close().unwrap();
+    }
+
+    #[test]
+    fn async_commit_defers_the_window_wait() {
+        let cfg = EngineConfig {
+            window: 2,
+            log_blocks: 32,
+            persist_stall_ms: 20,
+            ..small_cfg()
+        };
+        let medium = medium_for(&cfg);
+        let (engine, _) = Engine::open(medium, cfg, Telemetry::off()).unwrap();
+        // With the persister stalled 20 ms per epoch (the stall needs a
+        // batch of at least two lines), phase-one commits must return
+        // immediately and report when the window fills; only wait_window
+        // blocks.
+        let mut full_seen = false;
+        for e in 0..6u32 {
+            engine.write_line(e % 8, &line_of(e as u8)).unwrap();
+            engine.write_line((e + 1) % 8, &line_of(e as u8)).unwrap();
+            let t0 = std::time::Instant::now();
+            let ticket = engine.commit_epoch_async().unwrap();
+            assert_eq!(ticket.eid, u64::from(e) + 1);
+            assert!(
+                t0.elapsed() < std::time::Duration::from_millis(15),
+                "phase one stalled on the persister"
+            );
+            if ticket.window_full {
+                full_seen = true;
+                engine.wait_window(ticket).unwrap();
+                let (_, committed, persisted) = engine.frontiers();
+                assert!(committed - persisted <= 2, "wait_window under-waited");
+            }
+        }
+        assert!(full_seen, "a 20 ms persist stall never filled window 2");
+        // A ticket whose window already drained returns immediately.
+        engine.drain_persister().unwrap();
+        let ticket = engine.commit_epoch_async().unwrap();
+        engine.wait_window(ticket).unwrap();
+        engine.close().unwrap();
+    }
+
+    #[test]
+    fn image_shard_spans_tile_the_table() {
+        let cfg = small_cfg();
+        let medium = medium_for(&cfg);
+        let (engine, _) = Engine::open(medium, cfg.clone(), Telemetry::off()).unwrap();
+        let mut next = 0u32;
+        for shard in 0..engine.image_shard_count() {
+            let (start, end) = engine.image_shard_span(shard);
+            assert_eq!(start, next, "spans must tile contiguously");
+            assert!(end >= start);
+            for line in start..end {
+                assert_eq!(engine.image_shard_of_line(line), shard);
+            }
+            next = end;
+        }
+        assert_eq!(next, cfg.lines, "spans must cover every line");
         engine.close().unwrap();
     }
 

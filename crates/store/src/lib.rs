@@ -43,7 +43,7 @@ pub mod persist;
 pub mod slots;
 pub mod workload;
 
-pub use engine::{Engine, EngineConfig, EngineStats, OpenReport, StoreError};
+pub use engine::{CommitTicket, Engine, EngineConfig, EngineStats, OpenReport, StoreError};
 pub use kv::{Access, Kv, MAX_KEY_BYTES, MAX_VALUE_BYTES};
 pub use layout::{Geometry, UndoEntry, UNDO_BUFFER_BYTES, UNDO_BUFFER_ENTRIES};
 pub use persist::{CountingMedium, FileMedium, LatencyMedium, PersistOps, PersistStats};

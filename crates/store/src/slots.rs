@@ -17,13 +17,21 @@
 //! `CONT` can lengthen probe chains but never shorten one (no transition
 //! ever re-creates `EMPTY`), so probes stay correct.
 //!
-//! All mutation functions assume one writer at a time — callers serialize
-//! `put`/`delete` (the embedded [`crate::kv::Kv`] is `&mut self`; the
-//! serving layer holds a table lock). `lookup` is safe *concurrently
-//! with* that one writer: it validates each continuation against the
+//! Mutation functions assume *per-record* exclusion — no two writers
+//! mutate the same key at once (the embedded [`crate::kv::Kv`] is
+//! `&mut self`; the serving layer locks the shard of the key's
+//! [`home_line`]). Writers for *different* keys may run concurrently as
+//! long as free-line claims never collide: a writer confined via
+//! [`put_within`] only turns `EMPTY`/`TOMBSTONE` lines into record state
+//! inside its own locked range and escalates (retries under full
+//! exclusion) otherwise, while writes to lines a record already owns are
+//! safe anywhere because only that record's writer touches them.
+//! `lookup` is safe *concurrently with* those writers: it validates each
+//! continuation against the
 //! head's version byte and re-reads the head before returning, reporting
 //! [`Lookup::Contended`] when a racing mutation is detected so the caller
-//! can retry or fall back to the table lock. (As with any seqlock, a
+//! can retry or fall back to excluding the writer (the serving layer
+//! takes the key's shard lock). (As with any seqlock, a
 //! reader that stalls across exactly 256 mutations of one record could
 //! miss the version wrap; reads are a handful of slot copies and writers
 //! take a lock per mutation, so the window is not reachable in practice.)
@@ -184,6 +192,13 @@ fn write_tombstone(store: &impl Lines, line: u32) -> Result<(), StoreError> {
     store.write_slot(line, &slot)
 }
 
+/// The line where `key`'s linear probe starts — its natural head
+/// position. The serving layer keys its shard locks off this line, so
+/// the hash must stay in lockstep with [`probe`].
+pub fn home_line(lines: u32, key: &[u8]) -> u32 {
+    (fnv1a_64(key) % u64::from(lines)) as u32
+}
+
 /// Where a probe for a key ended.
 #[derive(Debug)]
 pub enum Probe {
@@ -210,7 +225,7 @@ pub enum Probe {
 /// slot left is `Invalid`.
 pub fn probe(store: &impl Lines, key: &[u8]) -> Result<Probe, StoreError> {
     let lines = store.line_count();
-    let start = (fnv1a_64(key) % u64::from(lines)) as u32;
+    let start = home_line(lines, key);
     let mut first_tombstone: Option<u32> = None;
     for i in 0..lines {
         let line = (start + i) % lines;
@@ -306,32 +321,45 @@ pub fn lookup(store: &impl Lines, key: &[u8]) -> Result<Lookup, StoreError> {
     }
 }
 
+/// True when `line` is inside the `[start, end)` confinement range (or
+/// there is no confinement).
+fn in_range(allowed: Option<(u32, u32)>, line: u32) -> bool {
+    allowed.is_none_or(|(start, end)| line >= start && line < end)
+}
+
 /// Allocates `n` continuation slots, scanning from the head. Free means
 /// `EMPTY` or `TOMBSTONE`; slots in `taken` (reused pointers) are
-/// skipped.
+/// skipped. With `allowed` set, only lines inside that range qualify —
+/// `Ok(None)` means the range could not satisfy the request (the caller
+/// escalates to an unconfined retry under stronger locking); the hard
+/// table-full error is reserved for unconfined allocation.
 fn alloc_conts(
     store: &impl Lines,
     head_line: u32,
     taken: &[u32],
     n: usize,
-) -> Result<Vec<u32>, StoreError> {
+    allowed: Option<(u32, u32)>,
+) -> Result<Option<Vec<u32>>, StoreError> {
     let mut out = Vec::with_capacity(n);
     if n == 0 {
-        return Ok(out);
+        return Ok(Some(out));
     }
     let lines = store.line_count();
     for step in 1..lines {
         let line = (head_line + step) % lines;
-        if taken.contains(&line) || out.contains(&line) {
+        if !in_range(allowed, line) || taken.contains(&line) || out.contains(&line) {
             continue;
         }
         let state = store.read_slot(line)?[0];
         if state == SLOT_EMPTY || state == SLOT_TOMBSTONE {
             out.push(line);
             if out.len() == n {
-                return Ok(out);
+                return Ok(Some(out));
             }
         }
+    }
+    if allowed.is_some() {
+        return Ok(None);
     }
     Err(StoreError::Invalid(
         "table full (no free slots for a spanning value)".into(),
@@ -360,6 +388,17 @@ fn write_record(
     store.write_slot(head_line, &encode_head(key, value, ptrs, ver))
 }
 
+/// Outcome of a range-confined [`put_within`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// The record was written; the head slot line.
+    Done(u32),
+    /// The write needs to claim a free line outside the allowed range
+    /// (insertion target or continuation allocation); retry unconfined
+    /// under locking that excludes every other writer.
+    Escalate,
+}
+
 /// Inserts or overwrites `key`, reusing the old record's continuation
 /// slots where possible and tombstoning the surplus. Requires the single
 /// writer. Returns the head slot line.
@@ -369,6 +408,32 @@ fn write_record(
 /// Rejects oversized keys/values and a table too full to hold the
 /// record; propagates backing-store failures.
 pub fn put(store: &impl Lines, key: &[u8], value: &[u8]) -> Result<u32, StoreError> {
+    match put_within(store, key, value, None)? {
+        Placement::Done(line) => Ok(line),
+        Placement::Escalate => unreachable!("unconfined puts never escalate"),
+    }
+}
+
+/// [`put`] with its *free-line claims* confined to the `allowed`
+/// `[start, end)` line range. Writes to slots the record already owns
+/// (its head, its continuation slots, surplus tombstones) may land
+/// anywhere — only turning an `EMPTY`/`TOMBSTONE` line into part of this
+/// record is restricted, because that is the one action that races a
+/// concurrent writer confined to a different range. Returns
+/// [`Placement::Escalate`] when the insertion target falls outside the
+/// range or the range has too few free lines for the value's
+/// continuations; the caller retries unconfined while excluding all
+/// other writers.
+///
+/// # Errors
+///
+/// As [`put`].
+pub fn put_within(
+    store: &impl Lines,
+    key: &[u8],
+    value: &[u8],
+    allowed: Option<(u32, u32)>,
+) -> Result<Placement, StoreError> {
     check_key(key)?;
     check_value(value)?;
     let new_conts = cont_count(value.len());
@@ -379,8 +444,10 @@ pub fn put(store: &impl Lines, key: &[u8], value: &[u8]) -> Result<u32, StoreErr
             let ver = slot[3].wrapping_add(1);
             let mut ptrs: Vec<u32> = old_ptrs.iter().copied().take(new_conts).collect();
             if new_conts > old_conts {
-                let extra = alloc_conts(store, line, &ptrs, new_conts - old_conts)?;
-                ptrs.extend(extra);
+                match alloc_conts(store, line, &ptrs, new_conts - old_conts, allowed)? {
+                    Some(extra) => ptrs.extend(extra),
+                    None => return Ok(Placement::Escalate),
+                }
             }
             write_record(store, line, key, value, &ptrs, ver)?;
             for &surplus in &old_ptrs[new_conts.min(old_conts)..] {
@@ -388,13 +455,20 @@ pub fn put(store: &impl Lines, key: &[u8], value: &[u8]) -> Result<u32, StoreErr
                     write_tombstone(store, surplus)?;
                 }
             }
-            Ok(line)
+            Ok(Placement::Done(line))
         }
         Probe::Free { line } => {
+            if !in_range(allowed, line) {
+                return Ok(Placement::Escalate);
+            }
             let ver = store.read_slot(line)?[3].wrapping_add(1);
-            let ptrs = alloc_conts(store, line, &[], new_conts)?;
-            write_record(store, line, key, value, &ptrs, ver)?;
-            Ok(line)
+            match alloc_conts(store, line, &[], new_conts, allowed)? {
+                Some(ptrs) => {
+                    write_record(store, line, key, value, &ptrs, ver)?;
+                    Ok(Placement::Done(line))
+                }
+                None => Ok(Placement::Escalate),
+            }
         }
     }
 }
@@ -549,6 +623,39 @@ mod tests {
         assert_eq!(get(&store, b"a"), None);
         put(&store, b"b", &value_of(255)).unwrap();
         assert_eq!(get(&store, b"b"), Some(value_of(255)));
+    }
+
+    #[test]
+    fn confined_put_escalates_instead_of_claiming_foreign_lines() {
+        let store = MemLines::new(64);
+        let key = b"confined";
+        let home = home_line(64, key);
+        // A fresh table: the home slot is empty, so a single-slot value
+        // fits inside a one-line range.
+        let r = put_within(&store, key, &value_of(4), Some((home, home + 1))).unwrap();
+        assert_eq!(r, Placement::Done(home));
+        // Growing to a spanning value needs continuation lines the range
+        // cannot provide: escalate, mutating nothing.
+        let r = put_within(&store, key, &value_of(255), Some((home, home + 1))).unwrap();
+        assert_eq!(r, Placement::Escalate);
+        assert_eq!(get(&store, key), Some(value_of(4)), "escalation is a no-op");
+        // The unconfined retry (what the caller does under full locks)
+        // places it.
+        assert!(matches!(
+            put_within(&store, key, &value_of(255), None).unwrap(),
+            Placement::Done(_)
+        ));
+        assert_eq!(get(&store, key), Some(value_of(255)));
+        // An insert whose home line lies outside the allowed range must
+        // escalate rather than claim a foreign head slot.
+        let other = b"elsewhere";
+        let oh = home_line(64, other);
+        let far = if oh >= 2 { (0, 1) } else { (4, 5) };
+        assert_eq!(
+            put_within(&store, other, b"v", Some(far)).unwrap(),
+            Placement::Escalate
+        );
+        assert_eq!(get(&store, other), None);
     }
 
     #[test]

@@ -42,6 +42,8 @@ commands:
   ycsb        YCSB-style load benchmark: zipfian keys, A/B/C mixes,
               multi- vs single-session PiCL (and optionally the
               fdatasync-per-mutation baseline), audited event streams
+  obs         operator tooling for the serving metrics (see
+              `picl obs help`): scrape | check | print | diff | overhead
   benchmarks  list the 29 modeled SPEC2k6-like benchmarks
   help        show this text
 
@@ -96,7 +98,7 @@ ycsb flags:
   --ops-per-epoch N     mutations per epoch (default 64)
   --window N            in-order persist window = RPO bound (default 4)
   --baseline            also run the fdatasync-per-mutation store
-  --out FILE            picl-serve-v1 report path (default BENCH_7.json)
+  --out FILE            picl-serve-v1 report path (default BENCH_10.json)
   --path FILE           store-file base path (default: under the temp dir)
   --telemetry PREFIX    export the multi-session cell's event stream
 
@@ -118,9 +120,9 @@ const CLOCK_MHZ: f64 = 2000.0;
 ///
 /// Returns an [`ArgError`] describing any invalid flag or value.
 pub fn dispatch(args: &Args) -> Result<(), ArgError> {
-    // Only `store` and `serve` have subcommands; a stray word after any
-    // other command is a mistake, not a flag value.
-    if !matches!(args.command(), "store" | "serve") {
+    // Only `store`, `serve`, and `obs` have subcommands; a stray word
+    // after any other command is a mistake, not a flag value.
+    if !matches!(args.command(), "store" | "serve" | "obs") {
         args.expect_no_subcommand()?;
     }
     match args.command() {
@@ -138,6 +140,7 @@ pub fn dispatch(args: &Args) -> Result<(), ArgError> {
         "store" => crate::store::cmd_store(args),
         "serve" => crate::serve::cmd_serve(args),
         "ycsb" => crate::serve::cmd_ycsb(args),
+        "obs" => crate::obs::cmd_obs(args),
         "benchmarks" => cmd_benchmarks(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

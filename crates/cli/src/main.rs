@@ -10,6 +10,7 @@
 //! picl store      run|dump|verify|torture|simdiff [--path store.nvm] ...
 //! picl serve      run|torture [--sessions 4] [--path store.nvm] ...
 //! picl ycsb       [--sessions 4] [--ops 20k] [--keys 100k] [--mix a] ...
+//! picl obs        scrape|check|print|diff|overhead [--addr HOST:PORT] ...
 //! picl benchmarks
 //! picl help
 //! ```
@@ -17,6 +18,7 @@
 mod args;
 mod bench;
 mod commands;
+mod obs;
 mod serve;
 mod store;
 

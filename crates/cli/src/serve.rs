@@ -26,6 +26,7 @@ use std::time::Instant;
 use picl_campaign::json::Value;
 use picl_campaign::{run_cells, CellPayload};
 use picl_crashlab::run_serve_campaign;
+use picl_obs::SnapValue;
 use picl_serve::{
     preload, run_load, session_ops, Arrival, Backend, FsyncKv, LoadReport, LoadSpec, MixPreset,
     ServeKv,
@@ -35,6 +36,7 @@ use picl_store::{EngineConfig, FileMedium, Geometry, StoreError, UNDO_BUFFER_ENT
 use picl_telemetry::export::jsonl_to_string;
 use picl_telemetry::json::validate_json;
 use picl_telemetry::Telemetry;
+use picl_types::stats::Histogram;
 
 use crate::args::{ArgError, Args};
 use crate::bench::escape as json_escape;
@@ -58,6 +60,15 @@ run flags:
   --persist-stall-ms N  persister mid-epoch stall for the torture harness
   --progress            stream flushed `commit <eid> ops n0,n1,...` lines
   --telemetry PREFIX    export the engine's event stream (audit-ready)
+  --metrics-addr H:P    serve live Prometheus text exposition (port 0 picks
+                        a free port; prints `metrics listening on ADDR`)
+  --linger-ms N         keep the metrics endpoint up N ms after the
+                        workload finishes (default 0)
+  --flight-recorder F   append JSONL registry snapshots to F (kill -9
+                        safe: every line is flushed as written)
+  --flight-interval-ms N  flight snapshot period (default 50)
+  --flight-max-kb N     rotate the flight file past N KiB (default 256)
+  --flight-max-files N  rotated generations to keep (default 3)
 
 torture flags:
   --trials N            multi-session kill -9 trials (default 30)
@@ -87,7 +98,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), ArgError> {
 
 /// Log capacity (4 KB blocks) that keeps the geometry valid for
 /// `window`, with one epoch of headroom.
-fn auto_log_blocks(lines: u32, window: u64) -> u32 {
+pub(crate) fn auto_log_blocks(lines: u32, window: u64) -> u32 {
     let per_epoch = u64::from(lines).div_ceil(UNDO_BUFFER_ENTRIES as u64) + 1;
     let needed = (window + 2) * per_epoch + 2;
     u32::try_from(needed + per_epoch).unwrap_or(u32::MAX)
@@ -132,6 +143,12 @@ fn serve_run(args: &Args) -> Result<(), ArgError> {
         "persist-stall-ms",
         "progress",
         "telemetry",
+        "metrics-addr",
+        "linger-ms",
+        "flight-recorder",
+        "flight-interval-ms",
+        "flight-max-kb",
+        "flight-max-files",
     ])?;
     let path = args
         .get("path")
@@ -174,6 +191,40 @@ fn serve_run(args: &Args) -> Result<(), ArgError> {
             report.recovery_ns as f64 / 1e6
         );
     }
+    // Metrics are opt-in: without either flag the serving layer keeps
+    // its zero-instrumentation fast path.
+    let registry = (args.get("metrics-addr").is_some() || args.get("flight-recorder").is_some())
+        .then(picl_obs::MetricsRegistry::new);
+    if let Some(reg) = &registry {
+        kv.enable_obs(reg);
+    }
+    let metrics_server = match (args.get("metrics-addr"), &registry) {
+        (Some(addr), Some(reg)) => {
+            let srv = picl_obs::MetricsServer::spawn(reg.clone(), addr)
+                .map_err(|e| ArgError(format!("metrics server on {addr}: {e}")))?;
+            // Flushed so a parent process (CI, the docs walkthrough) can
+            // discover the port when `--metrics-addr host:0` was given.
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "metrics listening on {}", srv.local_addr());
+            let _ = stdout.flush();
+            drop(stdout);
+            Some(srv)
+        }
+        _ => None,
+    };
+    let flight = match (args.get("flight-recorder"), &registry) {
+        (Some(fpath), Some(reg)) => {
+            let mut rc = picl_obs::RecorderConfig::new(fpath);
+            rc.interval =
+                std::time::Duration::from_millis(args.count_or("flight-interval-ms", 50)?);
+            rc.max_bytes = args.count_or("flight-max-kb", 256)?.max(1) * 1024;
+            rc.max_files = args.count_or("flight-max-files", 3)?.max(1) as usize;
+            let recorder = picl_obs::FlightRecorder::spawn(reg.clone(), rc)
+                .map_err(|e| ArgError(format!("flight recorder {fpath}: {e}")))?;
+            Some(recorder)
+        }
+        _ => None,
+    };
     if args.is_set("progress") {
         // One flushed line per commit: the multi-session kill -9 harness
         // reads this stream for both its signal schedule and the
@@ -245,6 +296,21 @@ fn serve_run(args: &Args) -> Result<(), ArgError> {
     if let Some(prefix) = args.get("telemetry") {
         crate::commands::export_telemetry(prefix, &telemetry.snapshot())?;
     }
+    // Give scrapers a window onto the finished run before tearing the
+    // endpoint down (CI scrapes here; operators use a long linger).
+    let linger_ms = args.count_or("linger-ms", 0)?;
+    if linger_ms > 0 && (metrics_server.is_some() || flight.is_some()) {
+        std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+    }
+    if let Some(recorder) = flight {
+        let lines = recorder
+            .stop()
+            .map_err(|e| ArgError(format!("flight recorder: {e}")))?;
+        println!("flight recorder wrote {lines} snapshot line(s)");
+    }
+    if let Some(mut srv) = metrics_server {
+        srv.shutdown();
+    }
     Ok(())
 }
 
@@ -267,10 +333,12 @@ fn serve_torture(args: &Args) -> Result<(), ArgError> {
     let mut worst_lost = 0u64;
     let mut max_recovery_ns = 0u64;
     let mut sessions_judged = 0u64;
+    let mut flight_lines = 0u64;
     for o in &report.outcomes {
         worst_lost = worst_lost.max(o.epochs_lost);
         max_recovery_ns = max_recovery_ns.max(o.recovery_ns);
         sessions_judged += o.sessions_consistent.len() as u64;
+        flight_lines += o.flight_lines;
     }
     println!(
         "{} trials, {} kill -9s delivered, {} session verdicts, in {:.2} s",
@@ -280,19 +348,25 @@ fn serve_torture(args: &Args) -> Result<(), ArgError> {
         report.elapsed.as_secs_f64()
     );
     println!(
-        "oracle: {} inconsistent, {} RPO violations; worst epochs lost {worst_lost}, \
+        "oracle: {} inconsistent, {} RPO violations, {} unreadable flight logs \
+         ({flight_lines} snapshot lines recovered); worst epochs lost {worst_lost}, \
          slowest recovery {:.3} ms",
         report.inconsistent,
         report.rpo_violations,
+        report.flight_failures,
         max_recovery_ns as f64 / 1e6
     );
     if report.passed() {
-        println!("serve torture: PASS (every session prefix-consistent within the RPO bound)");
+        println!(
+            "serve torture: PASS (every session prefix-consistent within the RPO bound, \
+             every flight log readable after the kill)"
+        );
         Ok(())
     } else {
         Err(ArgError(format!(
-            "serve torture: {} inconsistent recoveries, {} RPO violations",
-            report.inconsistent, report.rpo_violations
+            "serve torture: {} inconsistent recoveries, {} RPO violations, \
+             {} unreadable flight logs",
+            report.inconsistent, report.rpo_violations, report.flight_failures
         )))
     }
 }
@@ -429,6 +503,187 @@ pub(crate) fn store_run_threads(args: &Args, threads: usize) -> Result<(), ArgEr
 // picl ycsb
 // ---------------------------------------------------------------------------
 
+/// Registry-derived operator summary of one PiCL cell (absent for the
+/// fsync baseline, which runs without the instrumented serving layer).
+#[derive(Debug, Clone)]
+struct ObsSummary {
+    /// Get sojourn percentiles in microseconds, merged across the
+    /// hit/miss/contended outcome series.
+    get_p50_us: f64,
+    get_p99_us: f64,
+    get_p999_us: f64,
+    /// Put sojourn percentiles, merged across ok/escalated.
+    put_p50_us: f64,
+    put_p99_us: f64,
+    put_p999_us: f64,
+    /// Gets that fell back to the serialized read path.
+    contended_gets: u64,
+    /// Multi-shard mutations that escalated to lock-all.
+    escalations: u64,
+    /// Escalations per timed shard mutation.
+    escalation_rate: f64,
+    /// Background persister drain cycles observed.
+    persister_cycles: u64,
+    persister_cycle_p99_ms: f64,
+    /// Persist fences issued (epoch batches + superblock updates).
+    fences: u64,
+}
+
+impl ObsSummary {
+    fn encode(&self) -> String {
+        format!(
+            "{{\"get_p50_us\": {}, \"get_p99_us\": {}, \"get_p999_us\": {}, \
+             \"put_p50_us\": {}, \"put_p99_us\": {}, \"put_p999_us\": {}, \
+             \"contended_gets\": {}, \"escalations\": {}, \"escalation_rate\": {}, \
+             \"persister_cycles\": {}, \"persister_cycle_p99_ms\": {}, \"fences\": {}}}",
+            self.get_p50_us,
+            self.get_p99_us,
+            self.get_p999_us,
+            self.put_p50_us,
+            self.put_p99_us,
+            self.put_p999_us,
+            self.contended_gets,
+            self.escalations,
+            self.escalation_rate,
+            self.persister_cycles,
+            self.persister_cycle_p99_ms,
+            self.fences
+        )
+    }
+
+    fn decode(node: &Value) -> Result<ObsSummary, String> {
+        let float = |key: &str| {
+            node.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("obs: missing or non-numeric field {key:?}"))
+        };
+        Ok(ObsSummary {
+            get_p50_us: float("get_p50_us")?,
+            get_p99_us: float("get_p99_us")?,
+            get_p999_us: float("get_p999_us")?,
+            put_p50_us: float("put_p50_us")?,
+            put_p99_us: float("put_p99_us")?,
+            put_p999_us: float("put_p999_us")?,
+            contended_gets: node.field_u64("contended_gets")?,
+            escalations: node.field_u64("escalations")?,
+            escalation_rate: float("escalation_rate")?,
+            persister_cycles: node.field_u64("persister_cycles")?,
+            persister_cycle_p99_ms: float("persister_cycle_p99_ms")?,
+            fences: node.field_u64("fences")?,
+        })
+    }
+}
+
+/// Builds the [`ObsSummary`] from a cell's final registry snapshot.
+fn obs_summary(snap: &picl_obs::Snapshot) -> ObsSummary {
+    // Merge one op's outcome label sets (hit/miss/contended, or
+    // ok/escalated) into a single per-op sojourn distribution.
+    let merged_op = |op: &str| {
+        let mut h = Histogram::new();
+        for e in &snap.entries {
+            if e.name == "picl_serve_op_sojourn_ns"
+                && e.labels.iter().any(|(k, v)| k == "op" && v == op)
+            {
+                if let SnapValue::Histogram(part) = &e.value {
+                    h.merge(part);
+                }
+            }
+        }
+        h
+    };
+    let get = merged_op("get");
+    let put = merged_op("put");
+    let us = |h: &Histogram, p: f64| h.percentile_defined(p) / 1e3;
+    let escalations = snap
+        .counter("picl_serve_escalations_total", &[])
+        .unwrap_or(0);
+    let shard_ops = snap.counter_total("picl_serve_shard_ops_total");
+    let cycles = snap.histogram("picl_store_persister_cycle_ns", &[]);
+    ObsSummary {
+        get_p50_us: us(&get, 50.0),
+        get_p99_us: us(&get, 99.0),
+        get_p999_us: us(&get, 99.9),
+        put_p50_us: us(&put, 50.0),
+        put_p99_us: us(&put, 99.0),
+        put_p999_us: us(&put, 99.9),
+        // Sojourn timers run on a 1-in-N sample; scale the sampled count
+        // by the published rate so this estimates actual op counts.
+        contended_gets: snap
+            .histogram(
+                "picl_serve_op_sojourn_ns",
+                &[("op", "get"), ("outcome", "contended")],
+            )
+            .map_or(0, Histogram::count)
+            .saturating_mul(
+                snap.gauge("picl_serve_timing_sample_every", &[])
+                    .unwrap_or(1)
+                    .max(1),
+            ),
+        escalations,
+        escalation_rate: escalations as f64 / shard_ops.max(1) as f64,
+        persister_cycles: cycles.map_or(0, Histogram::count),
+        persister_cycle_p99_ms: cycles.map_or(0.0, |h| h.percentile_defined(99.0) / 1e6),
+        fences: snap.counter("picl_store_fences_total", &[]).unwrap_or(0),
+    }
+}
+
+/// Per-session (tenant) slice of a cell's timed phase.
+#[derive(Debug, Clone)]
+struct TenantRow {
+    session: usize,
+    reads: u64,
+    updates: u64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+impl TenantRow {
+    fn encode(&self) -> String {
+        format!(
+            "{{\"session\": {}, \"reads\": {}, \"updates\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}",
+            self.session, self.reads, self.updates, self.p50_us, self.p99_us, self.p999_us
+        )
+    }
+
+    fn decode(node: &Value) -> Result<TenantRow, String> {
+        let float = |key: &str| {
+            node.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("tenant: missing or non-numeric field {key:?}"))
+        };
+        Ok(TenantRow {
+            session: node
+                .get("session")
+                .and_then(Value::as_usize)
+                .ok_or("tenant: missing or non-integer field \"session\"")?,
+            reads: node.field_u64("reads")?,
+            updates: node.field_u64("updates")?,
+            p50_us: float("p50_us")?,
+            p99_us: float("p99_us")?,
+            p999_us: float("p999_us")?,
+        })
+    }
+}
+
+/// Tenant rows from a load report's per-session slices.
+fn tenant_rows(report: &LoadReport) -> Vec<TenantRow> {
+    report
+        .per_session
+        .iter()
+        .enumerate()
+        .map(|(session, s)| TenantRow {
+            session,
+            reads: s.reads,
+            updates: s.updates,
+            p50_us: s.latency_ns.percentile_defined(50.0) / 1e3,
+            p99_us: s.latency_ns.percentile_defined(99.0) / 1e3,
+            p999_us: s.latency_ns.percentile_defined(99.9) / 1e3,
+        })
+        .collect()
+}
+
 /// One measured YCSB cell.
 #[derive(Debug, Clone)]
 struct YcsbResult {
@@ -456,17 +711,32 @@ struct YcsbResult {
     audit_events: u64,
     audit_dropped: u64,
     audit_violations: u64,
+    /// Operator metrics from the cell's registry (None for fsync).
+    obs: Option<ObsSummary>,
+    /// Per-session timed-phase breakdown.
+    tenants: Vec<TenantRow>,
 }
 
 impl CellPayload for YcsbResult {
     fn encode(&self) -> String {
+        let obs = self
+            .obs
+            .as_ref()
+            .map_or_else(|| "null".to_owned(), ObsSummary::encode);
+        let tenants = self
+            .tenants
+            .iter()
+            .map(TenantRow::encode)
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\"label\": \"{}\", \"backend\": \"{}\", \"sessions\": {}, \"ops\": {}, \
              \"reads\": {}, \"updates\": {}, \"preload_s\": {}, \
              \"preload_keys_per_s\": {}, \"elapsed_s\": {}, \
              \"throughput\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
              \"commit_stall_p99_ns\": {}, \"shards\": {}, \"audit_events\": {}, \
-             \"audit_dropped\": {}, \"audit_violations\": {}}}",
+             \"audit_dropped\": {}, \"audit_violations\": {}, \
+             \"obs\": {obs}, \"tenants\": [{tenants}]}}",
             json_escape(&self.label),
             json_escape(&self.backend),
             self.sessions,
@@ -519,6 +789,17 @@ impl CellPayload for YcsbResult {
             audit_events: v.field_u64("audit_events")?,
             audit_dropped: v.field_u64("audit_dropped")?,
             audit_violations: v.field_u64("audit_violations")?,
+            obs: match v.get("obs") {
+                None | Some(Value::Null) => None,
+                Some(node) => Some(ObsSummary::decode(node)?),
+            },
+            tenants: v
+                .get("tenants")
+                .and_then(Value::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .map(TenantRow::decode)
+                .collect::<Result<Vec<_>, _>>()?,
         })
     }
 }
@@ -600,7 +881,7 @@ impl YcsbCell {
         };
         let medium = FileMedium::open(&self.store_path, geometry.total_len())
             .map_err(|e| ArgError(format!("cannot open {}: {e}", self.store_path.display())))?;
-        let (kv, _) = ServeKv::open(
+        let (mut kv, _) = ServeKv::open(
             Arc::new(medium),
             self.cfg.clone(),
             telemetry.clone(),
@@ -608,6 +889,10 @@ impl YcsbCell {
             self.spec.sessions,
         )
         .map_err(|e| ArgError(format!("open store: {e}")))?;
+        // PiCL cells always run instrumented: the report's obs section is
+        // part of the benchmark, and `picl obs overhead` gates the cost.
+        let registry = picl_obs::MetricsRegistry::new();
+        kv.enable_obs(&registry);
 
         // `preload` settles its own batched-epoch tail via `end_preload`,
         // so the timed phase starts from a clean epoch boundary.
@@ -658,6 +943,10 @@ impl YcsbCell {
             audit_events: snap.events.len() as u64,
             audit_dropped: snap.dropped,
             audit_violations: audit.violations.len() as u64,
+            // Snapshot after close so the persister's final drain cycles
+            // and fence counts are included.
+            obs: Some(obs_summary(&registry.snapshot())),
+            tenants: tenant_rows(&report),
         })
     }
 
@@ -691,12 +980,14 @@ impl YcsbCell {
             audit_events: 0,
             audit_dropped: 0,
             audit_violations: 0,
+            obs: None,
+            tenants: tenant_rows(&report),
         })
     }
 }
 
 /// Slots one record of `value_bytes` occupies (head + continuations).
-fn slots_per_record(value_bytes: usize) -> u64 {
+pub(crate) fn slots_per_record(value_bytes: usize) -> u64 {
     1 + value_bytes
         .saturating_sub(picl_store::slots::HEAD_VALUE_BYTES)
         .div_ceil(picl_store::slots::CONT_VALUE_BYTES) as u64
@@ -725,6 +1016,15 @@ fn serve_report_json(spec: &LoadSpec, cells: &[YcsbResult], speedup: f64) -> Str
         ));
     }
     out.push_str("  ],\n");
+    // Top-level operator summary: the multi-session PiCL cell's registry
+    // view, so dashboards don't have to dig through the cell array.
+    let obs = cells
+        .iter()
+        .filter(|c| c.backend == "picl" && c.sessions > 1)
+        .chain(cells.iter())
+        .find_map(|c| c.obs.as_ref())
+        .map_or_else(|| "null".to_owned(), ObsSummary::encode);
+    out.push_str(&format!("  \"obs\": {obs},\n"));
     out.push_str(&format!("  \"speedup_multi_over_single\": {speedup:.3}\n"));
     out.push_str("}\n");
     out
@@ -913,10 +1213,36 @@ pub fn cmd_ycsb(args: &Args) -> Result<(), ArgError> {
          {} dropped, {} violations)",
         sessions, multi.audit_events, multi.audit_dropped, multi.audit_violations
     );
+    if !multi.tenants.is_empty() {
+        println!("per-tenant breakdown ({}):", multi.label);
+        println!(
+            "{:<10}{:>9}{:>9}{:>11}{:>11}{:>12}",
+            "session", "reads", "updates", "p50 us", "p99 us", "p99.9 us"
+        );
+        for t in &multi.tenants {
+            println!(
+                "{:<10}{:>9}{:>9}{:>11.1}{:>11.1}{:>12.1}",
+                t.session, t.reads, t.updates, t.p50_us, t.p99_us, t.p999_us
+            );
+        }
+    }
+    if let Some(o) = &multi.obs {
+        println!(
+            "obs: get p99 {:.1} us, put p99 {:.1} us, {} escalations \
+             ({:.4} per shard op), {} persister cycles (p99 {:.3} ms), {} fences",
+            o.get_p99_us,
+            o.put_p99_us,
+            o.escalations,
+            o.escalation_rate,
+            o.persister_cycles,
+            o.persister_cycle_p99_ms,
+            o.fences
+        );
+    }
 
     let json = serve_report_json(&spec, &results, speedup);
     validate_json(&json).map_err(|e| ArgError(format!("emitted JSON invalid: {e}")))?;
-    let out_path = args.get_or("out", "BENCH_9.json");
+    let out_path = args.get_or("out", "BENCH_10.json");
     std::fs::write(out_path, &json)
         .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
     println!("wrote {out_path} ({} cells)", results.len());
@@ -1022,6 +1348,38 @@ mod tests {
         assert!(json.contains("\"shards\": 16"), "{json}");
         assert!(json.contains("picl x4"), "{json}");
         assert!(json.contains("picl x1"), "{json}");
+
+        // Schema check for the obs/tenants sections: every PiCL cell
+        // carries an operator summary and one tenant row per session, and
+        // the whole document round-trips through the campaign decoder.
+        let doc = Value::parse(&json).unwrap();
+        let top_obs = doc.get("obs").unwrap();
+        for key in [
+            "get_p50_us",
+            "get_p99_us",
+            "get_p999_us",
+            "put_p50_us",
+            "put_p99_us",
+            "put_p999_us",
+            "escalation_rate",
+            "persister_cycle_p99_ms",
+        ] {
+            assert!(
+                top_obs.get(key).and_then(Value::as_f64).is_some(),
+                "missing obs field {key}: {json}"
+            );
+        }
+        assert!(top_obs.field_u64("persister_cycles").unwrap() > 0, "{json}");
+        assert!(top_obs.field_u64("fences").unwrap() > 0, "{json}");
+        let cells = doc.get("cells").and_then(Value::as_arr).unwrap();
+        assert_eq!(cells.len(), 2);
+        for cell in cells {
+            let decoded = YcsbResult::decode(cell).unwrap();
+            assert!(decoded.obs.is_some(), "{json}");
+            assert_eq!(decoded.tenants.len(), decoded.sessions, "{json}");
+            let tenant_ops: u64 = decoded.tenants.iter().map(|t| t.reads + t.updates).sum();
+            assert_eq!(tenant_ops, decoded.ops, "{json}");
+        }
         let _ = std::fs::remove_file(&out);
     }
 

@@ -65,6 +65,9 @@ pub struct ServeTrialSpec {
     pub class: KillClass,
     /// Persister stall in ms (MidDrain wants > 0).
     pub persist_stall_ms: u64,
+    /// Flight-recorder JSONL path for the child, if the trial should
+    /// also judge that the recorder's tail survives the kill.
+    pub flight_path: Option<PathBuf>,
 }
 
 /// Verdict of one serve-mode trial.
@@ -90,12 +93,18 @@ pub struct ServeTrialOutcome {
     pub consistent: bool,
     /// `recovered_to + window >= observed_commit`.
     pub rpo_ok: bool,
+    /// Flight-recorder verdict: `None` when the trial ran without one,
+    /// else whether the killed child left a parseable JSONL log (a torn
+    /// final line is fine; garbage or an empty file is not).
+    pub flight_ok: Option<bool>,
+    /// Complete snapshot lines recovered from the flight log.
+    pub flight_lines: u64,
 }
 
 impl ServeTrialOutcome {
     /// Whether the trial met the PiCL contract.
     pub fn passed(&self) -> bool {
-        self.consistent && self.rpo_ok
+        self.consistent && self.rpo_ok && self.flight_ok != Some(false)
     }
 }
 
@@ -211,28 +220,39 @@ pub fn judge_serve_recovery(
 }
 
 fn spawn_serve_child(spec: &ServeTrialSpec) -> std::io::Result<Child> {
+    let mut args = vec![
+        "serve".to_owned(),
+        "run".to_owned(),
+        "--path".to_owned(),
+        spec.store_path.display().to_string(),
+        "--seed".to_owned(),
+        spec.seed.to_string(),
+        "--sessions".to_owned(),
+        spec.sessions.to_string(),
+        "--ops-per-session".to_owned(),
+        spec.ops_per_session.to_string(),
+        "--key-space".to_owned(),
+        spec.key_space.to_string(),
+        "--ops-per-epoch".to_owned(),
+        spec.ops_per_epoch.to_string(),
+        "--window".to_owned(),
+        spec.window.to_string(),
+        "--persist-stall-ms".to_owned(),
+        spec.persist_stall_ms.to_string(),
+        "--progress".to_owned(),
+    ];
+    if let Some(flight) = &spec.flight_path {
+        // A short interval so even a fast-killed child records a few
+        // lines; the first snapshot is written synchronously at spawn.
+        args.extend([
+            "--flight-recorder".to_owned(),
+            flight.display().to_string(),
+            "--flight-interval-ms".to_owned(),
+            "5".to_owned(),
+        ]);
+    }
     Command::new(&spec.binary)
-        .args([
-            "serve",
-            "run",
-            "--path",
-            &spec.store_path.display().to_string(),
-            "--seed",
-            &spec.seed.to_string(),
-            "--sessions",
-            &spec.sessions.to_string(),
-            "--ops-per-session",
-            &spec.ops_per_session.to_string(),
-            "--key-space",
-            &spec.key_space.to_string(),
-            "--ops-per-epoch",
-            &spec.ops_per_epoch.to_string(),
-            "--window",
-            &spec.window.to_string(),
-            "--persist-stall-ms",
-            &spec.persist_stall_ms.to_string(),
-            "--progress",
-        ])
+        .args(args)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -281,6 +301,18 @@ pub fn run_serve_trial(spec: &ServeTrialSpec) -> Result<ServeTrialOutcome, Strin
     }
     let _ = child.wait();
 
+    // Judge the flight recorder's crash tail before recovery: every
+    // complete line must parse with strictly increasing seq; only a torn
+    // final line (no newline) is excused. This is the "readable record
+    // of the seconds before death" contract under a real SIGKILL.
+    let flight = spec.flight_path.as_ref().map(|p| {
+        let text = std::fs::read_to_string(p).unwrap_or_default();
+        match picl_obs::validate_flight_log(&text) {
+            Ok(s) => (true, s.lines),
+            Err(_) => (false, 0),
+        }
+    });
+
     let observed_commit = commits.last().map_or(0, |(eid, _)| *eid);
     let judgement = judge_serve_recovery(
         &spec.store_path,
@@ -302,6 +334,8 @@ pub fn run_serve_trial(spec: &ServeTrialSpec) -> Result<ServeTrialOutcome, Strin
         sessions_consistent: judgement.sessions_consistent,
         consistent: judgement.consistent,
         rpo_ok: judgement.rpo_ok,
+        flight_ok: flight.map(|(ok, _)| ok),
+        flight_lines: flight.map_or(0, |(_, lines)| lines),
     })
 }
 
@@ -316,6 +350,8 @@ pub struct ServeCampaignReport {
     pub inconsistent: u64,
     /// Trials breaking the RPO bound.
     pub rpo_violations: u64,
+    /// Trials whose flight-recorder log failed to parse after the kill.
+    pub flight_failures: u64,
     /// Wall-clock time of the whole campaign.
     pub elapsed: Duration,
 }
@@ -323,7 +359,10 @@ pub struct ServeCampaignReport {
 impl ServeCampaignReport {
     /// Zero oracle mismatches across every trial.
     pub fn passed(&self) -> bool {
-        self.inconsistent == 0 && self.rpo_violations == 0 && !self.outcomes.is_empty()
+        self.inconsistent == 0
+            && self.rpo_violations == 0
+            && self.flight_failures == 0
+            && !self.outcomes.is_empty()
     }
 }
 
@@ -357,6 +396,7 @@ pub fn run_serve_campaign(
             kill_after_commit: rng.range(1, 11),
             class,
             persist_stall_ms: if class == KillClass::MidDrain { 6 } else { 0 },
+            flight_path: Some(scratch_dir.join(format!("serve-torture-{t}.flight.jsonl"))),
         };
         let outcome =
             run_serve_trial(&spec).map_err(|e| format!("trial {t} ({}): {e}", class.name()))?;
@@ -369,8 +409,21 @@ pub fn run_serve_campaign(
         if !outcome.rpo_ok {
             report.rpo_violations += 1;
         }
+        if outcome.flight_ok == Some(false) {
+            report.flight_failures += 1;
+        }
         report.outcomes.push(outcome);
         let _ = std::fs::remove_file(&spec.store_path);
+        if let Some(flight) = &spec.flight_path {
+            // Rotated generations too: the recorder appends `.N` to the
+            // full path (`flight.jsonl.1`, ...).
+            let _ = std::fs::remove_file(flight);
+            for generation in 1..8 {
+                let mut rotated = flight.as_os_str().to_os_string();
+                rotated.push(format!(".{generation}"));
+                let _ = std::fs::remove_file(PathBuf::from(rotated));
+            }
+        }
     }
     report.elapsed = started.elapsed();
     Ok(report)

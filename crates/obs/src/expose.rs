@@ -1,0 +1,508 @@
+//! Prometheus text exposition: rendering, validation, a tiny HTTP
+//! server, and the matching scrape client.
+//!
+//! The format is the Prometheus text exposition format v0.0.4: `# HELP` /
+//! `# TYPE` comments, `name{label="value"} value` samples, histograms as
+//! cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. The
+//! renderer and [`validate_exposition`] are both dependency-free, so CI
+//! can check a live scrape without pulling a Prometheus client.
+
+use crate::registry::{MetricsRegistry, SnapValue, Snapshot};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Series are emitted in sorted `(name, labels)` order with one
+    /// `# TYPE` (and `# HELP`, when present) block per metric name, so
+    /// output for a fixed registry state is byte-stable.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for e in &self.entries {
+            if last_name != Some(e.name.as_str()) {
+                last_name = Some(e.name.as_str());
+                if !e.help.is_empty() {
+                    out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+                }
+                let kind = match e.value {
+                    SnapValue::Counter(_) => "counter",
+                    SnapValue::Gauge(_) => "gauge",
+                    SnapValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {}\n", e.name, kind));
+            }
+            match &e.value {
+                SnapValue::Counter(v) | SnapValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        v
+                    ));
+                }
+                SnapValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (bound, n) in h.nonzero_buckets() {
+                        cumulative += n;
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            e.name,
+                            render_labels(&e.labels, Some(("le", &bound.to_string()))),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, Some(("le", "+Inf"))),
+                        h.count()
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        h.sum()
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// What [`validate_exposition`] saw in a valid payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionSummary {
+    /// Total sample lines.
+    pub samples: usize,
+    /// Distinct histogram series (base name + labels).
+    pub histograms: usize,
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    let t = s.strip_prefix('+').unwrap_or(s);
+    if t.eq_ignore_ascii_case("inf") {
+        return Ok(f64::INFINITY);
+    }
+    if t.eq_ignore_ascii_case("-inf") {
+        return Ok(f64::NEG_INFINITY);
+    }
+    t.parse::<f64>()
+        .map_err(|e| format!("bad value {s:?}: {e}"))
+}
+
+fn valid_sample_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .next()
+            .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_' || b == b':')
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+}
+
+/// A parsed exposition sample: name, labels, value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Parses `name{k="v",...} value` into (name, labels, value).
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ' || b == b'\t')
+        .ok_or_else(|| format!("no value on line {line:?}"))?;
+    let name = &line[..name_end];
+    if !valid_sample_name(name) {
+        return Err(format!("invalid sample name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let mut rest = &line[name_end..];
+    if let Some(stripped) = rest.strip_prefix('{') {
+        let mut chars = stripped.chars();
+        loop {
+            let mut key = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                key.push(c);
+            }
+            let key = key.trim().to_string();
+            if !valid_sample_name(&key) {
+                return Err(format!("invalid label name {key:?} in {line:?}"));
+            }
+            if chars.next() != Some('"') {
+                return Err(format!("label {key} not quoted in {line:?}"));
+            }
+            let mut val = String::new();
+            loop {
+                match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some('\\') => val.push('\\'),
+                        Some('"') => val.push('"'),
+                        Some('n') => val.push('\n'),
+                        other => return Err(format!("bad escape {other:?} in {line:?}")),
+                    },
+                    Some('"') => break,
+                    Some(c) => val.push(c),
+                    None => return Err(format!("unterminated label value in {line:?}")),
+                }
+            }
+            labels.push((key, val));
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("bad label separator {other:?} in {line:?}")),
+            }
+        }
+        rest = chars.as_str();
+    }
+    let mut tokens = rest.split_ascii_whitespace();
+    let value = parse_value(
+        tokens
+            .next()
+            .ok_or_else(|| format!("no value in {line:?}"))?,
+    )?;
+    if let Some(ts) = tokens.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp {ts:?} in {line:?}"))?;
+    }
+    if tokens.next().is_some() {
+        return Err(format!("trailing tokens in {line:?}"));
+    }
+    Ok((name.to_string(), labels, value))
+}
+
+/// Validates a Prometheus text exposition payload without any external
+/// client library. Checks, per line: comment or sample syntax, label
+/// quoting/escaping, numeric values; and per histogram series: every
+/// sample name has a matching `# TYPE`, bucket counts are cumulative
+/// (nondecreasing in `le` order), and the `+Inf` bucket equals `_count`.
+pub fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // (base name, labels-minus-le) -> [(le, cumulative count)]
+    type SeriesKey = (String, Vec<(String, String)>);
+    let mut buckets: BTreeMap<SeriesKey, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<SeriesKey, f64> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut tokens = comment.trim_start().splitn(3, ' ');
+            match tokens.next() {
+                Some("TYPE") => {
+                    let name = tokens
+                        .next()
+                        .ok_or_else(|| err("TYPE without name".into()))?;
+                    let kind = tokens
+                        .next()
+                        .ok_or_else(|| err("TYPE without kind".into()))?;
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(err(format!("unknown TYPE kind {kind:?}")));
+                    }
+                    types.insert(name.to_string(), kind.to_string());
+                }
+                Some("HELP") => {
+                    tokens
+                        .next()
+                        .ok_or_else(|| err("HELP without name".into()))?;
+                }
+                _ => {} // other comments are legal and ignored
+            }
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line).map_err(err)?;
+        samples += 1;
+        // Resolve the declaring TYPE: histogram parts map back to the base
+        // name; everything else must be declared under its own name.
+        let histogram_base = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+            let base = name.strip_suffix(suffix)?;
+            (types.get(base).map(String::as_str) == Some("histogram"))
+                .then(|| (base.to_string(), *suffix))
+        });
+        match histogram_base {
+            Some((base, "_bucket")) => {
+                let mut rest: Vec<(String, String)> = Vec::new();
+                let mut le = None;
+                for (k, v) in labels {
+                    if k == "le" {
+                        le = Some(parse_value(&v).map_err(err)?);
+                    } else {
+                        rest.push((k, v));
+                    }
+                }
+                let le = le.ok_or_else(|| err(format!("{name} sample without le label")))?;
+                buckets.entry((base, rest)).or_default().push((le, value));
+            }
+            Some((base, "_count")) => {
+                counts.insert((base, labels), value);
+            }
+            Some((_, _)) => {} // _sum: no cross-check beyond syntax
+            None => {
+                if !types.contains_key(&name) {
+                    return Err(err(format!("sample {name} has no # TYPE declaration")));
+                }
+            }
+        }
+    }
+    for ((base, labels), series) in &mut buckets {
+        series.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prev = f64::NEG_INFINITY;
+        for &(le, v) in series.iter() {
+            if v < prev {
+                return Err(format!(
+                    "histogram {base}{labels:?}: bucket le={le} count {v} < previous {prev}"
+                ));
+            }
+            prev = v;
+        }
+        let (last_le, last_v) = *series.last().expect("nonempty by construction");
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {base}{labels:?}: no +Inf bucket"));
+        }
+        match counts.get(&(base.clone(), labels.clone())) {
+            Some(&c) if c == last_v => {}
+            Some(&c) => {
+                return Err(format!(
+                    "histogram {base}{labels:?}: +Inf bucket {last_v} != count {c}"
+                ))
+            }
+            None => return Err(format!("histogram {base}{labels:?}: no _count sample")),
+        }
+    }
+    Ok(ExpositionSummary {
+        samples,
+        histograms: buckets.len(),
+    })
+}
+
+/// A metrics endpoint: one thread, one `TcpListener`, serving the
+/// registry's current snapshot as text exposition on every `GET`.
+/// Scrapes never block writers — they read striped atomics.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the serving thread.
+    pub fn spawn(registry: MetricsRegistry, addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("picl-metrics".into())
+            .spawn(move || serve_loop(listener, registry, thread_stop))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the real port when spawned on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: TcpListener, registry: MetricsRegistry, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_conn(stream, &registry),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, registry: &MetricsRegistry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut request = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !request.windows(4).any(|w| w == b"\r\n\r\n") && request.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => request.extend_from_slice(&buf[..n]),
+        }
+    }
+    let first_line = request
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let first_line = String::from_utf8_lossy(first_line);
+    let mut parts = first_line.split_ascii_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            String::from("method not allowed\n"),
+        )
+    } else if path == "/metrics" || path == "/" || path.is_empty() {
+        ("200 OK", registry.snapshot().to_prometheus())
+    } else {
+        ("404 Not Found", String::from("try /metrics\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Scrapes `addr` (e.g. `127.0.0.1:9187`) over plain HTTP/1.1 and
+/// returns the response body. Errors on connect failure or a non-200
+/// status.
+pub fn scrape(addr: &str, timeout: Duration) -> std::io::Result<String> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other(format!("{addr}: no address")))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(std::io::Error::other(format!("scrape failed: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_escaping_round_trips_through_validator() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter(
+            "weird_total",
+            &[("tenant", "a\"b\\c\nd")],
+            "label escaping test",
+        );
+        c.add(3);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("tenant=\"a\\\"b\\\\c\\nd\""), "{text}");
+        let summary = validate_exposition(&text).unwrap();
+        assert_eq!(summary.samples, 1);
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_exposition("no value here").is_err());
+        assert!(validate_exposition("x{le=\"1\"} 1").is_err(), "no TYPE");
+        assert!(validate_exposition("# TYPE x wat\n").is_err());
+        // Bucket counts that shrink are not cumulative.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(validate_exposition(bad).is_err());
+        // +Inf bucket must equal _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(validate_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn server_serves_and_scrapes() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits_total", &[], "hits");
+        c.add(7);
+        let h = reg.histogram("lat_ns", &[("op", "get")], "latency");
+        h.record(100);
+        let mut server = MetricsServer::spawn(reg, "127.0.0.1:0").unwrap();
+        let body = scrape(&server.local_addr().to_string(), Duration::from_secs(5)).unwrap();
+        validate_exposition(&body).unwrap();
+        assert!(body.contains("hits_total 7"), "{body}");
+        assert!(body.contains("lat_ns_count{op=\"get\"} 1"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_404s_unknown_paths() {
+        let reg = MetricsRegistry::new();
+        let server = MetricsServer::spawn(reg, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    }
+}

@@ -1,0 +1,40 @@
+//! `picl-obs`: operator-grade observability for the PiCL serving stack.
+//!
+//! The simulator crates measure the protocol; this crate watches it
+//! *serve*. It is dependency-free (std + workspace types only) and built
+//! around one rule: **the hot path never takes a lock and never waits on
+//! a reader**. Metrics are sharded per thread; reads merge shards into a
+//! point-in-time snapshot.
+//!
+//! - [`registry`] — [`MetricsRegistry`]: named counters, gauges, and
+//!   log2-bucketed histograms (the same 65-bucket layout as
+//!   [`picl_types::stats::Histogram`], so shard snapshots merge with the
+//!   rest of the reporting stack). Recording a counter is one relaxed
+//!   `fetch_add` on a cache-padded per-thread stripe; a histogram sample
+//!   is three (bucket, sum, max). Snapshots sum the stripes without
+//!   stopping writers, so every snapshot is internally consistent by
+//!   construction: its histogram count *is* the sum of the bucket counts
+//!   it read.
+//! - [`clock`] — [`OpClock`]: calibrated cycle-counter timestamps so a
+//!   hot-path timing reading costs ~5ns instead of an `Instant::now`
+//!   call; the serving layer takes several readings per op.
+//! - [`expose`] — the Prometheus text exposition format: rendering with
+//!   label escaping, a dependency-free format validator (used by CI to
+//!   check live scrapes), a tiny HTTP/1.1 server on a std
+//!   [`std::net::TcpListener`] thread ([`MetricsServer`]), and the
+//!   matching [`expose::scrape`] client.
+//! - [`recorder`] — [`FlightRecorder`]: a thread appending one JSONL
+//!   registry snapshot every N ms with bounded file rotation. Each line
+//!   is flushed as written, so a `kill -9` leaves a readable record of
+//!   the seconds before death — the serve torture harness asserts
+//!   exactly that.
+
+pub mod clock;
+pub mod expose;
+pub mod recorder;
+pub mod registry;
+
+pub use clock::OpClock;
+pub use expose::{scrape, validate_exposition, ExpositionSummary, MetricsServer};
+pub use recorder::{validate_flight_log, FlightRecorder, FlightSummary, RecorderConfig};
+pub use registry::{Counter, Gauge, Histo, MetricsRegistry, SnapEntry, SnapValue, Snapshot};

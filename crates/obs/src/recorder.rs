@@ -1,0 +1,388 @@
+//! The flight recorder: periodic JSONL registry snapshots with bounded
+//! rotation, flushed line-by-line so `kill -9` leaves a readable tail.
+
+use crate::registry::{MetricsRegistry, SnapValue, Snapshot};
+use picl_telemetry::json::escape;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema tag written on every flight-recorder line.
+pub const FLIGHT_SCHEMA: &str = "picl-obs-v1";
+
+impl Snapshot {
+    /// Renders the snapshot as one JSON object (no trailing newline):
+    /// `{"schema":"picl-obs-v1","seq":N,"uptime_ms":M,"counters":{...},
+    /// "gauges":{...},"histograms":{...}}`. Series keys are the
+    /// exposition-style `name{k="v"}` strings; histograms carry exact
+    /// `count`/`sum`/`max` plus `[bound, count]` bucket pairs, enough to
+    /// rebuild a [`picl_types::stats::Histogram`] via `from_saved`.
+    pub fn to_json_line(&self, seq: u64, uptime_ms: u64) -> String {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for e in &self.entries {
+            let key = escape(&e.key());
+            match &e.value {
+                SnapValue::Counter(v) => counters.push(format!("\"{key}\":{v}")),
+                SnapValue::Gauge(v) => gauges.push(format!("\"{key}\":{v}")),
+                SnapValue::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .nonzero_buckets()
+                        .map(|(bound, n)| format!("[{bound},{n}]"))
+                        .collect();
+                    histograms.push(format!(
+                        "\"{key}\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[{}]}}",
+                        h.count(),
+                        h.sum(),
+                        h.max().unwrap_or(0),
+                        buckets.join(",")
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\"schema\":\"{FLIGHT_SCHEMA}\",\"seq\":{seq},\"uptime_ms\":{uptime_ms},\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+/// Where and how often the flight recorder writes.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// The live file; rotated generations get numeric suffixes
+    /// (`flight.jsonl.1` is the most recently rotated).
+    pub path: PathBuf,
+    /// Snapshot period. One snapshot is also written immediately at
+    /// spawn and one at graceful stop, so even the shortest run leaves
+    /// at least one line.
+    pub interval: Duration,
+    /// Rotate when the live file would exceed this size.
+    pub max_bytes: u64,
+    /// How many rotated generations to keep (0 = truncate instead of
+    /// rotating).
+    pub max_files: usize,
+}
+
+impl RecorderConfig {
+    /// Defaults tuned for torture runs: 50 ms cadence, 256 KiB per file,
+    /// three rotated generations.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        RecorderConfig {
+            path: path.into(),
+            interval: Duration::from_millis(50),
+            max_bytes: 256 * 1024,
+            max_files: 3,
+        }
+    }
+}
+
+fn generation_path(base: &Path, i: usize) -> PathBuf {
+    let mut s = base.as_os_str().to_os_string();
+    s.push(format!(".{i}"));
+    PathBuf::from(s)
+}
+
+struct Writer {
+    cfg: RecorderConfig,
+    file: File,
+    written: u64,
+}
+
+impl Writer {
+    fn open(cfg: RecorderConfig) -> std::io::Result<Writer> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&cfg.path)?;
+        let written = file.metadata()?.len();
+        Ok(Writer { cfg, file, written })
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        if self.cfg.max_files == 0 {
+            self.file = File::create(&self.cfg.path)?;
+        } else {
+            let _ = std::fs::remove_file(generation_path(&self.cfg.path, self.cfg.max_files));
+            for i in (1..self.cfg.max_files).rev() {
+                let _ = std::fs::rename(
+                    generation_path(&self.cfg.path, i),
+                    generation_path(&self.cfg.path, i + 1),
+                );
+            }
+            std::fs::rename(&self.cfg.path, generation_path(&self.cfg.path, 1))?;
+            self.file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.cfg.path)?;
+        }
+        self.written = 0;
+        Ok(())
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        let bytes = line.len() as u64 + 1;
+        if self.written > 0 && self.written + bytes > self.cfg.max_bytes {
+            self.rotate()?;
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        // Push every line to the OS immediately: the whole point is a
+        // readable tail after SIGKILL, which never runs buffered Drop.
+        self.file.flush()?;
+        self.written += bytes;
+        Ok(())
+    }
+}
+
+/// A thread appending registry snapshots to a JSONL file.
+///
+/// Lines are written at spawn, every `interval`, and at graceful
+/// [`stop`](FlightRecorder::stop); each line is flushed as written.
+pub struct FlightRecorder {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<u64>>>,
+}
+
+impl FlightRecorder {
+    /// Opens (appending) the recorder file, writes the first snapshot
+    /// synchronously — so a crash a millisecond later still leaves a
+    /// record — and starts the recording thread.
+    pub fn spawn(
+        registry: MetricsRegistry,
+        cfg: RecorderConfig,
+    ) -> std::io::Result<FlightRecorder> {
+        let mut writer = Writer::open(cfg)?;
+        let start = Instant::now();
+        writer.write_line(&registry.snapshot().to_json_line(0, 0))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("picl-flight".into())
+            .spawn(move || record_loop(registry, writer, start, thread_stop))?;
+        Ok(FlightRecorder {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stops the thread, writes a final snapshot, and returns the number
+    /// of lines written over the recorder's life.
+    pub fn stop(mut self) -> std::io::Result<u64> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("recorder panicked"))),
+            None => Ok(0),
+        }
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// What [`validate_flight_log`] found in a recorder file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightSummary {
+    /// Complete (newline-terminated) snapshot lines.
+    pub lines: u64,
+    /// `seq` of the last complete line.
+    pub last_seq: u64,
+    /// Whether the file ends in a torn partial line — the signature of a
+    /// `kill -9` landing mid-write, and fine: every *complete* line is
+    /// still readable.
+    pub torn_tail: bool,
+}
+
+/// Validates a flight-recorder log: every newline-terminated line must
+/// be valid JSON carrying the [`FLIGHT_SCHEMA`] tag with monotonically
+/// increasing `seq`. A torn final line without its newline is tolerated
+/// (that is the whole point of per-line flushing) and reported.
+///
+/// # Errors
+///
+/// Describes the first malformed complete line, or an empty log.
+pub fn validate_flight_log(text: &str) -> Result<FlightSummary, String> {
+    let torn_tail = !text.is_empty() && !text.ends_with('\n');
+    let mut complete: Vec<&str> = text.split('\n').collect();
+    // split leaves a trailing "" for a terminated file, or the torn
+    // fragment for an unterminated one; neither is a complete line.
+    complete.pop();
+    let mut lines = 0u64;
+    let mut last_seq = 0u64;
+    for (i, line) in complete.iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        picl_telemetry::json::validate_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if !line.contains(&format!("\"schema\":\"{FLIGHT_SCHEMA}\"")) {
+            return Err(format!(
+                "line {}: missing schema tag {FLIGHT_SCHEMA}",
+                i + 1
+            ));
+        }
+        let seq = line
+            .split_once("\"seq\":")
+            .and_then(|(_, rest)| {
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                digits.parse::<u64>().ok()
+            })
+            .ok_or_else(|| format!("line {}: missing seq", i + 1))?;
+        if lines > 0 && seq <= last_seq {
+            return Err(format!(
+                "line {}: seq {seq} not after {last_seq} (rotation mixed into one file?)",
+                i + 1
+            ));
+        }
+        last_seq = seq;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("no complete flight-recorder lines".into());
+    }
+    Ok(FlightSummary {
+        lines,
+        last_seq,
+        torn_tail,
+    })
+}
+
+fn record_loop(
+    registry: MetricsRegistry,
+    mut writer: Writer,
+    start: Instant,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<u64> {
+    let mut seq = 1u64;
+    loop {
+        // Sleep in small slices so stop() is honored promptly even with
+        // long intervals.
+        let deadline = Instant::now() + writer.cfg.interval;
+        while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(writer.cfg.interval.min(Duration::from_millis(10)));
+        }
+        let uptime_ms = start.elapsed().as_millis() as u64;
+        writer.write_line(&registry.snapshot().to_json_line(seq, uptime_ms))?;
+        seq += 1;
+        if stop.load(Ordering::Relaxed) {
+            return Ok(seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picl_telemetry::json::{validate_json, validate_jsonl};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("picl-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn json_line_is_valid_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", &[("weird", "a\"b\\c")], "").add(2);
+        reg.gauge("g", &[], "").set(9);
+        let h = reg.histogram("h_ns", &[], "");
+        h.record(0);
+        h.record(77);
+        let line = reg.snapshot().to_json_line(3, 1234);
+        validate_json(&line).unwrap();
+        assert!(line.contains("\"schema\":\"picl-obs-v1\""), "{line}");
+        assert!(line.contains("\"seq\":3"), "{line}");
+        assert!(line.contains("\"count\":2"), "{line}");
+    }
+
+    #[test]
+    fn recorder_writes_flushed_lines_and_final_snapshot() {
+        let path = tmp("steady.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("ops_total", &[], "");
+        let mut cfg = RecorderConfig::new(&path);
+        cfg.interval = Duration::from_millis(5);
+        let rec = FlightRecorder::spawn(reg, cfg).unwrap();
+        c.add(41);
+        std::thread::sleep(Duration::from_millis(30));
+        let lines = rec.stop().unwrap();
+        assert!(lines >= 2, "spawn line + at least one tick, got {lines}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = validate_jsonl(&text).unwrap();
+        assert!(parsed as u64 >= lines, "{parsed} lines on disk");
+        // The final (graceful-stop) snapshot carries the counter.
+        assert!(text.lines().last().unwrap().contains("\"ops_total\":41"));
+    }
+
+    #[test]
+    fn flight_log_validation_tolerates_only_a_torn_tail() {
+        let line = |seq: u64| {
+            MetricsRegistry::new()
+                .snapshot()
+                .to_json_line(seq, seq * 10)
+        };
+        let clean = format!("{}\n{}\n", line(0), line(1));
+        let s = validate_flight_log(&clean).unwrap();
+        assert_eq!((s.lines, s.last_seq, s.torn_tail), (2, 1, false));
+
+        // A kill -9 mid-write leaves a torn last line: still valid.
+        let torn = format!("{}\n{}\n{{\"schema\":\"pi", line(0), line(1));
+        let s = validate_flight_log(&torn).unwrap();
+        assert_eq!((s.lines, s.last_seq, s.torn_tail), (2, 1, true));
+
+        // But a torn *complete* line (corruption, not a tail) fails.
+        let bad = format!("{}\n{{\"schema\":\"pi\n{}\n", line(0), line(2));
+        assert!(validate_flight_log(&bad).is_err());
+        // And so do regressing seqs and empty logs.
+        let regress = format!("{}\n{}\n", line(5), line(3));
+        assert!(validate_flight_log(&regress).is_err());
+        assert!(validate_flight_log("").is_err());
+    }
+
+    #[test]
+    fn rotation_keeps_bounded_generations_with_valid_tails() {
+        let path = tmp("rotate.jsonl");
+        for i in 0..=4 {
+            let _ = std::fs::remove_file(generation_path(&path, i));
+        }
+        let _ = std::fs::remove_file(&path);
+        let reg = MetricsRegistry::new();
+        reg.counter("ops_total", &[], "").add(1);
+        let mut cfg = RecorderConfig::new(&path);
+        cfg.interval = Duration::from_millis(1);
+        cfg.max_bytes = 256; // force a rotation every couple of lines
+        cfg.max_files = 2;
+        let rec = FlightRecorder::spawn(reg, cfg).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        rec.stop().unwrap();
+        assert!(generation_path(&path, 1).exists(), "no rotation happened");
+        assert!(
+            !generation_path(&path, 3).exists(),
+            "rotation must stay bounded"
+        );
+        for p in [path.clone(), generation_path(&path, 1)] {
+            let text = std::fs::read_to_string(&p).unwrap();
+            validate_jsonl(&text).unwrap();
+            assert!(
+                text.len() as u64 <= 256 + 256,
+                "{p:?} overgrew: {}",
+                text.len()
+            );
+        }
+    }
+}

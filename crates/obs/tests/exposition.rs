@@ -1,0 +1,112 @@
+//! Exposition-format coverage: a byte-exact golden file for the
+//! Prometheus text rendering (counter/gauge/histogram lines, label
+//! escaping) and a scrape-while-hammering test that checks snapshot
+//! consistency under live concurrent writers.
+
+use picl_obs::{scrape, validate_exposition, MetricsRegistry, MetricsServer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builds the registry the golden file captures. Values are fixed, so
+/// the sorted rendering is byte-stable.
+fn golden_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    reg.counter(
+        "demo_requests_total",
+        &[("op", "get"), ("outcome", "hit")],
+        "Requests by op and outcome.",
+    )
+    .add(3);
+    reg.counter(
+        "demo_requests_total",
+        &[("op", "put"), ("outcome", "ok")],
+        "Requests by op and outcome.",
+    )
+    .add(2);
+    reg.gauge("demo_open_epochs", &[], "Open epochs.").set(5);
+    let h = reg.histogram(
+        "demo_sojourn_ns",
+        &[("tenant", "we\"ird\\te\nnant")],
+        "Sojourn time.",
+    );
+    for v in [0u64, 1, 5, 100, 1_000_000] {
+        h.record(v);
+    }
+    reg
+}
+
+#[test]
+fn prometheus_rendering_matches_golden_file() {
+    let text = golden_registry().snapshot().to_prometheus();
+    validate_exposition(&text).expect("golden rendering must validate");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_exposition.txt");
+    if std::env::var_os("PICL_REGOLD").is_some() {
+        std::fs::write(path, &text).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        text, golden,
+        "exposition format drifted; rerun with PICL_REGOLD=1 if intended"
+    );
+}
+
+#[test]
+fn scrape_while_hammering_stays_internally_consistent() {
+    let reg = MetricsRegistry::new();
+    let hist = reg.histogram("hammer_ns", &[], "hammered histogram");
+    let ops = reg.counter("hammer_ops_total", &[], "hammered counter");
+    let mut server = MetricsServer::spawn(reg.clone(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let hist = hist.clone();
+            let ops = ops.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    hist.record((t * 1_000 + n) % 1_000_000);
+                    ops.inc();
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    let mut last_count = 0u64;
+    for _ in 0..20 {
+        // The HTTP read path and the in-process snapshot must both be
+        // internally consistent while writers are going full tilt.
+        let body = scrape(&addr, Duration::from_secs(5)).unwrap();
+        validate_exposition(&body).expect("live scrape must validate");
+
+        let snap = hist.snapshot();
+        let bucket_total: u64 = snap.nonzero_buckets().map(|(_, n)| n).sum();
+        assert_eq!(
+            bucket_total,
+            snap.count(),
+            "histogram count must equal the sum of its bucket counts"
+        );
+        assert!(
+            snap.count() >= last_count,
+            "snapshots must be monotone: {} then {}",
+            last_count,
+            snap.count()
+        );
+        last_count = snap.count();
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(total > 0, "writers must have made progress");
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("hammer_ops_total", &[]), Some(total));
+    let hist = snap.histogram("hammer_ns", &[]).unwrap();
+    assert_eq!(hist.count(), total, "quiesced snapshot is exact");
+    server.shutdown();
+}

@@ -27,9 +27,11 @@
 //!   of each stream (prefix consistency within the RPO bound).
 
 pub mod load;
+pub mod obs;
 pub mod session;
 pub mod stream;
 
-pub use load::{preload, run_load, Arrival, LoadReport, LoadSpec, MixPreset};
+pub use load::{preload, run_load, Arrival, LoadReport, LoadSpec, MixPreset, SessionLoad};
+pub use obs::ServeObs;
 pub use session::{Backend, FsyncKv, ServeKv};
 pub use stream::{session_model_after, session_ops, session_prefix};

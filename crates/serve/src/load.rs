@@ -251,6 +251,30 @@ pub fn preload(backend: &dyn Backend, spec: &LoadSpec) -> Result<(), StoreError>
     backend.end_preload()
 }
 
+/// One session's (tenant's) share of a timed run.
+#[derive(Debug, Clone)]
+pub struct SessionLoad {
+    /// Reads this session completed.
+    pub reads: u64,
+    /// Updates this session completed.
+    pub updates: u64,
+    /// This session's per-op latency in nanoseconds (same semantics as
+    /// [`LoadReport::latency_ns`]).
+    pub latency_ns: Histogram,
+    /// Scheduler-accounted CPU nanoseconds this session's thread spent
+    /// executing during the timed phase (`sum_exec_runtime`, which
+    /// excludes run-queue waits and — with paravirt time accounting —
+    /// hypervisor steal). 0 where `/proc` can't supply it (non-Linux).
+    pub cpu_ns: u64,
+}
+
+/// This thread's cumulative on-CPU nanoseconds, from
+/// `/proc/thread-self/schedstat`. `None` off Linux or if the read fails.
+fn thread_cpu_ns() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    text.split_whitespace().next()?.parse().ok()
+}
+
 /// What one timed run measured.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -271,9 +295,18 @@ pub struct LoadReport {
     /// its scheduled arrival, in nanoseconds. Sojourn tails are only
     /// meaningful when this stays near zero; empty for closed loops.
     pub pacing_late_ns: Histogram,
+    /// Per-session breakdown, indexed by session id. Merging the
+    /// sessions' histograms reproduces [`LoadReport::latency_ns`].
+    pub per_session: Vec<SessionLoad>,
 }
 
 impl LoadReport {
+    /// Total session-thread CPU nanoseconds for the timed phase (see
+    /// [`SessionLoad::cpu_ns`]); 0 when the platform can't supply it.
+    pub fn cpu_ns(&self) -> u64 {
+        self.per_session.iter().map(|s| s.cpu_ns).sum()
+    }
+
     /// Aggregate throughput in ops/sec.
     pub fn throughput(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
@@ -352,7 +385,7 @@ pub fn run_load(backend: &(dyn Backend + Sync), spec: &LoadSpec) -> Result<LoadR
     let mut seeder = Rng::new(spec.seed ^ 0xC0DE_5EED_F00D_BAAD);
     let seeds: Vec<u64> = (0..spec.sessions).map(|_| seeder.next_u64()).collect();
     let start = Instant::now();
-    type SessionOutcome = (Histogram, Histogram, u64, u64);
+    type SessionOutcome = (Histogram, Histogram, u64, u64, u64);
     let outcomes: Vec<Result<SessionOutcome, StoreError>> = std::thread::scope(|s| {
         let handles: Vec<_> = seeds
             .iter()
@@ -366,6 +399,7 @@ pub fn run_load(backend: &(dyn Backend + Sync), spec: &LoadSpec) -> Result<LoadR
                     let mut reads = 0u64;
                     let mut updates = 0u64;
                     let mut scheduled_ns = 0u64;
+                    let cpu0 = thread_cpu_ns();
                     for i in 0..spec.ops_per_session {
                         let issue_base = match next_arrival_ns(
                             spec.arrival,
@@ -393,7 +427,11 @@ pub fn run_load(backend: &(dyn Backend + Sync), spec: &LoadSpec) -> Result<LoadR
                         let done = start.elapsed().as_nanos() as u64;
                         latency.record(done.saturating_sub(issue_base));
                     }
-                    Ok((latency, pacing, reads, updates))
+                    let cpu_ns = match (cpu0, thread_cpu_ns()) {
+                        (Some(a), Some(b)) => b.saturating_sub(a),
+                        _ => 0,
+                    };
+                    Ok((latency, pacing, reads, updates, cpu_ns))
                 })
             })
             .collect();
@@ -407,12 +445,19 @@ pub fn run_load(backend: &(dyn Backend + Sync), spec: &LoadSpec) -> Result<LoadR
     let mut pacing = Histogram::new();
     let mut reads = 0u64;
     let mut updates = 0u64;
+    let mut per_session = Vec::with_capacity(spec.sessions);
     for outcome in outcomes {
-        let (h, p, r, u) = outcome?;
+        let (h, p, r, u, cpu_ns) = outcome?;
         latency.merge(&h);
         pacing.merge(&p);
         reads += r;
         updates += u;
+        per_session.push(SessionLoad {
+            reads: r,
+            updates: u,
+            latency_ns: h,
+            cpu_ns,
+        });
     }
     Ok(LoadReport {
         sessions: spec.sessions,
@@ -422,6 +467,7 @@ pub fn run_load(backend: &(dyn Backend + Sync), spec: &LoadSpec) -> Result<LoadR
         elapsed,
         latency_ns: latency,
         pacing_late_ns: pacing,
+        per_session,
     })
 }
 

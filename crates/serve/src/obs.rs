@@ -1,0 +1,184 @@
+//! Serving-layer observability: per-op sojourn histograms split by
+//! outcome, per-shard lock counters, and the group-commit leader's
+//! phase timings, registered into a [`picl_obs::MetricsRegistry`].
+//!
+//! [`crate::ServeKv`] runs un-instrumented until
+//! [`crate::ServeKv::enable_obs`] attaches a `ServeObs`; every
+//! instrument touch on the hot path is gated on that `Option`, so the
+//! metrics-off cost is one branch per op.
+//!
+//! The *timers* (sojourn and lock wait/hold) run on a 1-in-N sample
+//! ([`DEFAULT_SAMPLE_EVERY`]): timing an op costs several cycle-counter
+//! readings plus histogram records, and on a saturated box paying that
+//! on every op is a measurable throughput tax, while a uniform sample
+//! estimates the same distributions. The semantic *counters* (per-shard
+//! ops, escalations) stay exact on every op, so rates like
+//! escalations-per-op are true counts; the lock-hold counter scales each
+//! sampled reading by N so its total stays an unbiased estimate. The
+//! sample rate is published as `picl_serve_timing_sample_every` so
+//! consumers can scale sampled histogram *counts* back to op counts.
+
+use std::cell::Cell;
+
+use picl_obs::{Counter, Histo, MetricsRegistry, OpClock};
+
+/// Default timing-sample rate: one op in 8 is timed.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 8;
+
+thread_local! {
+    /// Per-thread decision counter for the timing sample. Thread-local
+    /// keeps the hot-path cost of an *unsampled* op to one cell bump and
+    /// a mask test — no shared cache line.
+    static TIMING_TICK: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Handles for every serving-layer instrument. One per [`crate::ServeKv`].
+pub struct ServeObs {
+    /// Cheap timestamps for the per-op timers below; an op takes up to
+    /// five readings, so they must not be `Instant::now` calls.
+    pub clock: OpClock,
+    /// `sample_every - 1`; a power-of-two rate makes the per-op
+    /// decision a mask test.
+    sample_mask: u64,
+    /// `picl_serve_op_sojourn_ns{op="get",outcome="hit"}`.
+    pub get_hit: Histo,
+    /// `picl_serve_op_sojourn_ns{op="get",outcome="miss"}`.
+    pub get_miss: Histo,
+    /// Lookups that exhausted the optimistic retries and serialized
+    /// against the shard lock,
+    /// `picl_serve_op_sojourn_ns{op="get",outcome="contended"}`.
+    pub get_contended: Histo,
+    /// `picl_serve_op_sojourn_ns{op="put",outcome="ok"}`.
+    pub put_ok: Histo,
+    /// Puts that needed every shard lock,
+    /// `picl_serve_op_sojourn_ns{op="put",outcome="escalated"}`.
+    pub put_escalated: Histo,
+    /// `picl_serve_op_sojourn_ns{op="delete",outcome="deleted"}`.
+    pub delete_deleted: Histo,
+    /// `picl_serve_op_sojourn_ns{op="delete",outcome="missing"}`.
+    pub delete_missing: Histo,
+    /// Mutations executed per key shard,
+    /// `picl_serve_shard_ops_total{shard="i"}`.
+    pub shard_ops: Vec<Counter>,
+    /// Nanoseconds each shard's mutation lock was held,
+    /// `picl_serve_shard_lock_hold_ns_total{shard="i"}`.
+    pub shard_lock_hold_ns: Vec<Counter>,
+    /// Time a mutator waited to acquire its key's shard lock (the
+    /// follower-side queueing behind writers and commit leaders),
+    /// `picl_serve_shard_lock_wait_ns`.
+    pub shard_lock_wait_ns: Histo,
+    /// Mutations that escalated to all shard locks,
+    /// `picl_serve_escalations_total`.
+    pub escalations: Counter,
+    /// Leader's phase-one boundary publish under every shard lock,
+    /// `picl_serve_commit_publish_ns`.
+    pub commit_publish_ns: Histo,
+    /// Leader's in-order-window stall (recorded only when the window
+    /// was full), `picl_serve_commit_window_ns`.
+    pub commit_window_ns: Histo,
+    /// Leader's wait for its eid-ordered ack turn behind earlier
+    /// pipelined leaders, `picl_serve_commit_ack_wait_ns`.
+    pub commit_ack_wait_ns: Histo,
+}
+
+impl ServeObs {
+    /// Registers the serving instrument set for a store with `shards`
+    /// key-shard locks, timing one op in `sample_every` (a power of
+    /// two; 1 times every op).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sample_every` is not a power of two.
+    pub fn register(reg: &MetricsRegistry, shards: usize, sample_every: u64) -> ServeObs {
+        assert!(
+            sample_every.is_power_of_two(),
+            "sample_every must be a power of two, got {sample_every}"
+        );
+        reg.gauge(
+            "picl_serve_timing_sample_every",
+            &[],
+            "One op in this many carries the sojourn and lock timers.",
+        )
+        .set(sample_every);
+        let sojourn = |op: &str, outcome: &str| {
+            reg.histogram(
+                "picl_serve_op_sojourn_ns",
+                &[("op", op), ("outcome", outcome)],
+                "Per-operation service time by op and outcome.",
+            )
+        };
+        let per_shard = |name: &str, help: &str| {
+            (0..shards)
+                .map(|i| {
+                    let shard = i.to_string();
+                    reg.counter(name, &[("shard", shard.as_str())], help)
+                })
+                .collect()
+        };
+        ServeObs {
+            clock: OpClock::calibrate(),
+            sample_mask: sample_every - 1,
+            get_hit: sojourn("get", "hit"),
+            get_miss: sojourn("get", "miss"),
+            get_contended: sojourn("get", "contended"),
+            put_ok: sojourn("put", "ok"),
+            put_escalated: sojourn("put", "escalated"),
+            delete_deleted: sojourn("delete", "deleted"),
+            delete_missing: sojourn("delete", "missing"),
+            shard_ops: per_shard(
+                "picl_serve_shard_ops_total",
+                "Mutations executed per key shard.",
+            ),
+            shard_lock_hold_ns: per_shard(
+                "picl_serve_shard_lock_hold_ns_total",
+                "Nanoseconds each shard's mutation lock was held.",
+            ),
+            shard_lock_wait_ns: reg.histogram(
+                "picl_serve_shard_lock_wait_ns",
+                &[],
+                "Time mutators waited to acquire their key's shard lock.",
+            ),
+            escalations: reg.counter(
+                "picl_serve_escalations_total",
+                &[],
+                "Mutations that escalated to all shard locks.",
+            ),
+            commit_publish_ns: reg.histogram(
+                "picl_serve_commit_publish_ns",
+                &[],
+                "Group-commit leader's phase-one publish under all shard locks.",
+            ),
+            commit_window_ns: reg.histogram(
+                "picl_serve_commit_window_ns",
+                &[],
+                "Group-commit leader's in-order-window stall (full window only).",
+            ),
+            commit_ack_wait_ns: reg.histogram(
+                "picl_serve_commit_ack_wait_ns",
+                &[],
+                "Group-commit leader's wait for its eid-ordered ack turn.",
+            ),
+        }
+    }
+
+    /// Decides whether this op carries the timers, and starts them if
+    /// so. Unsampled ops pay one thread-local bump and a mask test.
+    #[inline]
+    pub fn sample_timer(&self) -> Option<u64> {
+        let tick = TIMING_TICK.with(|t| {
+            let v = t.get();
+            t.set(v.wrapping_add(1));
+            v
+        });
+        (tick & self.sample_mask == 0).then(|| self.clock.now())
+    }
+
+    /// The configured timing-sample rate: sampled histogram counts times
+    /// this estimate op counts, and sampled duration totals are already
+    /// scaled by it.
+    #[inline]
+    #[must_use]
+    pub fn sample_every(&self) -> u64 {
+        self.sample_mask + 1
+    }
+}

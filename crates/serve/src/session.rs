@@ -52,6 +52,8 @@ use picl_telemetry::Telemetry;
 use picl_types::stats::Histogram;
 use picl_types::LINE_BYTES;
 
+use crate::obs::ServeObs;
+
 const LINE: usize = LINE_BYTES as usize;
 
 /// Optimistic lookup attempts before falling back to the shard lock.
@@ -155,6 +157,10 @@ pub struct ServeKv {
     /// streamed `commit <eid>` line to.
     acked: Mutex<u64>,
     acked_cv: Condvar,
+    /// Serving-layer instruments; `None` until [`ServeKv::enable_obs`].
+    /// Hot paths gate every timer and record on this option, so the
+    /// metrics-off cost is one branch per op.
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl std::fmt::Debug for ServeKv {
@@ -210,6 +216,7 @@ impl ServeKv {
                 commit_stall_ns: Mutex::new(Histogram::new()),
                 acked: Mutex::new(committed),
                 acked_cv: Condvar::new(),
+                obs: None,
             },
             report,
         ))
@@ -218,6 +225,26 @@ impl ServeKv {
     /// Installs the per-commit hook (before the store is shared).
     pub fn set_commit_hook(&mut self, hook: CommitHook) {
         self.commit_hook = Some(hook);
+    }
+
+    /// Attaches live metrics (before the store is shared): registers the
+    /// serving-layer instruments and the engine's persister/pipeline
+    /// instruments into `registry`. Per-op timers run on the default
+    /// 1-in-[`crate::obs::DEFAULT_SAMPLE_EVERY`] sample; counters are
+    /// exact.
+    pub fn enable_obs(&mut self, registry: &picl_obs::MetricsRegistry) {
+        self.enable_obs_sampled(registry, crate::obs::DEFAULT_SAMPLE_EVERY);
+    }
+
+    /// [`ServeKv::enable_obs`] with an explicit timing-sample rate
+    /// (a power of two; 1 times every op — deterministic, for tests).
+    pub fn enable_obs_sampled(&mut self, registry: &picl_obs::MetricsRegistry, every: u64) {
+        self.engine.enable_obs(registry);
+        self.obs = Some(Arc::new(ServeObs::register(
+            registry,
+            self.shards.len(),
+            every,
+        )));
     }
 
     /// The underlying engine (frontiers, stats).
@@ -304,15 +331,24 @@ impl ServeKv {
     /// behind in-flight mutations (which followers no longer pay at
     /// all) and not the ack sequencing behind earlier leaders.
     fn lead_commit(&self) -> Result<u64, StoreError> {
+        let obs = self.obs.as_deref();
         let (t0, ticket, counts) = {
             let _all = self.lock_all();
             let t0 = Instant::now();
             let ticket = self.engine.commit_epoch_async()?;
             let counts = self.commit_hook.is_some().then(|| self.session_counts());
+            if let Some(o) = obs {
+                o.commit_publish_ns.record(t0.elapsed().as_nanos() as u64);
+            }
             (t0, ticket, counts)
         };
         let waited = if ticket.window_full {
-            self.engine.wait_window(ticket)
+            let w0 = Instant::now();
+            let waited = self.engine.wait_window(ticket);
+            if let Some(o) = obs {
+                o.commit_window_ns.record(w0.elapsed().as_nanos() as u64);
+            }
+            waited
         } else {
             Ok(())
         };
@@ -320,9 +356,13 @@ impl ServeKv {
         {
             // Take the ack turn even on a dead engine — skipping it would
             // wedge every later leader behind a hole in the eid sequence.
+            let a0 = obs.map(|_| Instant::now());
             let mut acked = self.acked.lock().expect("ack sequencer poisoned");
             while *acked + 1 != ticket.eid {
                 acked = self.acked_cv.wait(acked).expect("ack sequencer poisoned");
+            }
+            if let (Some(o), Some(a0)) = (obs, a0) {
+                o.commit_ack_wait_ns.record(a0.elapsed().as_nanos() as u64);
             }
             if waited.is_ok() {
                 if let (Some(hook), Some(counts)) = (&self.commit_hook, &counts) {
@@ -352,7 +392,8 @@ impl ServeKv {
 
     /// Runs one mutation under its key-shard lock (escalating to all
     /// locks when the op needs foreign lines), counts it on `clock`, and
-    /// leads a group commit when the count trips `cadence`.
+    /// leads a group commit when the count trips `cadence`. Returns the
+    /// op's result and whether it escalated.
     fn mutate_counted<R>(
         &self,
         session: usize,
@@ -360,10 +401,18 @@ impl ServeKv {
         clock: &AtomicU64,
         cadence: u64,
         op: impl Fn(&Engine, Option<(u32, u32)>) -> Result<Attempt<R>, StoreError>,
-    ) -> Result<R, StoreError> {
+    ) -> Result<(R, bool), StoreError> {
         let shard = self.shard_of(key);
-        let (out, count) = {
+        let obs = self.obs.as_deref();
+        let (out, count, escalated) = {
+            // One sampling decision covers the wait and hold timers, so
+            // a sampled mutation is timed end to end.
+            let waited = obs.and_then(ServeObs::sample_timer);
             let guard = self.lock_shard(shard);
+            let held = waited.map(|_| obs.expect("sampled implies obs").clock.now());
+            if let (Some(o), Some(w), Some(h)) = (obs, waited, held) {
+                o.shard_lock_wait_ns.record(o.clock.ns_between(w, h));
+            }
             match op(&self.engine, Some(self.engine.image_shard_span(shard)))? {
                 Attempt::Done(out) => {
                     // Count while still holding the lock: a completed
@@ -373,7 +422,18 @@ impl ServeKv {
                     // needs.
                     self.shard_mutations[shard].fetch_add(1, Ordering::Relaxed);
                     self.bump(session);
-                    (out, clock.fetch_add(1, Ordering::AcqRel) + 1)
+                    let count = clock.fetch_add(1, Ordering::AcqRel) + 1;
+                    if let Some(o) = obs {
+                        o.shard_ops[shard].inc();
+                        if let Some(h) = held {
+                            // Scaled by the sample rate, so the counter's
+                            // total stays an unbiased hold-time estimate.
+                            o.shard_lock_hold_ns[shard]
+                                .add(o.clock.elapsed_ns(h) * o.sample_every());
+                        }
+                    }
+                    drop(guard);
+                    (out, count, false)
                 }
                 Attempt::Escalate => {
                     // Release first: an escalated writer acquires the
@@ -381,6 +441,7 @@ impl ServeKv {
                     // order the leader uses.
                     drop(guard);
                     let all = self.lock_all();
+                    let held = waited.map(|_| obs.expect("sampled implies obs").clock.now());
                     self.escalations.fetch_add(1, Ordering::Relaxed);
                     let out = match op(&self.engine, None)? {
                         Attempt::Done(out) => out,
@@ -391,8 +452,16 @@ impl ServeKv {
                     self.shard_mutations[shard].fetch_add(1, Ordering::Relaxed);
                     self.bump(session);
                     let count = clock.fetch_add(1, Ordering::AcqRel) + 1;
+                    if let Some(o) = obs {
+                        o.escalations.inc();
+                        o.shard_ops[shard].inc();
+                        if let Some(h) = held {
+                            o.shard_lock_hold_ns[shard]
+                                .add(o.clock.elapsed_ns(h) * o.sample_every());
+                        }
+                    }
                     drop(all);
-                    (out, count)
+                    (out, count, true)
                 }
             }
         };
@@ -400,7 +469,7 @@ impl ServeKv {
         if count.is_multiple_of(cadence) {
             self.lead_commit()?;
         }
-        Ok(out)
+        Ok((out, escalated))
     }
 
     fn mutate<R>(
@@ -408,7 +477,7 @@ impl ServeKv {
         session: usize,
         key: &[u8],
         op: impl Fn(&Engine, Option<(u32, u32)>) -> Result<Attempt<R>, StoreError>,
-    ) -> Result<R, StoreError> {
+    ) -> Result<(R, bool), StoreError> {
         self.mutate_counted(session, key, &self.mutations, self.mutations_per_epoch, op)
     }
 
@@ -439,16 +508,17 @@ impl ServeKv {
 /// key's writer). With the writer excluded the record cannot be
 /// mid-mutation, so the serialized attempt is authoritative: a healthy
 /// record is returned, and only a *still*-torn record is reported as
-/// `Corrupt`.
+/// `Corrupt`. The flag in the result says whether the lookup had to
+/// fall back to the serialized retry (the contended outcome).
 fn lookup_with_fallback<L: Lines, G>(
     store: &L,
     key: &[u8],
     fallback: impl FnOnce() -> G,
-) -> Result<Option<Vec<u8>>, StoreError> {
+) -> Result<(Option<Vec<u8>>, bool), StoreError> {
     for _ in 0..LOOKUP_RETRIES {
         match slots::lookup(store, key)? {
-            Lookup::Found { value, .. } => return Ok(Some(value)),
-            Lookup::Missing { .. } => return Ok(None),
+            Lookup::Found { value, .. } => return Ok((Some(value), false)),
+            Lookup::Missing { .. } => return Ok((None, false)),
             Lookup::Contended => std::hint::spin_loop(),
         }
     }
@@ -456,8 +526,8 @@ fn lookup_with_fallback<L: Lines, G>(
     // re-run the lookup while the guard is held.
     let _guard = fallback();
     match slots::lookup(store, key)? {
-        Lookup::Found { value, .. } => Ok(Some(value)),
-        Lookup::Missing { .. } => Ok(None),
+        Lookup::Found { value, .. } => Ok((Some(value), true)),
+        Lookup::Missing { .. } => Ok((None, true)),
         Lookup::Contended => Err(StoreError::Corrupt(
             "record stayed torn with the writer excluded".into(),
         )),
@@ -466,32 +536,64 @@ fn lookup_with_fallback<L: Lines, G>(
 
 impl Backend for ServeKv {
     fn put(&self, session: usize, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
-        self.mutate(session, key, |engine, range| {
+        let t0 = self.obs.as_deref().and_then(ServeObs::sample_timer);
+        let ((), escalated) = self.mutate(session, key, |engine, range| {
             Ok(match slots::put_within(engine, key, value, range)? {
                 Placement::Done(_) => Attempt::Done(()),
                 Placement::Escalate => Attempt::Escalate,
             })
-        })
+        })?;
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            let h = if escalated {
+                &obs.put_escalated
+            } else {
+                &obs.put_ok
+            };
+            h.record(obs.clock.elapsed_ns(t0));
+        }
+        Ok(())
     }
 
     fn get(&self, session: usize, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let t0 = self.obs.as_deref().and_then(ServeObs::sample_timer);
         // The key's shard lock excludes every writer that could mutate
         // this record (escalated writers hold all shards), so it is a
         // sufficient fallback guard.
-        let out = lookup_with_fallback(&self.engine, key, || self.lock_shard(self.shard_of(key)))?;
+        let (out, fell_back) =
+            lookup_with_fallback(&self.engine, key, || self.lock_shard(self.shard_of(key)))?;
         self.bump(session);
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            let h = if fell_back {
+                &obs.get_contended
+            } else if out.is_some() {
+                &obs.get_hit
+            } else {
+                &obs.get_miss
+            };
+            h.record(obs.clock.elapsed_ns(t0));
+        }
         Ok(out)
     }
 
     fn delete(&self, session: usize, key: &[u8]) -> Result<bool, StoreError> {
-        self.mutate(session, key, |engine, _| {
+        let t0 = self.obs.as_deref().and_then(ServeObs::sample_timer);
+        let (deleted, _) = self.mutate(session, key, |engine, _| {
             // Deletes only tombstone lines the record already owns, which
             // is safe from any shard's critical section.
             Ok(Attempt::Done(matches!(
                 slots::delete(engine, key)?,
                 Deletion::Deleted { .. }
             )))
-        })
+        })?;
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            let h = if deleted {
+                &obs.delete_deleted
+            } else {
+                &obs.delete_missing
+            };
+            h.record(obs.clock.elapsed_ns(t0));
+        }
+        Ok(deleted)
     }
 
     fn preload(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
@@ -511,6 +613,7 @@ impl Backend for ServeKv {
                 })
             },
         )
+        .map(|(out, _)| out)
     }
 
     fn end_preload(&self) -> Result<(), StoreError> {
@@ -626,6 +729,7 @@ impl Backend for FsyncKv {
         lookup_with_fallback(self, key, || {
             self.table.lock().expect("fsync table poisoned")
         })
+        .map(|(out, _)| out)
     }
 
     fn delete(&self, _session: usize, key: &[u8]) -> Result<bool, StoreError> {
@@ -863,8 +967,10 @@ mod tests {
         // guard "excludes the writer" (calms the skew), and the
         // serialized retry must then return the value — the pre-fix
         // helper returned Corrupt here without ever retrying.
-        let got = lookup_with_fallback(&store, b"torn", || store.calm_guard()).unwrap();
+        let (got, fell_back) =
+            lookup_with_fallback(&store, b"torn", || store.calm_guard()).unwrap();
         assert_eq!(got, Some(vec![7u8; 40]));
+        assert!(fell_back, "the optimistic rounds were all contended");
     }
 
     #[test]
@@ -883,6 +989,43 @@ mod tests {
         let (_, committed, _) = kv.engine().frontiers();
         assert_eq!(committed, 1);
         kv.close().unwrap();
+    }
+
+    #[test]
+    fn obs_records_op_outcomes_and_shard_traffic() {
+        let (mut kv, _) = open_serve(2, 4);
+        let reg = picl_obs::MetricsRegistry::new();
+        // Sample every op so the per-outcome counts below are exact.
+        kv.enable_obs_sampled(&reg, 1);
+        kv.put(0, b"seen", b"v").unwrap();
+        kv.put(0, b"seen", b"v2").unwrap();
+        assert_eq!(kv.get(1, b"seen").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(kv.get(1, b"gone").unwrap(), None);
+        assert!(kv.delete(0, b"seen").unwrap());
+        assert!(!kv.delete(0, b"seen").unwrap());
+        kv.commit().unwrap();
+        let snap = reg.snapshot();
+        let sojourn = |op: &str, outcome: &str| {
+            snap.histogram(
+                "picl_serve_op_sojourn_ns",
+                &[("op", op), ("outcome", outcome)],
+            )
+            .map_or(0, Histogram::count)
+        };
+        assert_eq!(sojourn("put", "ok") + sojourn("put", "escalated"), 2);
+        assert_eq!(sojourn("get", "hit") + sojourn("get", "contended"), 1);
+        assert_eq!(sojourn("get", "miss"), 1);
+        assert_eq!(sojourn("delete", "deleted"), 1);
+        assert_eq!(sojourn("delete", "missing"), 1);
+        // The 4 mutations all landed on some shard, and the engine-side
+        // instruments came along for the ride.
+        assert_eq!(snap.counter_total("picl_serve_shard_ops_total"), 4);
+        assert!(snap.gauge("picl_store_open_epochs", &[]).is_some());
+        assert!(
+            snap.histogram("picl_serve_commit_publish_ns", &[])
+                .is_some_and(|h| h.count() >= 1),
+            "the explicit commit led at least one group commit"
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
 
 use picl_telemetry::{EventKind, Telemetry};
 use picl_types::hash::FastSet;
@@ -308,6 +308,9 @@ struct Shared {
     work: Condvar,
     /// Wakes writers (persist frontier advanced, log space freed, death).
     done: Condvar,
+    /// Observability instruments, attached at most once by
+    /// [`Engine::enable_obs`]. Hot paths pay one relaxed load when unset.
+    obs: OnceLock<crate::obs::StoreObs>,
 }
 
 impl Shared {
@@ -330,6 +333,18 @@ impl Shared {
         match &st.dead {
             Some(m) => Err(StoreError::Io(m.clone())),
             None => Ok(()),
+        }
+    }
+
+    /// Pushes the epoch-pipeline gauges from the protocol state. Called
+    /// at the boundaries that move them (commit, drain, persist cycle);
+    /// one relaxed load when obs is not attached.
+    fn publish_gauges(&self, st: &Inner) {
+        if let Some(obs) = self.obs.get() {
+            obs.open_epochs.set(st.sys_eid - st.persisted);
+            obs.window_occupancy.set(st.committed - st.persisted);
+            obs.undo_buffer_fill.set(st.buffer.len() as u64);
+            obs.log_blocks_live.set(st.log_head_seq - st.log_start_seq);
         }
     }
 
@@ -400,6 +415,13 @@ impl Shared {
                 forced,
             },
         );
+        if let Some(obs) = self.obs.get() {
+            obs.fences.inc();
+            if forced {
+                obs.forced_drains.inc();
+            }
+        }
+        self.publish_gauges(st);
         Ok(())
     }
 
@@ -437,6 +459,7 @@ impl Shared {
     /// end-of-epoch value whether or not those later entries survive
     /// the crash.
     fn persist_epochs(&self, works: Vec<EpochWork>) -> Result<(), StoreError> {
+        let cycle_started = std::time::Instant::now();
         let total: usize = works.iter().map(|w| w.lines.len()).sum();
         let mut batch: Vec<(u32, [u8; LINE])> = Vec::with_capacity(total);
         // `(lines, snapshot tick)` per epoch, for the per-epoch events.
@@ -532,6 +555,16 @@ impl Shared {
             );
         }
         self.gc(&mut st);
+        if let Some(obs) = self.obs.get() {
+            obs.cycle_ns
+                .record(cycle_started.elapsed().as_nanos() as u64);
+            obs.backlog_epochs.record(works.len() as u64);
+            obs.lines_written.add(batch.len() as u64);
+            // The line-batch fence plus the superblock fence (forced
+            // drains along the way count their own).
+            obs.fences.add(2);
+        }
+        self.publish_gauges(&st);
         self.done.notify_all();
         Ok(())
     }
@@ -750,6 +783,7 @@ impl Engine {
             dead_flag: AtomicBool::new(false),
             work: Condvar::new(),
             done: Condvar::new(),
+            obs: OnceLock::new(),
         });
         let worker = Arc::clone(&shared);
         let persister = std::thread::Builder::new()
@@ -839,6 +873,9 @@ impl Engine {
                     valid_till: EpochId(valid_till),
                 },
             );
+            if let Some(obs) = self.shared.obs.get() {
+                obs.undo_buffer_fill.set(st.buffer.len() as u64);
+            }
             if st.buffer.len() >= UNDO_BUFFER_ENTRIES {
                 self.shared.drain(&mut st, false)?;
             }
@@ -903,6 +940,7 @@ impl Engine {
             },
         );
         let window_full = st.committed - st.persisted > self.shared.cfg.window;
+        self.shared.publish_gauges(&st);
         Ok(CommitTicket { eid, window_full })
     }
 
@@ -917,7 +955,9 @@ impl Engine {
     /// Fails after the medium has died.
     pub fn wait_window(&self, ticket: CommitTicket) -> Result<(), StoreError> {
         let mut st = self.lock();
+        let mut waited: Option<std::time::Instant> = None;
         while st.committed - st.persisted > self.shared.cfg.window && st.dead.is_none() {
+            waited.get_or_insert_with(std::time::Instant::now);
             st.stats.window_stalls += 1;
             self.shared.emit(
                 &mut st,
@@ -927,6 +967,9 @@ impl Engine {
                 },
             );
             st = self.shared.done.wait(st).expect("store engine poisoned");
+        }
+        if let (Some(obs), Some(t0)) = (self.shared.obs.get(), waited) {
+            obs.window_wait_ns.record(t0.elapsed().as_nanos() as u64);
         }
         self.shared.check_alive(&st)
     }
@@ -960,6 +1003,20 @@ impl Engine {
         let start = (shard * per).min(lines);
         let end = ((shard + 1) * per).min(lines);
         (start as u32, end as u32)
+    }
+
+    /// Attaches observability instruments: persister cycle timing,
+    /// fence/line counters, window-wait histogram, and the
+    /// epoch-pipeline gauges (open epochs, window occupancy, undo-buffer
+    /// fill, live log blocks). Idempotent per engine — the first
+    /// registry wins; until called, instrumented paths cost one relaxed
+    /// atomic load.
+    pub fn enable_obs(&self, registry: &picl_obs::MetricsRegistry) {
+        let _ = self
+            .shared
+            .obs
+            .set(crate::obs::StoreObs::register(registry));
+        self.shared.publish_gauges(&self.lock());
     }
 
     /// `(executing, committed, persisted)` epoch frontiers.

@@ -39,6 +39,7 @@
 pub mod engine;
 pub mod kv;
 pub mod layout;
+pub mod obs;
 pub mod persist;
 pub mod slots;
 pub mod workload;
@@ -46,6 +47,7 @@ pub mod workload;
 pub use engine::{CommitTicket, Engine, EngineConfig, EngineStats, OpenReport, StoreError};
 pub use kv::{Access, Kv, MAX_KEY_BYTES, MAX_VALUE_BYTES};
 pub use layout::{Geometry, UndoEntry, UNDO_BUFFER_BYTES, UNDO_BUFFER_ENTRIES};
+pub use obs::StoreObs;
 pub use persist::{CountingMedium, FileMedium, LatencyMedium, PersistOps, PersistStats};
 pub use slots::Lines;
 pub use workload::{

@@ -145,6 +145,13 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Number of log2 buckets: one for zero plus one per power of two.
+    ///
+    /// Exposed so external shard-per-thread implementations (the
+    /// `picl-obs` atomic histograms) can mirror the exact bucket layout
+    /// and rebuild a `Histogram` via [`from_saved`](Histogram::from_saved).
+    pub const BUCKETS: usize = HISTOGRAM_BUCKETS;
+
     /// An empty histogram.
     pub fn new() -> Self {
         Histogram::default()
@@ -156,6 +163,20 @@ impl Histogram {
         } else {
             64 - value.leading_zeros() as usize
         }
+    }
+
+    /// The bucket index `value` lands in (0 for zero, else
+    /// `64 - leading_zeros`). Mirror of the private recording path, public
+    /// for shard-per-thread histograms that keep their own atomic buckets.
+    pub fn index_of(value: u64) -> usize {
+        Self::bucket_index(value)
+    }
+
+    /// The inclusive upper bound of bucket `i` (saturating to
+    /// `u64::MAX` for the top bucket). Public counterpart of the bound
+    /// used by [`nonzero_buckets`](Histogram::nonzero_buckets).
+    pub fn bound_of(i: usize) -> u64 {
+        Self::bucket_bound(i.min(HISTOGRAM_BUCKETS - 1))
     }
 
     /// The inclusive upper bound of bucket `i` (what
@@ -256,6 +277,36 @@ impl Histogram {
             seen += n;
         }
         Some(self.max as f64)
+    }
+
+    /// A total (never-`None`) percentile with defined edge cases, for
+    /// report code that wants a number, not an `Option`:
+    ///
+    /// * empty histogram — `0.0` (nothing observed, report zero rather
+    ///   than poisoning a table with NaN or a sentinel);
+    /// * all samples in one bucket — the midpoint of that bucket's
+    ///   max-clamped range. With no cross-bucket rank information,
+    ///   interpolation would otherwise scale the rank across the bucket
+    ///   and report a point (e.g. the upper bound at p99) that can sit a
+    ///   factor of two away from every actual sample;
+    /// * otherwise — [`percentile_interpolated`](Histogram::percentile_interpolated).
+    pub fn percentile_defined(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut nonzero = self.buckets.iter().enumerate().filter(|(_, &n)| n > 0);
+        let (first, _) = nonzero.next().expect("count > 0 implies a bucket");
+        if nonzero.next().is_none() {
+            let lo = if first == 0 {
+                0.0
+            } else {
+                (1u64 << (first - 1)) as f64
+            };
+            let hi = Self::bucket_bound(first).min(self.max) as f64;
+            return (lo + hi) / 2.0;
+        }
+        self.percentile_interpolated(p)
+            .expect("count > 0 implies a percentile")
     }
 
     /// Interpolated median ([`percentile_interpolated`] at 50).
@@ -564,6 +615,97 @@ mod tests {
         // A single sample is every percentile, clamped to the exact max.
         assert_eq!(h.p50(), Some(5.0));
         assert_eq!(h.percentile_interpolated(100.0), Some(5.0));
+    }
+
+    #[test]
+    fn defined_percentiles_have_total_edge_cases() {
+        // Empty: a defined zero, where the Option APIs return None.
+        let h = Histogram::new();
+        assert_eq!(h.percentile_defined(50.0), 0.0);
+        assert_eq!(h.percentile_defined(99.9), 0.0);
+
+        // All samples exactly zero: single bucket [0, 0] — midpoint 0.
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.percentile_defined(99.0), 0.0);
+
+        // One sample of 5 lands alone in bucket [4, 7], clamped to the
+        // exact max: midpoint of [4, 5]. Every percentile reports it —
+        // there is no rank information inside one bucket.
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.percentile_defined(1.0), 4.5);
+        assert_eq!(h.percentile_defined(50.0), 4.5);
+        assert_eq!(h.percentile_defined(99.9), 4.5);
+
+        // Many samples, still one bucket [64, 127]: midpoint, not the
+        // rank-scaled point interpolation would pick.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        assert_eq!(h.percentile_defined(99.0), (64.0 + 100.0) / 2.0);
+
+        // Two buckets: falls through to plain interpolation.
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1000);
+        assert_eq!(
+            h.percentile_defined(50.0),
+            h.percentile_interpolated(50.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn bucket_helpers_mirror_recording() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            let (bound, n) = h.nonzero_buckets().next().unwrap();
+            assert_eq!(n, 1);
+            assert_eq!(Histogram::bound_of(Histogram::index_of(v)), bound);
+            assert!(v <= bound);
+        }
+        // Out-of-range indexes clamp to the top bucket instead of panicking.
+        assert_eq!(Histogram::bound_of(usize::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn merge_then_percentile_equals_aggregate_then_percentile() {
+        use crate::rng::Rng;
+        // Seeded samples with a heavy tail, split across four per-thread
+        // shards. Merging the shard histograms must give bit-identical
+        // percentiles to one histogram fed every sample: log2 buckets,
+        // counts, sums, and maxes all add exactly.
+        let mut rng = Rng::new(0x0b5e_55ed);
+        let mut aggregate = Histogram::new();
+        let mut shards = vec![Histogram::new(); 4];
+        for i in 0..10_000u64 {
+            let v = match rng.below(100) {
+                0..=79 => rng.below(1_000),
+                80..=98 => 1_000 + rng.below(100_000),
+                _ => 1_000_000 + rng.below(1_000_000_000),
+            };
+            aggregate.record(v);
+            shards[(i % 4) as usize].record(v);
+        }
+        let mut merged = Histogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged, aggregate, "merge must reproduce full state");
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(merged.percentile(p), aggregate.percentile(p));
+            assert_eq!(
+                merged.percentile_interpolated(p),
+                aggregate.percentile_interpolated(p)
+            );
+            assert_eq!(
+                merged.percentile_defined(p),
+                aggregate.percentile_defined(p)
+            );
+        }
     }
 
     #[test]
